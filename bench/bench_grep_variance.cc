@@ -1,0 +1,85 @@
+// Section 4.2.3, "Effects of Disk Spilling on Other Jobs": the runtimes of
+// background grep tasks running next to a disk-spilling job become highly
+// variable — most tasks run ~16 s, but the unlucky ones co-located with
+// the spilling straggler take ~39 s. SpongeFile spilling removes the
+// interference.
+
+#include <algorithm>
+#include <cstdio>
+
+#include "bench_util.h"
+#include "common/stats.h"
+
+using namespace spongefiles;
+using namespace spongefiles::bench;
+
+namespace {
+
+struct GrepProfile {
+  double median_s = 0;
+  double p95_s = 0;
+  double max_s = 0;
+  double colocated_max_s = 0;  // tasks sharing the straggler's node/disk
+  size_t tasks = 0;
+  size_t colocated = 0;
+};
+
+GrepProfile Profile(mapred::SpillMode mode) {
+  MacroOptions options;
+  options.node_memory = GiB(4);  // scarce memory: spills really hit disk
+  options.background_grep = true;
+  MacroRun run = RunMacro(MacroJob::kMedian, mode, options);
+  std::vector<double> seconds;
+  GrepProfile profile;
+  for (const auto& stats : run.background_tasks) {
+    // Only data-local tasks: migrated ones are slow for an unrelated
+    // reason (remote block reads).
+    if (!stats.data_local) continue;
+    seconds.push_back(ToSeconds(stats.runtime));
+    if (stats.node == run.straggler.node) {
+      ++profile.colocated;
+      profile.colocated_max_s =
+          std::max(profile.colocated_max_s, ToSeconds(stats.runtime));
+    }
+  }
+  profile.tasks = seconds.size();
+  if (!seconds.empty()) {
+    std::sort(seconds.begin(), seconds.end());
+    profile.median_s = QuantileSorted(seconds, 0.5);
+    profile.p95_s = QuantileSorted(seconds, 0.95);
+    profile.max_s = seconds.back();
+  }
+  return profile;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Effects of disk spilling on other jobs: grep task runtimes while "
+      "the median job spills\n\n");
+
+  GrepProfile disk = Profile(mapred::SpillMode::kDisk);
+  GrepProfile sponge = Profile(mapred::SpillMode::kSponge);
+
+  AsciiTable table({"spilling via", "grep tasks", "median (s)", "p95 (s)",
+                    "max (s)", "max co-located with straggler (s)"});
+  table.AddRow({"disk", StrFormat("%zu", disk.tasks),
+                StrFormat("%.1f", disk.median_s),
+                StrFormat("%.1f", disk.p95_s),
+                StrFormat("%.1f", disk.max_s),
+                StrFormat("%.1f", disk.colocated_max_s)});
+  table.AddRow({"SpongeFiles", StrFormat("%zu", sponge.tasks),
+                StrFormat("%.1f", sponge.median_s),
+                StrFormat("%.1f", sponge.p95_s),
+                StrFormat("%.1f", sponge.max_s),
+                StrFormat("%.1f", sponge.colocated_max_s)});
+  table.Print();
+  std::printf(
+      "\npaper: most grep tasks ~16 s, unlucky ones overlapping disk "
+      "spills up to ~39 s (%.1fx); SpongeFile spilling keeps the tail "
+      "close to the median (measured disk tail %.1fx vs sponge %.1fx).\n",
+      39.0 / 16.0, disk.colocated_max_s / std::max(disk.median_s, 1e-9),
+      sponge.colocated_max_s / std::max(sponge.median_s, 1e-9));
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Section 4.3 "Effectiveness": for SpongeFiles to keep spills in memory,
+// the aggregate intermediate data of the jobs running at any instant must
+// fit in the cluster's aggregate (sponge) memory. The paper measures a
+// month of Yahoo! clusters and finds intermediate data peaks at ~25% of
+// total cluster memory, because (a) maps filter ~90% of their input and
+// (b) most jobs are small ad-hoc queries.
+//
+// This bench replays the synthetic trace as an arrival process over a
+// month and reports the aggregate live intermediate data as a fraction of
+// cluster memory, plus how often a 105 GB straggler exceeds one node's
+// memory (the paper's argument for remote spilling).
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/random.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "workload/trace.h"
+
+using namespace spongefiles;
+using workload::TraceConfig;
+using workload::TraceSynthesizer;
+
+namespace {
+
+struct ClusterModel {
+  // "Yahoo! has tens of thousands of machines in its clusters" (4.3).
+  size_t nodes = 20000;
+  uint64_t memory_per_node = GiB(16);
+};
+
+}  // namespace
+
+int main() {
+  TraceConfig trace_config;
+  trace_config.num_jobs = 20000;
+  TraceSynthesizer synth(trace_config);
+  auto jobs = synth.Generate();
+  ClusterModel cluster;
+
+  // Arrival process: jobs spread uniformly over a month; each lives for a
+  // duration proportional to its total reduce input (min 1 minute). Its
+  // intermediate data (post-filter map output = reduce input) is live
+  // while it runs.
+  Rng rng(77);
+  const double month_s = 30.0 * 24 * 3600;
+  struct Interval {
+    double start;
+    double end;
+    double bytes;
+  };
+  std::vector<Interval> intervals;
+  intervals.reserve(jobs.size());
+  double max_task_input = 0;
+  size_t tasks_over_node_memory = 0;
+  size_t total_tasks = 0;
+  for (const auto& job : jobs) {
+    double total = 0;
+    for (double b : job.reduce_input_bytes) {
+      total += b;
+      max_task_input = std::max(max_task_input, b);
+      if (b > static_cast<double>(cluster.memory_per_node)) {
+        ++tasks_over_node_memory;
+      }
+      ++total_tasks;
+    }
+    double start = rng.NextDouble() * month_s;
+    // Throughput-based lifetime: ~100 MB/s of aggregate job progress
+    // (the intermediate data of a job is live only while it runs).
+    double duration = std::max(60.0, total / (100.0 * kMiB));
+    intervals.push_back({start, start + duration, total});
+  }
+
+  // Sweep-line over the month: peak and mean aggregate live bytes.
+  std::vector<std::pair<double, double>> events;  // time, +/- bytes
+  events.reserve(intervals.size() * 2);
+  for (const auto& iv : intervals) {
+    events.push_back({iv.start, iv.bytes});
+    events.push_back({iv.end, -iv.bytes});
+  }
+  std::sort(events.begin(), events.end());
+  double live = 0;
+  double peak = 0;
+  double area = 0;
+  double last_t = 0;
+  for (const auto& [t, delta] : events) {
+    area += live * (t - last_t);
+    last_t = t;
+    live += delta;
+    peak = std::max(peak, live);
+  }
+  double mean = area / month_s;
+  double cluster_memory = static_cast<double>(cluster.nodes) *
+                          static_cast<double>(cluster.memory_per_node);
+
+  AsciiTable table({"quantity", "value"});
+  table.AddRow({"cluster memory",
+                FormatBytes(static_cast<uint64_t>(cluster_memory))});
+  table.AddRow({"peak live intermediate data",
+                FormatBytes(static_cast<uint64_t>(peak))});
+  table.AddRow({"peak / cluster memory",
+                StrFormat("%.1f%%", 100.0 * peak / cluster_memory)});
+  table.AddRow({"mean / cluster memory",
+                StrFormat("%.1f%%", 100.0 * mean / cluster_memory)});
+  table.AddRow({"largest single reduce input",
+                FormatBytes(static_cast<uint64_t>(max_task_input))});
+  table.AddRow({"reduce tasks bigger than one node's memory",
+                StrFormat("%.3f%% (%zu of %zu)",
+                          100.0 * static_cast<double>(tasks_over_node_memory) /
+                              static_cast<double>(total_tasks),
+                          tasks_over_node_memory, total_tasks)});
+  table.Print();
+
+  std::printf(
+      "\npaper: aggregate intermediate data stays at or below ~25%% of "
+      "cluster memory (maps filter ~90%%; most jobs are small), so sponge "
+      "memory can absorb the spills; and some reduce inputs (up to "
+      "~105 GB) exceed any single node's memory, so remote sponge memory "
+      "is necessary, not just convenient.\n");
+  return 0;
+}

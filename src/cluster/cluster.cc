@@ -1,0 +1,30 @@
+#include "cluster/cluster.h"
+
+namespace spongefiles::cluster {
+
+Cluster::Cluster(sim::Engine* engine, const ClusterConfig& config)
+    : engine_(engine), config_(config) {
+  std::vector<size_t> racks;
+  racks.reserve(config.num_nodes);
+  for (size_t i = 0; i < config.num_nodes; ++i) {
+    racks.push_back(i / config.nodes_per_rack);
+  }
+  network_ = std::make_unique<Network>(engine, config.num_nodes,
+                                       config.network, racks);
+  nodes_.reserve(config.num_nodes);
+  for (size_t i = 0; i < config.num_nodes; ++i) {
+    nodes_.push_back(
+        std::make_unique<Node>(engine, i, racks[i], config.node));
+  }
+}
+
+std::vector<size_t> Cluster::RackPeers(size_t node_id) const {
+  std::vector<size_t> peers;
+  size_t rack = nodes_[node_id]->rack();
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i]->rack() == rack) peers.push_back(i);
+  }
+  return peers;
+}
+
+}  // namespace spongefiles::cluster

@@ -1,0 +1,29 @@
+#include "cluster/disk.h"
+
+namespace spongefiles::cluster {
+
+sim::Task<> Disk::Access(uint64_t stream, uint64_t offset, uint64_t bytes,
+                         bool is_write) {
+  co_await queue_.Acquire();
+  ++busy_;
+  Duration cost = 0;
+  if (stream != last_stream_ || offset != next_offset_) {
+    cost += config_.avg_seek + config_.avg_rotation;
+    ++seeks_;
+  }
+  cost += TransferTime(bytes, config_.sequential_bandwidth);
+  ++requests_;
+  if (is_write) {
+    bytes_written_ += bytes;
+  } else {
+    bytes_read_ += bytes;
+  }
+  busy_time_ += cost;
+  last_stream_ = stream;
+  next_offset_ = offset + bytes;
+  co_await engine_->Delay(cost);
+  --busy_;
+  queue_.Release();
+}
+
+}  // namespace spongefiles::cluster

@@ -1,0 +1,74 @@
+#include "cluster/local_fs.h"
+
+namespace spongefiles::cluster {
+
+Result<uint64_t> LocalFs::Create(const std::string& name) {
+  if (by_name_.contains(name)) {
+    return FailedPrecondition("file exists: " + name);
+  }
+  uint64_t id = next_id_++;
+  files_[id] = File{name, 0};
+  by_name_[name] = id;
+  return id;
+}
+
+sim::Task<Status> LocalFs::Append(uint64_t file_id, uint64_t bytes) {
+  auto it = files_.find(file_id);
+  if (it == files_.end()) co_return NotFound("no such file");
+  if (used_ + bytes > capacity_) {
+    co_return ResourceExhausted("local filesystem full");
+  }
+  uint64_t offset = it->second.size;
+  it->second.size += bytes;
+  used_ += bytes;
+  co_await cache_->Write(file_id, offset, bytes);
+  co_return Status::OK();
+}
+
+sim::Task<Status> LocalFs::Read(uint64_t file_id, uint64_t offset,
+                                uint64_t bytes) {
+  auto it = files_.find(file_id);
+  if (it == files_.end()) co_return NotFound("no such file");
+  if (offset + bytes > it->second.size) {
+    co_return OutOfRange("read past end of file");
+  }
+  co_await cache_->Read(file_id, offset, bytes);
+  co_return Status::OK();
+}
+
+Status LocalFs::Truncate(uint64_t file_id, uint64_t size) {
+  auto it = files_.find(file_id);
+  if (it == files_.end()) return NotFound("no such file");
+  if (size < it->second.size) return InvalidArgument("shrinking unsupported");
+  uint64_t growth = size - it->second.size;
+  if (used_ + growth > capacity_) {
+    return ResourceExhausted("local filesystem full");
+  }
+  it->second.size = size;
+  used_ += growth;
+  return Status::OK();
+}
+
+sim::Task<Status> LocalFs::Sync(uint64_t file_id) {
+  if (!files_.contains(file_id)) co_return NotFound("no such file");
+  co_await cache_->Flush(file_id);
+  co_return Status::OK();
+}
+
+Status LocalFs::Delete(uint64_t file_id) {
+  auto it = files_.find(file_id);
+  if (it == files_.end()) return NotFound("no such file");
+  used_ -= it->second.size;
+  by_name_.erase(it->second.name);
+  cache_->Drop(file_id);
+  files_.erase(it);
+  return Status::OK();
+}
+
+Result<uint64_t> LocalFs::Size(uint64_t file_id) const {
+  auto it = files_.find(file_id);
+  if (it == files_.end()) return NotFound("no such file");
+  return it->second.size;
+}
+
+}  // namespace spongefiles::cluster

@@ -1,0 +1,70 @@
+#include "cluster/network.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace spongefiles::cluster {
+
+Network::Network(sim::Engine* engine, size_t num_nodes,
+                 const NetworkConfig& config, std::vector<size_t> racks)
+    : engine_(engine), config_(config), racks_(std::move(racks)) {
+  if (racks_.empty()) racks_.assign(num_nodes, 0);
+  SPONGE_CHECK(racks_.size() == num_nodes);
+  tx_.reserve(num_nodes);
+  rx_.reserve(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    tx_.push_back(std::make_unique<sim::Semaphore>(engine, 1));
+    rx_.push_back(std::make_unique<sim::Semaphore>(engine, 1));
+  }
+  size_t num_racks =
+      1 + *std::max_element(racks_.begin(), racks_.end());
+  for (size_t r = 0; r < num_racks; ++r) {
+    uplink_.push_back(std::make_unique<sim::Semaphore>(engine, 1));
+    downlink_.push_back(std::make_unique<sim::Semaphore>(engine, 1));
+  }
+}
+
+sim::Task<> Network::Transfer(size_t src, size_t dst, uint64_t bytes) {
+  SPONGE_CHECK(src < tx_.size() && dst < rx_.size());
+  bytes_transferred_ += bytes;
+  if (src == dst) {
+    // Local socket: copies through the kernel, no NIC involvement.
+    co_await engine_->Delay(config_.ipc_overhead +
+                            TransferTime(bytes, config_.ipc_bandwidth));
+    co_return;
+  }
+  const bool cross_rack = racks_[src] != racks_[dst];
+  const bool metered_core = cross_rack && config_.cross_rack_bandwidth > 0;
+
+  // Hold the sender's transmit pipe, then the receiver's receive pipe,
+  // then (for a metered core) the racks' shared uplink and downlink.
+  // The acquisition order is consistent and uplink/downlink are distinct
+  // resource families, so this cannot deadlock.
+  co_await tx_[src]->Acquire();
+  co_await rx_[dst]->Acquire();
+  double rate = config_.bandwidth;
+  Duration latency = config_.latency;
+  if (metered_core) {
+    co_await uplink_[racks_[src]]->Acquire();
+    co_await downlink_[racks_[dst]]->Acquire();
+    rate = std::min(rate, config_.cross_rack_bandwidth);
+    latency += config_.cross_rack_latency;
+    cross_rack_bytes_ += bytes;
+  }
+  co_await engine_->Delay(latency + TransferTime(bytes, rate));
+  if (metered_core) {
+    downlink_[racks_[dst]]->Release();
+    uplink_[racks_[src]]->Release();
+  }
+  rx_[dst]->Release();
+  tx_[src]->Release();
+}
+
+sim::Task<> Network::Rpc(size_t src, size_t dst, uint64_t request_bytes,
+                         uint64_t response_bytes) {
+  co_await Transfer(src, dst, request_bytes);
+  co_await Transfer(dst, src, response_bytes);
+}
+
+}  // namespace spongefiles::cluster

@@ -1,0 +1,24 @@
+#include "cluster/node.h"
+
+namespace spongefiles::cluster {
+
+Node::Node(sim::Engine* engine, size_t id, size_t rack,
+           const NodeConfig& config)
+    : id_(id), rack_(rack), config_(config) {
+  disk_ = std::make_unique<Disk>(engine, config.disk);
+  BufferCacheConfig cache_config = config.cache;
+  cache_config.capacity = cache_capacity();
+  cache_ = std::make_unique<BufferCache>(engine, disk_.get(), cache_config);
+  fs_ = std::make_unique<LocalFs>(cache_.get(), config.disk_capacity);
+}
+
+uint64_t Node::cache_capacity() const {
+  uint64_t reserved = static_cast<uint64_t>(total_slots()) *
+                          config_.heap_per_slot +
+                      config_.sponge_memory + config_.pinned_memory +
+                      config_.os_reserved;
+  if (reserved >= config_.physical_memory) return 0;
+  return config_.physical_memory - reserved;
+}
+
+}  // namespace spongefiles::cluster

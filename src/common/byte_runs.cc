@@ -1,0 +1,177 @@
+#include "common/byte_runs.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace spongefiles {
+
+namespace {
+// A zero run is represented as an empty `bytes` vector with length > 0.
+// Literal runs with length 0 never appear in runs_.
+constexpr uint64_t kMergeLiteralThreshold = 64 * 1024;
+}  // namespace
+
+void ByteRuns::AppendLiteral(Slice data) {
+  if (data.empty()) return;
+  size_ += data.size();
+  physical_size_ += data.size();
+  // Merge small literal appends into the previous literal run to keep the
+  // run list short when callers write record-at-a-time.
+  if (!runs_.empty() && runs_.back().is_literal() &&
+      runs_.back().bytes.size() < kMergeLiteralThreshold) {
+    Run& last = runs_.back();
+    last.bytes.insert(last.bytes.end(), data.data(),
+                      data.data() + data.size());
+    last.length = last.bytes.size();
+    return;
+  }
+  Run run;
+  run.bytes.assign(data.data(), data.data() + data.size());
+  run.length = data.size();
+  runs_.push_back(std::move(run));
+}
+
+void ByteRuns::AppendZeros(uint64_t n) {
+  if (n == 0) return;
+  size_ += n;
+  if (!runs_.empty() && !runs_.back().is_literal()) {
+    runs_.back().length += n;
+    return;
+  }
+  Run run;
+  run.length = n;
+  runs_.push_back(std::move(run));
+}
+
+void ByteRuns::Append(const ByteRuns& other) {
+  for (const Run& run : other.runs_) {
+    if (run.is_literal()) {
+      AppendLiteral(Slice(run.bytes));
+    } else {
+      AppendZeros(run.length);
+    }
+  }
+}
+
+void ByteRuns::Read(uint64_t offset, uint64_t n, uint8_t* out) const {
+  assert(offset + n <= size_);
+  uint64_t run_start = 0;
+  size_t i = 0;
+  // Skip to the run containing `offset`.
+  while (i < runs_.size() && run_start + runs_[i].length <= offset) {
+    run_start += runs_[i].length;
+    ++i;
+  }
+  uint64_t produced = 0;
+  while (produced < n) {
+    assert(i < runs_.size());
+    const Run& run = runs_[i];
+    uint64_t in_run_offset = offset + produced - run_start;
+    uint64_t take = std::min<uint64_t>(run.length - in_run_offset,
+                                       n - produced);
+    if (run.is_literal()) {
+      std::memcpy(out + produced, run.bytes.data() + in_run_offset, take);
+    } else {
+      std::memset(out + produced, 0, take);
+    }
+    produced += take;
+    run_start += run.length;
+    ++i;
+  }
+}
+
+ByteRuns ByteRuns::SplitPrefix(uint64_t n) {
+  assert(n <= size_);
+  ByteRuns prefix;
+  if (n == 0) return prefix;
+  std::vector<Run> remainder;
+  uint64_t taken = 0;
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    Run& run = runs_[i];
+    if (taken >= n) {
+      remainder.push_back(std::move(run));
+      continue;
+    }
+    uint64_t need = n - taken;
+    if (run.length <= need) {
+      taken += run.length;
+      if (run.is_literal()) {
+        prefix.AppendLiteral(Slice(run.bytes));
+      } else {
+        prefix.AppendZeros(run.length);
+      }
+    } else {
+      // Split this run.
+      if (run.is_literal()) {
+        prefix.AppendLiteral(Slice(run.bytes.data(), need));
+        Run rest;
+        rest.bytes.assign(run.bytes.begin() + static_cast<long>(need),
+                          run.bytes.end());
+        rest.length = rest.bytes.size();
+        remainder.push_back(std::move(rest));
+      } else {
+        prefix.AppendZeros(need);
+        Run rest;
+        rest.length = run.length - need;
+        remainder.push_back(std::move(rest));
+      }
+      taken = n;
+    }
+  }
+  runs_ = std::move(remainder);
+  size_ -= n;
+  physical_size_ = 0;
+  for (const Run& run : runs_) {
+    if (run.is_literal()) physical_size_ += run.bytes.size();
+  }
+  return prefix;
+}
+
+ByteRuns ByteRuns::SubRange(uint64_t offset, uint64_t n) const {
+  assert(offset + n <= size_);
+  ByteRuns out;
+  if (n == 0) return out;
+  uint64_t run_start = 0;
+  for (const Run& run : runs_) {
+    uint64_t run_end = run_start + run.length;
+    if (run_end > offset && run_start < offset + n) {
+      uint64_t lo = std::max(run_start, offset);
+      uint64_t hi = std::min(run_end, offset + n);
+      if (run.is_literal()) {
+        out.AppendLiteral(Slice(run.bytes.data() + (lo - run_start),
+                                hi - lo));
+      } else {
+        out.AppendZeros(hi - lo);
+      }
+    }
+    run_start = run_end;
+    if (run_start >= offset + n) break;
+  }
+  return out;
+}
+
+void ByteRuns::TransformLiterals(
+    const std::function<void(uint64_t, uint8_t*, uint64_t)>& fn) {
+  uint64_t offset = 0;
+  for (Run& run : runs_) {
+    if (run.is_literal() && run.length > 0) {
+      fn(offset, run.bytes.data(), run.length);
+    }
+    offset += run.length;
+  }
+}
+
+void ByteRuns::Clear() {
+  runs_.clear();
+  size_ = 0;
+  physical_size_ = 0;
+}
+
+std::vector<uint8_t> ByteRuns::ToBytes() const {
+  std::vector<uint8_t> out(size_);
+  if (size_ > 0) Read(0, size_, out.data());
+  return out;
+}
+
+}  // namespace spongefiles

@@ -1,0 +1,87 @@
+#ifndef SPONGEFILES_COMMON_BYTE_RUNS_H_
+#define SPONGEFILES_COMMON_BYTE_RUNS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/slice.h"
+
+namespace spongefiles {
+
+// A logical byte sequence stored as a list of runs. Two run kinds exist:
+//
+//  * literal runs carry real bytes (used for record headers, keys, and all
+//    byte-exactness tests), and
+//  * zero runs carry only a length (used to represent bulk payloads in the
+//    macro benchmarks, where a 10 GB spill must not occupy 10 GB of RAM).
+//
+// All size accounting in the library uses the *logical* size, so capacities,
+// chunk counts and transfer times are identical to a fully-materialized run.
+class ByteRuns {
+ public:
+  ByteRuns() = default;
+
+  // ByteRuns is copyable (chunks get handed between buffers) and movable.
+  ByteRuns(const ByteRuns&) = default;
+  ByteRuns& operator=(const ByteRuns&) = default;
+  ByteRuns(ByteRuns&&) = default;
+  ByteRuns& operator=(ByteRuns&&) = default;
+
+  // Appends real bytes.
+  void AppendLiteral(Slice data);
+
+  // Appends `n` logical zero bytes without materializing them.
+  void AppendZeros(uint64_t n);
+
+  // Appends all of `other`.
+  void Append(const ByteRuns& other);
+
+  // Copies logical bytes [offset, offset + n) into `out`. Zero runs read
+  // back as 0x00. Requires offset + n <= size().
+  void Read(uint64_t offset, uint64_t n, uint8_t* out) const;
+
+  // Splits off and returns the first `n` logical bytes, leaving the
+  // remainder in place. Requires n <= size().
+  ByteRuns SplitPrefix(uint64_t n);
+
+  // Copies logical bytes [offset, offset + n) into a new ByteRuns,
+  // preserving run structure (zero runs stay unmaterialized). Requires
+  // offset + n <= size().
+  ByteRuns SubRange(uint64_t offset, uint64_t n) const;
+
+  // Invokes `fn(logical_offset, data, length)` for every literal run,
+  // allowing in-place transformation of the real bytes (chunk encryption).
+  // Zero runs are not visited; their logical offsets are skipped.
+  void TransformLiterals(
+      const std::function<void(uint64_t, uint8_t*, uint64_t)>& fn);
+
+  void Clear();
+
+  // Logical size in bytes.
+  uint64_t size() const { return size_; }
+
+  // Physical bytes actually resident in memory (literal runs only).
+  uint64_t physical_size() const { return physical_size_; }
+
+  bool empty() const { return size_ == 0; }
+
+  // Materializes the whole logical content. Intended for tests.
+  std::vector<uint8_t> ToBytes() const;
+
+ private:
+  struct Run {
+    // Literal payload; empty means a zero run of `length` bytes.
+    std::vector<uint8_t> bytes;
+    uint64_t length = 0;
+    bool is_literal() const { return !bytes.empty() || length == 0; }
+  };
+
+  std::vector<Run> runs_;
+  uint64_t size_ = 0;
+  uint64_t physical_size_ = 0;
+};
+
+}  // namespace spongefiles
+
+#endif  // SPONGEFILES_COMMON_BYTE_RUNS_H_

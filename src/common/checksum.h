@@ -1,0 +1,48 @@
+#ifndef SPONGEFILES_COMMON_CHECKSUM_H_
+#define SPONGEFILES_COMMON_CHECKSUM_H_
+
+#include <cstdint>
+
+#include "common/slice.h"
+
+namespace spongefiles {
+
+// Incremental FNV-1a 64-bit hash. Used by tests to verify that data read
+// back from a SpongeFile is byte-identical to what was written, without
+// retaining the full payload.
+class Checksum {
+ public:
+  Checksum() = default;
+
+  void Update(Slice data) {
+    for (size_t i = 0; i < data.size(); ++i) {
+      hash_ ^= data[i];
+      hash_ *= kPrime;
+    }
+  }
+
+  // Folds `n` zero bytes into the hash (matches Update over n 0x00 bytes).
+  void UpdateZeros(uint64_t n) {
+    for (uint64_t i = 0; i < n; ++i) {
+      // hash_ ^= 0 is a no-op.
+      hash_ *= kPrime;
+    }
+  }
+
+  uint64_t digest() const { return hash_; }
+
+  static uint64_t Of(Slice data) {
+    Checksum c;
+    c.Update(data);
+    return c.digest();
+  }
+
+ private:
+  static constexpr uint64_t kOffsetBasis = 14695981039346656037ull;
+  static constexpr uint64_t kPrime = 1099511628211ull;
+  uint64_t hash_ = kOffsetBasis;
+};
+
+}  // namespace spongefiles
+
+#endif  // SPONGEFILES_COMMON_CHECKSUM_H_

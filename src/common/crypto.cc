@@ -1,0 +1,64 @@
+#include "common/crypto.h"
+
+#include <cstring>
+#include <string>
+
+namespace spongefiles {
+
+namespace {
+constexpr uint32_t kDelta = 0x9e3779b9;
+constexpr int kRounds = 32;
+}  // namespace
+
+uint64_t XteaCtr::EncryptBlock(uint64_t block) const {
+  uint32_t v0 = static_cast<uint32_t>(block);
+  uint32_t v1 = static_cast<uint32_t>(block >> 32);
+  uint32_t sum = 0;
+  for (int i = 0; i < kRounds; ++i) {
+    v0 += (((v1 << 4) ^ (v1 >> 5)) + v1) ^ (sum + key_[sum & 3]);
+    sum += kDelta;
+    v1 += (((v0 << 4) ^ (v0 >> 5)) + v0) ^ (sum + key_[(sum >> 11) & 3]);
+  }
+  return (static_cast<uint64_t>(v1) << 32) | v0;
+}
+
+void XteaCtr::Apply(uint64_t nonce, uint8_t* data, size_t size) const {
+  uint64_t counter = 0;
+  size_t offset = 0;
+  while (offset < size) {
+    uint64_t keystream = EncryptBlock(nonce ^ counter);
+    ++counter;
+    size_t n = std::min<size_t>(8, size - offset);
+    uint8_t bytes[8];
+    std::memcpy(bytes, &keystream, 8);
+    for (size_t i = 0; i < n; ++i) data[offset + i] ^= bytes[i];
+    offset += n;
+  }
+}
+
+void XteaCtr::ApplyToLiterals(uint64_t nonce, ByteRuns* runs) const {
+  runs->TransformLiterals(
+      [this, nonce](uint64_t offset, uint8_t* data, uint64_t len) {
+        // Independent keystream per (nonce, logical offset) so the
+        // transform is position-stable regardless of run structure.
+        // Offsets are byte-granular, so fold them into the nonce.
+        Apply(nonce ^ (offset * 0x9e3779b97f4a7c15ull), data, len);
+      });
+}
+
+XteaCtr::Key XteaCtr::DeriveKey(const std::string& passphrase) {
+  Key key{};
+  uint64_t h = 14695981039346656037ull;
+  for (size_t round = 0; round < 4; ++round) {
+    for (char c : passphrase) {
+      h ^= static_cast<uint8_t>(c);
+      h *= 1099511628211ull;
+    }
+    h ^= round * 0x9e3779b97f4a7c15ull;
+    h *= 1099511628211ull;
+    key[round] = static_cast<uint32_t>(h >> 16);
+  }
+  return key;
+}
+
+}  // namespace spongefiles

@@ -1,0 +1,48 @@
+#ifndef SPONGEFILES_COMMON_CRYPTO_H_
+#define SPONGEFILES_COMMON_CRYPTO_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "common/byte_runs.h"
+
+namespace spongefiles {
+
+// A small symmetric stream cipher (XTEA in counter mode) for the paper's
+// access-control story (section 3.1.4): once a chunk sits in another
+// machine's sponge pool anyone on the cluster can map it, so tasks that
+// care encrypt their chunks before storing them.
+//
+// This is NOT a vetted cryptographic implementation — it exists so the
+// encryption code path (key handling, per-chunk nonces, the CPU cost of
+// the transform) is real and testable in the reproduction.
+class XteaCtr {
+ public:
+  using Key = std::array<uint32_t, 4>;
+
+  explicit XteaCtr(const Key& key) : key_(key) {}
+
+  // XORs the keystream for (nonce, starting counter 0) over `data` in
+  // place. Applying it twice with the same nonce restores the input.
+  void Apply(uint64_t nonce, uint8_t* data, size_t size) const;
+
+  // Encrypts/decrypts the literal runs of `runs` in place. Zero-filler
+  // runs (the synthetic stand-in for bulk payload bytes; see DESIGN.md)
+  // keep their representation — their transform cost is charged by the
+  // caller, while all real bytes are genuinely transformed.
+  void ApplyToLiterals(uint64_t nonce, ByteRuns* runs) const;
+
+  // Derives a key from a passphrase (FNV-based KDF stand-in).
+  static Key DeriveKey(const std::string& passphrase);
+
+ private:
+  // One XTEA block encryption (64 rounds' worth of 32 cycles).
+  uint64_t EncryptBlock(uint64_t block) const;
+
+  Key key_;
+};
+
+}  // namespace spongefiles
+
+#endif  // SPONGEFILES_COMMON_CRYPTO_H_

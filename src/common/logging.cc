@@ -1,0 +1,54 @@
+#include "common/logging.h"
+
+namespace spongefiles {
+
+namespace {
+LogLevel g_log_level = LogLevel::kWarning;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLogLevel(LogLevel level) { g_log_level = level; }
+LogLevel GetLogLevel() { return g_log_level; }
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << LevelName(level) << " " << base << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() {
+  std::string msg = stream_.str();
+  std::fprintf(stderr, "%s\n", msg.c_str());
+  (void)level_;
+}
+
+CheckFailure::CheckFailure(const char* cond, const char* file, int line) {
+  stream_ << "CHECK failed at " << file << ":" << line << ": " << cond << " ";
+}
+
+CheckFailure::~CheckFailure() {
+  std::string msg = stream_.str();
+  std::fprintf(stderr, "%s\n", msg.c_str());
+  std::abort();
+}
+
+}  // namespace internal_logging
+}  // namespace spongefiles

@@ -1,0 +1,72 @@
+#ifndef SPONGEFILES_COMMON_LOGGING_H_
+#define SPONGEFILES_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace spongefiles {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+// Global log threshold; messages below it are discarded. Benchmarks raise it
+// to kWarning so simulation traces stay quiet.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+// Discards the streamed expression entirely.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+
+#define SPONGE_LOG(level)                                                  \
+  (static_cast<int>(::spongefiles::LogLevel::k##level) <                   \
+   static_cast<int>(::spongefiles::GetLogLevel()))                         \
+      ? (void)0                                                            \
+      : (void)::spongefiles::internal_logging::LogMessage(                 \
+            ::spongefiles::LogLevel::k##level, __FILE__, __LINE__)         \
+            .stream()
+
+#define SPONGE_CHECK(cond)                                                 \
+  if (!(cond))                                                             \
+  ::spongefiles::internal_logging::CheckFailure(#cond, __FILE__, __LINE__) \
+      .stream()
+
+namespace internal_logging {
+
+class CheckFailure {
+ public:
+  CheckFailure(const char* cond, const char* file, int line);
+  [[noreturn]] ~CheckFailure();
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace spongefiles
+
+#endif  // SPONGEFILES_COMMON_LOGGING_H_

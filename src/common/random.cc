@@ -1,0 +1,32 @@
+#include "common/random.h"
+
+#include <algorithm>
+
+namespace spongefiles {
+
+ZipfSampler::ZipfSampler(size_t n, double s) {
+  assert(n > 0);
+  cdf_.resize(n);
+  double total = 0;
+  for (size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), s);
+    cdf_[k] = total;
+  }
+  for (double& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  double u = rng.NextDouble();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) --it;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfSampler::Pmf(size_t k) const {
+  assert(k < cdf_.size());
+  if (k == 0) return cdf_[0];
+  return cdf_[k] - cdf_[k - 1];
+}
+
+}  // namespace spongefiles

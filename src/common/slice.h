@@ -1,0 +1,52 @@
+#ifndef SPONGEFILES_COMMON_SLICE_H_
+#define SPONGEFILES_COMMON_SLICE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace spongefiles {
+
+// A non-owning view over a contiguous byte range. The referenced storage
+// must outlive the Slice (same contract as std::string_view).
+class Slice {
+ public:
+  Slice() : data_(nullptr), size_(0) {}
+  Slice(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  Slice(const char* data, size_t size)
+      : data_(reinterpret_cast<const uint8_t*>(data)), size_(size) {}
+  explicit Slice(std::string_view s) : Slice(s.data(), s.size()) {}
+  explicit Slice(const std::string& s) : Slice(s.data(), s.size()) {}
+  explicit Slice(const std::vector<uint8_t>& v)
+      : data_(v.data()), size_(v.size()) {}
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  uint8_t operator[](size_t i) const { return data_[i]; }
+
+  // Returns a sub-slice [offset, offset + n); caller must keep it in range.
+  Slice Sub(size_t offset, size_t n) const {
+    return Slice(data_ + offset, n);
+  }
+
+  std::string ToString() const {
+    return std::string(reinterpret_cast<const char*>(data_), size_);
+  }
+
+  bool operator==(const Slice& other) const {
+    return size_ == other.size_ &&
+           (size_ == 0 || std::memcmp(data_, other.data_, size_) == 0);
+  }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+};
+
+}  // namespace spongefiles
+
+#endif  // SPONGEFILES_COMMON_SLICE_H_

@@ -1,0 +1,90 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace spongefiles {
+
+double Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double Variance(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double mean = Mean(xs);
+  double sum = 0;
+  for (double x : xs) sum += (x - mean) * (x - mean);
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) { return std::sqrt(Variance(xs)); }
+
+double UnbiasedSkewness(const std::vector<double>& xs) {
+  const size_t n = xs.size();
+  if (n < 3) return 0;
+  double mean = Mean(xs);
+  double m2 = 0;
+  double m3 = 0;
+  for (double x : xs) {
+    double d = x - mean;
+    m2 += d * d;
+    m3 += d * d * d;
+  }
+  m2 /= static_cast<double>(n);
+  m3 /= static_cast<double>(n);
+  if (m2 <= 0) return 0;
+  double g1 = m3 / std::pow(m2, 1.5);
+  double dn = static_cast<double>(n);
+  return g1 * std::sqrt(dn * (dn - 1.0)) / (dn - 2.0);
+}
+
+double QuantileSorted(const std::vector<double>& sorted, double q) {
+  assert(!sorted.empty());
+  if (q <= 0) return sorted.front();
+  if (q >= 1) return sorted.back();
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  size_t lo = static_cast<size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1 - frac) + sorted[lo + 1] * frac;
+}
+
+double Quantile(std::vector<double> xs, double q) {
+  assert(!xs.empty());
+  std::sort(xs.begin(), xs.end());
+  return QuantileSorted(xs, q);
+}
+
+std::vector<CdfPoint> EmpiricalCdf(std::vector<double> xs,
+                                   size_t max_points) {
+  std::vector<CdfPoint> out;
+  if (xs.empty()) return out;
+  std::sort(xs.begin(), xs.end());
+  const size_t n = xs.size();
+  size_t points = std::min(max_points, n);
+  out.reserve(points);
+  for (size_t i = 0; i < points; ++i) {
+    // Pick evenly-spaced sample indices, always ending at the max.
+    size_t idx = (points == 1) ? n - 1 : i * (n - 1) / (points - 1);
+    out.push_back({xs[idx], static_cast<double>(idx + 1) /
+                                static_cast<double>(n)});
+  }
+  return out;
+}
+
+void Accumulator::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  sum_ += x;
+  ++count_;
+}
+
+}  // namespace spongefiles

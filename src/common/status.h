@@ -1,0 +1,143 @@
+#ifndef SPONGEFILES_COMMON_STATUS_H_
+#define SPONGEFILES_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace spongefiles {
+
+// Error categories used across the library. Modeled after the usual
+// database-systems canonical codes; only the ones this codebase needs.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kResourceExhausted,   // e.g. a full sponge pool or disk
+  kFailedPrecondition,  // API misuse (e.g. reading an unclosed SpongeFile)
+  kUnavailable,         // e.g. a dead sponge server
+  kAborted,             // e.g. a task killed by failure injection
+  kOutOfRange,
+  kInternal,
+};
+
+// Returns a stable human-readable name for `code` ("OK", "NOT_FOUND", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A lightweight error-or-success value. The library does not use exceptions;
+// every fallible operation returns Status or Result<T>.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Human-readable "CODE: message" rendering.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline Status InvalidArgument(std::string msg) {
+  return Status(StatusCode::kInvalidArgument, std::move(msg));
+}
+inline Status NotFound(std::string msg) {
+  return Status(StatusCode::kNotFound, std::move(msg));
+}
+inline Status ResourceExhausted(std::string msg) {
+  return Status(StatusCode::kResourceExhausted, std::move(msg));
+}
+inline Status FailedPrecondition(std::string msg) {
+  return Status(StatusCode::kFailedPrecondition, std::move(msg));
+}
+inline Status Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+inline Status Aborted(std::string msg) {
+  return Status(StatusCode::kAborted, std::move(msg));
+}
+inline Status OutOfRange(std::string msg) {
+  return Status(StatusCode::kOutOfRange, std::move(msg));
+}
+inline Status Internal(std::string msg) {
+  return Status(StatusCode::kInternal, std::move(msg));
+}
+
+// A value of type T or an error Status. Accessing the value of a failed
+// Result aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Propagates a non-OK status to the caller.
+#define RETURN_IF_ERROR(expr)                   \
+  do {                                          \
+    ::spongefiles::Status _st = (expr);         \
+    if (!_st.ok()) return _st;                  \
+  } while (0)
+
+// Coroutine variant: propagates a non-OK status via co_return.
+#define CO_RETURN_IF_ERROR(expr)                \
+  do {                                          \
+    ::spongefiles::Status _st = (expr);         \
+    if (!_st.ok()) co_return _st;               \
+  } while (0)
+
+// Evaluates a Result<T> expression, assigning the value to `lhs` or
+// returning its error status.
+#define ASSIGN_OR_RETURN(lhs, expr)             \
+  ASSIGN_OR_RETURN_IMPL_(                       \
+      SPONGE_STATUS_CONCAT_(_result_, __LINE__), lhs, expr)
+#define ASSIGN_OR_RETURN_IMPL_(result, lhs, expr) \
+  auto result = (expr);                           \
+  if (!result.ok()) return result.status();       \
+  lhs = std::move(result).value()
+#define SPONGE_STATUS_CONCAT_INNER_(a, b) a##b
+#define SPONGE_STATUS_CONCAT_(a, b) SPONGE_STATUS_CONCAT_INNER_(a, b)
+
+}  // namespace spongefiles
+
+#endif  // SPONGEFILES_COMMON_STATUS_H_

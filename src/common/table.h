@@ -1,0 +1,36 @@
+#ifndef SPONGEFILES_COMMON_TABLE_H_
+#define SPONGEFILES_COMMON_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace spongefiles {
+
+// A minimal ASCII table printer used by the benchmark harnesses to emit
+// paper-style tables on stdout.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  // Renders the table with a header separator, columns padded to the widest
+  // cell in each column.
+  std::string ToString() const;
+
+  // Convenience: renders and prints to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace spongefiles
+
+#endif  // SPONGEFILES_COMMON_TABLE_H_

@@ -1,0 +1,49 @@
+#include "common/units.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace spongefiles {
+
+std::string FormatBytes(uint64_t bytes) {
+  char buf[32];
+  if (bytes >= kGiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f GB",
+                  static_cast<double>(bytes) / kGiB);
+  } else if (bytes >= kMiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f MB",
+                  static_cast<double>(bytes) / kMiB);
+  } else if (bytes >= kKiB) {
+    std::snprintf(buf, sizeof(buf), "%.1f KB",
+                  static_cast<double>(bytes) / kKiB);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%llu B",
+                  static_cast<unsigned long long>(bytes));
+  }
+  return buf;
+}
+
+std::string FormatDuration(Duration d) {
+  char buf[32];
+  if (d >= kMinute) {
+    std::snprintf(buf, sizeof(buf), "%.1f min",
+                  static_cast<double>(d) / kMinute);
+  } else if (d >= kSecond) {
+    std::snprintf(buf, sizeof(buf), "%.2f s", static_cast<double>(d) / kSecond);
+  } else if (d >= kMillisecond) {
+    std::snprintf(buf, sizeof(buf), "%.2f ms",
+                  static_cast<double>(d) / kMillisecond);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lld us", static_cast<long long>(d));
+  }
+  return buf;
+}
+
+Duration TransferTime(uint64_t bytes, double bytes_per_second) {
+  if (bytes == 0) return 0;
+  double seconds = static_cast<double>(bytes) / bytes_per_second;
+  Duration d = static_cast<Duration>(std::ceil(seconds * kSecond));
+  return d < 1 ? 1 : d;
+}
+
+}  // namespace spongefiles

@@ -1,0 +1,56 @@
+#ifndef SPONGEFILES_COMMON_UNITS_H_
+#define SPONGEFILES_COMMON_UNITS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace spongefiles {
+
+// Byte-size helpers. All capacities in the library are in bytes (uint64_t).
+inline constexpr uint64_t kKiB = 1024;
+inline constexpr uint64_t kMiB = 1024 * kKiB;
+inline constexpr uint64_t kGiB = 1024 * kMiB;
+
+constexpr uint64_t KiB(uint64_t n) { return n * kKiB; }
+constexpr uint64_t MiB(uint64_t n) { return n * kMiB; }
+constexpr uint64_t GiB(uint64_t n) { return n * kGiB; }
+
+// Renders a byte count as a short human-readable string ("10.3 GB").
+std::string FormatBytes(uint64_t bytes);
+
+// Simulated time. The simulator clock counts microseconds from time zero.
+// Durations are signed so arithmetic on deadlines behaves naturally, but a
+// negative delay is a bug.
+using SimTime = int64_t;   // microseconds since simulation start
+using Duration = int64_t;  // microseconds
+
+inline constexpr Duration kMicrosecond = 1;
+inline constexpr Duration kMillisecond = 1000;
+inline constexpr Duration kSecond = 1000 * kMillisecond;
+inline constexpr Duration kMinute = 60 * kSecond;
+
+constexpr Duration Micros(int64_t n) { return n; }
+constexpr Duration Millis(int64_t n) { return n * kMillisecond; }
+constexpr Duration Seconds(double n) {
+  return static_cast<Duration>(n * kSecond);
+}
+constexpr Duration Minutes(double n) {
+  return static_cast<Duration>(n * kMinute);
+}
+
+constexpr double ToSeconds(Duration d) {
+  return static_cast<double>(d) / kSecond;
+}
+constexpr double ToMillis(Duration d) {
+  return static_cast<double>(d) / kMillisecond;
+}
+
+// Renders a duration as a short human-readable string ("1.25 s", "174 ms").
+std::string FormatDuration(Duration d);
+
+// Time to move `bytes` at `bytes_per_second`, rounded up to 1 us.
+Duration TransferTime(uint64_t bytes, double bytes_per_second);
+
+}  // namespace spongefiles
+
+#endif  // SPONGEFILES_COMMON_UNITS_H_

@@ -1,0 +1,148 @@
+#ifndef SPONGEFILES_MAPRED_JOB_H_
+#define SPONGEFILES_MAPRED_JOB_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "common/units.h"
+#include "mapred/record.h"
+#include "mapred/spill.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+#include "sponge/sponge_env.h"
+
+namespace spongefiles::mapred {
+
+// Batches simulated CPU time so a million-record pass does not cost a
+// million engine events: debt accumulates and is slept off in >= 1 ms
+// slices.
+class CpuMeter {
+ public:
+  explicit CpuMeter(sim::Engine* engine) : engine_(engine) {}
+
+  sim::Task<> Charge(Duration cost);
+  sim::Task<> Flush();
+
+  Duration total_charged() const { return total_; }
+
+ private:
+  sim::Engine* engine_;
+  Duration debt_ = 0;
+  Duration total_ = 0;
+};
+
+// One parallel slice of a job's input. `generate` deterministically
+// synthesizes the split's records (the DFS provides read timing; record
+// payloads come from the workload generators — see DESIGN.md).
+struct InputSplit {
+  std::string dfs_file;
+  uint64_t offset = 0;
+  uint64_t bytes = 0;
+  std::function<std::vector<Record>()> generate;
+};
+
+class InputFormat {
+ public:
+  virtual ~InputFormat() = default;
+  virtual std::vector<InputSplit> Splits() = 0;
+};
+
+using MapFn =
+    std::function<void(const Record& in, std::vector<Record>* out)>;
+
+// Everything a reducer may touch while running: the task's spiller (Pig
+// bags spill through it, so their spills land on whatever medium the
+// experiment selects), CPU meter, memory budget, and the job output sink.
+struct ReduceContext {
+  sim::Engine* engine = nullptr;
+  Spiller* spiller = nullptr;
+  sponge::TaskContext* task = nullptr;
+  CpuMeter* cpu = nullptr;
+  std::vector<Record>* output = nullptr;
+  uint64_t heap_bytes = 0;
+};
+
+// Streaming reduce interface: values of one key arrive one at a time
+// between StartKey and FinishKey. Holistic functions (median, quantiles,
+// top-k) buffer internally — through a spillable DataBag in the Pig layer.
+class Reducer {
+ public:
+  virtual ~Reducer() = default;
+
+  virtual sim::Task<Status> Start(ReduceContext* ctx) {
+    ctx_ = ctx;
+    co_return Status::OK();
+  }
+  virtual sim::Task<Status> StartKey(const std::string& key) = 0;
+  virtual sim::Task<Status> AddValue(Record value) = 0;
+  virtual sim::Task<Status> FinishKey() = 0;
+  virtual sim::Task<Status> Finish() { co_return Status::OK(); }
+
+ protected:
+  ReduceContext* ctx_ = nullptr;
+};
+
+struct JobConfig {
+  std::string name = "job";
+  InputFormat* input = nullptr;
+  MapFn map_fn;  // null: identity map
+  std::function<std::unique_ptr<Reducer>()> reducer_factory;  // null: map-only
+  int num_reducers = 1;
+  SpillMode spill_mode = SpillMode::kDisk;
+  std::function<size_t(const Record&, int)> partitioner;  // default: key hash
+
+  // Hadoop knobs from section 2.1.2 (logical bytes).
+  uint64_t io_sort_mb = 128ull * 1024 * 1024;       // map sort buffer
+  double shuffle_buffer_fraction = 0.70;            // of reduce heap
+  double reduce_retain_fraction = 0.0;              // kept in memory after merge
+  // Per-job reduce JVM heap; 0 uses the node's slot default. (Figure 6's
+  // "no spilling" configuration gives the single reduce a 12 GB heap.)
+  uint64_t reduce_heap_bytes = 0;
+
+  // CPU cost model.
+  Duration map_cpu_per_record = Micros(2);
+  double map_scan_bandwidth = 500.0 * 1024 * 1024;  // input bytes/second
+  Duration reduce_cpu_per_record = Micros(2);
+
+  int max_attempts = 4;
+  // Delay scheduling (the locality technique the paper's production
+  // clusters run): a map task waits up to this long for a slot on the
+  // node holding its DFS block before accepting any free slot elsewhere
+  // (paying a remote block read). 0 disables relaxation: tasks always
+  // run data-local.
+  Duration locality_wait = Seconds(5.0);
+  // Cooperative cancellation: when *cancel becomes true, unstarted tasks
+  // are skipped and running ones abort at their next checkpoint (used to
+  // stop the background contention job once the measured job finishes).
+  std::shared_ptr<bool> cancel;
+};
+
+struct TaskStats {
+  size_t node = 0;
+  Duration runtime = 0;
+  uint64_t input_bytes = 0;
+  uint64_t input_records = 0;
+  SpillStats spill;
+  int attempts = 1;
+  bool completed = true;   // false: cancelled
+  bool data_local = true;  // map ran on the node holding its block
+};
+
+struct JobResult {
+  Duration runtime = 0;
+  std::vector<TaskStats> map_tasks;
+  std::vector<TaskStats> reduce_tasks;
+  std::vector<Record> output;
+
+  // The longest-running reduce task (the straggler whose runtime dominates
+  // the job, per section 4.2.3). Null for map-only jobs.
+  const TaskStats* straggler() const;
+};
+
+}  // namespace spongefiles::mapred
+
+#endif  // SPONGEFILES_MAPRED_JOB_H_

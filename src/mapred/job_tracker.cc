@@ -1,0 +1,243 @@
+#include "mapred/job_tracker.h"
+
+#include "mapred/reduce_task.h"
+
+namespace spongefiles::mapred {
+
+JobTracker::JobTracker(sponge::SpongeEnv* env, cluster::Dfs* dfs)
+    : env_(env), dfs_(dfs) {
+  for (size_t i = 0; i < env->cluster()->size(); ++i) {
+    const auto& node_config = env->cluster()->node(i).config();
+    free_map_slots_.push_back(node_config.map_slots);
+    pending_local_.emplace_back();
+    reduce_slots_.push_back(std::make_unique<sim::Semaphore>(
+        env->engine(), node_config.reduce_slots));
+  }
+}
+
+void JobTracker::AssignMap(PendingMap* task, size_t node) {
+  task->done = true;
+  task->node = node;
+  --free_map_slots_[node];
+  task->assigned->Set();
+}
+
+void JobTracker::ReleaseMapSlot(size_t node) {
+  ++free_map_slots_[node];
+  // Oldest data-local waiter first.
+  while (!pending_local_[node].empty()) {
+    std::shared_ptr<PendingMap> task = pending_local_[node].front();
+    pending_local_[node].pop_front();
+    if (task->done) continue;  // assigned elsewhere already
+    AssignMap(task.get(), node);
+    return;
+  }
+  // Then anyone whose locality wait already expired.
+  while (!relaxed_.empty()) {
+    std::shared_ptr<PendingMap> task = relaxed_.front();
+    relaxed_.pop_front();
+    if (task->done) continue;
+    AssignMap(task.get(), node);
+    return;
+  }
+}
+
+sim::Task<> JobTracker::DeadlineWake(std::shared_ptr<PendingMap> task) {
+  if (task->done) co_return;
+  // Past the locality wait: take any free slot now, or join the relaxed
+  // queue so the next freed slot anywhere picks this task up.
+  for (size_t node = 0; node < free_map_slots_.size(); ++node) {
+    if (free_map_slots_[node] > 0) {
+      AssignMap(task.get(), node);
+      co_return;
+    }
+  }
+  relaxed_.push_back(std::move(task));
+}
+
+sim::Task<> JobTracker::AcquireMapSlot(std::shared_ptr<PendingMap> task,
+                                       Duration locality_wait) {
+  if (free_map_slots_[task->preferred] > 0) {
+    AssignMap(task.get(), task->preferred);
+    co_return;
+  }
+  pending_local_[task->preferred].push_back(task);
+  if (locality_wait > 0) {
+    auto wake = [](JobTracker* tracker,
+                   std::shared_ptr<PendingMap> task) -> sim::Task<> {
+      co_await tracker->DeadlineWake(std::move(task));
+    };
+    env_->engine()->SpawnAt(env_->engine()->now() + locality_wait,
+                            wake(this, task));
+  }
+  co_await task->assigned->Wait();
+}
+
+void JobTracker::PinReduce(size_t partition, size_t node) {
+  reduce_pins_.push_back({partition, node});
+}
+
+size_t JobTracker::MapNodeFor(const InputSplit& split) const {
+  auto location = dfs_->BlockLocation(split.dfs_file, split.offset);
+  if (location.ok()) return *location;
+  // Non-DFS input: spread round-robin.
+  return const_cast<JobTracker*>(this)->next_map_node_++ %
+         env_->cluster()->size();
+}
+
+size_t JobTracker::ReduceNodeFor(size_t partition) const {
+  for (const auto& [pinned_partition, node] : reduce_pins_) {
+    if (pinned_partition == partition) return node;
+  }
+  return partition % env_->cluster()->size();
+}
+
+sim::Task<> JobTracker::RunOneMap(const JobConfig* config,
+                                  const InputSplit* split, int index,
+                                  MapOutput* output, TaskStats* stats,
+                                  Status* job_status, sim::WaitGroup* wg) {
+  size_t preferred = MapNodeFor(*split);
+  if (config->cancel && *config->cancel) {
+    stats->completed = false;
+    wg->Done();
+    co_return;
+  }
+  // Delay scheduling: hold out for a data-local slot for up to
+  // locality_wait, then take any free slot (the split is then fetched
+  // over the network, which the DFS read path charges automatically).
+  auto pending = std::make_shared<PendingMap>();
+  pending->preferred = preferred;
+  pending->assigned = std::make_unique<sim::Event>(env_->engine());
+  co_await AcquireMapSlot(pending, config->locality_wait);
+  size_t node = pending->node;
+  stats->node = node;
+  stats->data_local = node == preferred;
+  Status last;
+  for (int attempt = 1; attempt <= config->max_attempts; ++attempt) {
+    if (config->cancel && *config->cancel) {
+      stats->completed = false;
+      break;
+    }
+    MapTask map_task(env_, dfs_, config, split, node, index);
+    MapOutput attempt_output;
+    TaskStats attempt_stats;
+    attempt_stats.attempts = attempt;
+    last = co_await map_task.Run(&attempt_output, &attempt_stats);
+    if (last.ok()) {
+      *output = std::move(attempt_output);
+      *stats = std::move(attempt_stats);
+      break;
+    }
+    if (last.code() == StatusCode::kAborted && config->cancel &&
+        *config->cancel) {
+      stats->completed = false;
+      last = Status::OK();
+      break;
+    }
+  }
+  if (!last.ok() && job_status->ok()) *job_status = last;
+  ReleaseMapSlot(node);
+  wg->Done();
+}
+
+sim::Task<> JobTracker::RunOneReduce(const JobConfig* config,
+                                     std::vector<MapOutput>* outputs,
+                                     size_t partition,
+                                     std::vector<Record>* job_output,
+                                     TaskStats* stats, Status* job_status,
+                                     sim::WaitGroup* wg) {
+  size_t node = ReduceNodeFor(partition);
+  stats->node = node;
+  if (config->cancel && *config->cancel) {
+    stats->completed = false;
+    wg->Done();
+    co_return;
+  }
+  co_await reduce_slots_[node]->Acquire();
+  Status last;
+  for (int attempt = 1; attempt <= config->max_attempts; ++attempt) {
+    if (config->cancel && *config->cancel) {
+      stats->completed = false;
+      break;
+    }
+    if (attempt > 1) {
+      // Re-shuffle: rewind the surviving map-side copies.
+      for (MapOutput& output : *outputs) {
+        if (output.partitions.size() > partition &&
+            output.partitions[partition] != nullptr) {
+          (void)output.partitions[partition]->Rewind();
+        }
+      }
+    }
+    ReduceTask reduce_task(env_, config, outputs, partition, node);
+    TaskStats attempt_stats;
+    attempt_stats.attempts = attempt;
+    std::vector<Record> attempt_output;
+    last = co_await reduce_task.Run(&attempt_output, &attempt_stats);
+    if (last.ok()) {
+      *stats = std::move(attempt_stats);
+      job_output->insert(job_output->end(),
+                         std::make_move_iterator(attempt_output.begin()),
+                         std::make_move_iterator(attempt_output.end()));
+      break;
+    }
+    if (last.code() == StatusCode::kAborted && config->cancel &&
+        *config->cancel) {
+      stats->completed = false;
+      last = Status::OK();
+      break;
+    }
+  }
+  if (!last.ok() && job_status->ok()) *job_status = last;
+  reduce_slots_[node]->Release();
+  wg->Done();
+}
+
+sim::Task<Result<JobResult>> JobTracker::Run(JobConfig config) {
+  sim::Engine* engine = env_->engine();
+  SimTime start = engine->now();
+  JobResult result;
+  Status job_status;
+
+  if (config.input == nullptr) co_return InvalidArgument("job needs input");
+  std::vector<InputSplit> splits = config.input->Splits();
+  std::vector<MapOutput> map_outputs(splits.size());
+  result.map_tasks.resize(splits.size());
+
+  sim::WaitGroup map_wg(engine);
+  map_wg.Add(static_cast<int64_t>(splits.size()));
+  for (size_t i = 0; i < splits.size(); ++i) {
+    engine->Spawn(RunOneMap(&config, &splits[i], static_cast<int>(i),
+                            &map_outputs[i], &result.map_tasks[i],
+                            &job_status, &map_wg));
+  }
+  co_await map_wg.Wait();
+  if (!job_status.ok()) co_return job_status;
+
+  if (config.reducer_factory) {
+    result.reduce_tasks.resize(static_cast<size_t>(config.num_reducers));
+    sim::WaitGroup reduce_wg(engine);
+    reduce_wg.Add(config.num_reducers);
+    for (int p = 0; p < config.num_reducers; ++p) {
+      engine->Spawn(RunOneReduce(&config, &map_outputs,
+                                 static_cast<size_t>(p), &result.output,
+                                 &result.reduce_tasks[static_cast<size_t>(p)],
+                                 &job_status, &reduce_wg));
+    }
+    co_await reduce_wg.Wait();
+    if (!job_status.ok()) co_return job_status;
+  }
+
+  // Job finished: the framework cleans up the map outputs (and with them
+  // any on-disk spill directories, per section 3.1.3).
+  for (MapOutput& output : map_outputs) {
+    for (auto& partition : output.partitions) {
+      if (partition != nullptr) co_await partition->Delete();
+    }
+  }
+
+  result.runtime = engine->now() - start;
+  co_return result;
+}
+
+}  // namespace spongefiles::mapred

@@ -1,0 +1,87 @@
+#ifndef SPONGEFILES_MAPRED_JOB_TRACKER_H_
+#define SPONGEFILES_MAPRED_JOB_TRACKER_H_
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cluster/dfs.h"
+#include "mapred/job.h"
+#include "mapred/map_task.h"
+#include "sim/sync.h"
+#include "sponge/sponge_env.h"
+
+namespace spongefiles::mapred {
+
+// The cluster's job scheduler: one instance per cluster, shared by every
+// concurrently running job (the slot pools are the shared resource — a
+// background job's tasks soak up whatever map slots the measured job
+// leaves free, exactly the paper's multi-tenant setup).
+//
+// Scheduling model: delay scheduling for maps (the locality technique the
+// paper's production clusters run): a map waits up to its job's
+// locality_wait for a slot on the node holding its DFS block, then takes
+// any free slot and reads the block remotely. Reduce tasks are placed
+// round-robin unless the job pins them. Failed tasks are retried up to
+// max_attempts, which is how the framework recovers a task whose
+// SpongeFile chunk was lost to a machine failure (section 3.1).
+class JobTracker {
+ public:
+  JobTracker(sponge::SpongeEnv* env, cluster::Dfs* dfs);
+
+  JobTracker(const JobTracker&) = delete;
+  JobTracker& operator=(const JobTracker&) = delete;
+
+  // Runs a job to completion (or first unrecoverable task failure).
+  // Multiple jobs may run concurrently from separate coroutines.
+  sim::Task<Result<JobResult>> Run(JobConfig config);
+
+  // Pins a job's reduce task for `partition` to a node (benches use this
+  // to place the straggling reduce deterministically). Applies to the next
+  // Run call.
+  void PinReduce(size_t partition, size_t node);
+
+ private:
+  // A map task waiting for a slot. Event-driven (no polling): the task is
+  // assigned when (a) a slot frees on its preferred node, (b) its
+  // locality deadline fires with a free slot somewhere, or (c) a slot
+  // frees anywhere after the deadline moved it to the relaxed queue.
+  struct PendingMap {
+    size_t preferred = 0;
+    std::unique_ptr<sim::Event> assigned;
+    size_t node = 0;
+    bool done = false;
+  };
+
+  sim::Task<> RunOneMap(const JobConfig* config, const InputSplit* split,
+                        int index, MapOutput* output, TaskStats* stats,
+                        Status* job_status, sim::WaitGroup* wg);
+  sim::Task<> RunOneReduce(const JobConfig* config,
+                           std::vector<MapOutput>* outputs, size_t partition,
+                           std::vector<Record>* job_output, TaskStats* stats,
+                           Status* job_status, sim::WaitGroup* wg);
+
+  size_t MapNodeFor(const InputSplit& split) const;
+  size_t ReduceNodeFor(size_t partition) const;
+
+  // Acquires a map slot for `task` honoring delay scheduling; resolves
+  // task->node.
+  sim::Task<> AcquireMapSlot(std::shared_ptr<PendingMap> task,
+                             Duration locality_wait);
+  void ReleaseMapSlot(size_t node);
+  void AssignMap(PendingMap* task, size_t node);
+  sim::Task<> DeadlineWake(std::shared_ptr<PendingMap> task);
+
+  sponge::SpongeEnv* env_;
+  cluster::Dfs* dfs_;
+  std::vector<int> free_map_slots_;
+  std::vector<std::deque<std::shared_ptr<PendingMap>>> pending_local_;
+  std::deque<std::shared_ptr<PendingMap>> relaxed_;
+  std::vector<std::unique_ptr<sim::Semaphore>> reduce_slots_;
+  std::vector<std::pair<size_t, size_t>> reduce_pins_;
+  size_t next_map_node_ = 0;
+};
+
+}  // namespace spongefiles::mapred
+
+#endif  // SPONGEFILES_MAPRED_JOB_TRACKER_H_

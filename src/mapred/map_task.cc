@@ -1,0 +1,157 @@
+#include "mapred/map_task.h"
+
+#include <algorithm>
+
+namespace spongefiles::mapred {
+
+namespace {
+constexpr uint64_t kScanUnit = 4ull * 1024 * 1024;  // DFS read granularity
+
+size_t DefaultPartition(const Record& record, int num_reducers) {
+  uint64_t h = 14695981039346656037ull;
+  for (char c : record.key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return static_cast<size_t>(h % static_cast<uint64_t>(num_reducers));
+}
+}  // namespace
+
+MapTask::MapTask(sponge::SpongeEnv* env, cluster::Dfs* dfs,
+                 const JobConfig* config, const InputSplit* split,
+                 size_t node, int task_index)
+    : env_(env),
+      dfs_(dfs),
+      config_(config),
+      split_(split),
+      node_(node),
+      task_index_(task_index) {
+  buffer_.resize(static_cast<size_t>(config->num_reducers));
+  spilled_.resize(static_cast<size_t>(config->num_reducers));
+  partition_records_.resize(static_cast<size_t>(config->num_reducers), 0);
+  spiller_ = std::make_unique<DiskSpiller>(
+      env->engine(), &env->cluster()->node(node).fs(),
+      config->name + ".map" + std::to_string(task_index));
+}
+
+size_t MapTask::PartitionOf(const Record& record) const {
+  if (config_->partitioner) {
+    return config_->partitioner(record, config_->num_reducers);
+  }
+  return DefaultPartition(record, config_->num_reducers);
+}
+
+sim::Task<Status> MapTask::SortAndSpill() {
+  ++spill_count_;
+  for (size_t p = 0; p < buffer_.size(); ++p) {
+    if (buffer_[p].empty()) continue;
+    std::sort(buffer_[p].begin(), buffer_[p].end(),
+              [](const Record& a, const Record& b) { return a.key < b.key; });
+    VectorSource source(std::move(buffer_[p]));
+    buffer_[p] = {};
+    auto run = co_await WriteSortedRun(
+        spiller_.get(),
+        "spill" + std::to_string(spill_count_) + ".p" + std::to_string(p),
+        &source);
+    if (!run.ok()) co_return run.status();
+    spilled_[p].push_back(std::move(*run));
+  }
+  buffer_bytes_ = 0;
+  co_return Status::OK();
+}
+
+sim::Task<Status> MapTask::Run(MapOutput* output, TaskStats* stats) {
+  sim::Engine* engine = env_->engine();
+  CpuMeter cpu(engine);
+  sponge::TaskContext task = env_->StartTask(node_);
+  stats->node = node_;
+  SimTime start = engine->now();
+
+  // Stream the split off the DFS, charging scan CPU as we go.
+  for (uint64_t off = 0; off < split_->bytes; off += kScanUnit) {
+    if (config_->cancel && *config_->cancel) {
+      env_->EndTask(task);
+      stats->completed = false;
+      co_return Aborted("job cancelled");
+    }
+    uint64_t n = std::min<uint64_t>(kScanUnit, split_->bytes - off);
+    Status read = co_await dfs_->Read(split_->dfs_file, node_,
+                                      split_->offset + off, n);
+    if (!read.ok()) {
+      env_->EndTask(task);
+      co_return read;
+    }
+    co_await cpu.Charge(TransferTime(n, config_->map_scan_bandwidth));
+  }
+  stats->input_bytes = split_->bytes;
+
+  // Apply the map function and fill the sort buffer.
+  std::vector<Record> records =
+      split_->generate ? split_->generate() : std::vector<Record>{};
+  stats->input_records = records.size();
+  std::vector<Record> mapped;
+  for (Record& record : records) {
+    co_await cpu.Charge(config_->map_cpu_per_record);
+    mapped.clear();
+    if (config_->map_fn) {
+      config_->map_fn(record, &mapped);
+    } else {
+      mapped.push_back(record);
+    }
+    for (Record& out : mapped) {
+      uint64_t bytes = SerializedSize(out);
+      size_t partition = PartitionOf(out);
+      ++partition_records_[partition];
+      buffer_[partition].push_back(std::move(out));
+      buffer_bytes_ += bytes;
+      if (buffer_bytes_ >= config_->io_sort_mb) {
+        Status spilled = co_await SortAndSpill();
+        if (!spilled.ok()) {
+          env_->EndTask(task);
+          co_return spilled;
+        }
+      }
+    }
+  }
+  if (buffer_bytes_ > 0) {
+    Status spilled = co_await SortAndSpill();
+    if (!spilled.ok()) {
+      env_->EndTask(task);
+      co_return spilled;
+    }
+  }
+
+  // Merge this task's spills into one sorted run per partition.
+  output->node = node_;
+  output->partitions.resize(spilled_.size());
+  output->partition_records = partition_records_;
+  for (size_t p = 0; p < spilled_.size(); ++p) {
+    if (spilled_[p].empty()) continue;
+    if (spilled_[p].size() == 1) {
+      output->partitions[p] = std::move(spilled_[p][0]);
+      continue;
+    }
+    std::vector<std::unique_ptr<RecordSource>> inputs;
+    for (auto& file : spilled_[p]) {
+      inputs.push_back(std::make_unique<SpillFileSource>(std::move(file)));
+    }
+    MergeStream merge(std::move(inputs));
+    auto merged = co_await WriteSortedRun(
+        spiller_.get(), "out.p" + std::to_string(p), &merge);
+    co_await merge.Done();
+    if (!merged.ok()) {
+      env_->EndTask(task);
+      co_return merged.status();
+    }
+    output->partitions[p] = std::move(*merged);
+  }
+
+  co_await cpu.Flush();
+  stats->spill = spiller_->stats();
+  stats->runtime = engine->now() - start;
+  output->spiller = std::move(spiller_);
+  env_->EndTask(task);
+  co_return Status::OK();
+}
+
+}  // namespace spongefiles::mapred

@@ -1,0 +1,66 @@
+#ifndef SPONGEFILES_MAPRED_MAP_TASK_H_
+#define SPONGEFILES_MAPRED_MAP_TASK_H_
+
+#include <memory>
+#include <vector>
+
+#include "cluster/dfs.h"
+#include "mapred/job.h"
+#include "mapred/merger.h"
+#include "mapred/spill.h"
+#include "sponge/sponge_env.h"
+
+namespace spongefiles::mapred {
+
+// The sorted, partitioned output of one completed map task, left on the
+// map node's local disk for reduce tasks to fetch (stock Hadoop behaviour;
+// the paper's modification is on the reduce side).
+struct MapOutput {
+  size_t node = 0;
+  // One sorted run per reduce partition; null when the partition is empty.
+  std::vector<std::unique_ptr<SpillFile>> partitions;
+  std::vector<uint64_t> partition_records;
+  // Keeps the spill-stats storage the partition files point into alive.
+  std::unique_ptr<DiskSpiller> spiller;
+};
+
+// Runs one map task on `node`: streams the split from the DFS, applies
+// the map function, sorts output in the io.sort.mb buffer (spilling full
+// buffers to local disk, section 2.1.2), and merges the spills into the
+// final partitioned output.
+class MapTask {
+ public:
+  MapTask(sponge::SpongeEnv* env, cluster::Dfs* dfs, const JobConfig* config,
+          const InputSplit* split, size_t node, int task_index);
+
+  // Executes the task. On success the output is registered in `*output`.
+  sim::Task<Status> Run(MapOutput* output, TaskStats* stats);
+
+ private:
+  size_t PartitionOf(const Record& record) const;
+
+  // Sorts the buffer by (partition, key) and spills one sorted run per
+  // non-empty partition to local disk.
+  sim::Task<Status> SortAndSpill();
+
+  sponge::SpongeEnv* env_;
+  cluster::Dfs* dfs_;
+  const JobConfig* config_;
+  const InputSplit* split_;
+  size_t node_;
+  int task_index_;
+
+  // Sort buffer: records per partition plus total logical bytes.
+  std::vector<std::vector<Record>> buffer_;
+  uint64_t buffer_bytes_ = 0;
+
+  // Spilled sorted runs, per partition, across spills.
+  std::vector<std::vector<std::unique_ptr<SpillFile>>> spilled_;
+  std::vector<uint64_t> partition_records_;
+  std::unique_ptr<DiskSpiller> spiller_;
+  int spill_count_ = 0;
+};
+
+}  // namespace spongefiles::mapred
+
+#endif  // SPONGEFILES_MAPRED_MAP_TASK_H_

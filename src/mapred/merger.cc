@@ -1,0 +1,111 @@
+#include "mapred/merger.h"
+
+#include <algorithm>
+
+namespace spongefiles::mapred {
+
+sim::Task<Result<bool>> SpillFileSource::Next(Record* out) {
+  if (exhausted_ && parser_.pending_bytes() == 0) co_return false;
+  while (!parser_.Next(out)) {
+    if (exhausted_) {
+      if (parser_.pending_bytes() != 0) {
+        co_return Internal("truncated record at end of spill file");
+      }
+      co_return false;
+    }
+    auto chunk = co_await file_->ReadNext();
+    if (!chunk.ok()) co_return chunk.status();
+    if (chunk->empty()) {
+      exhausted_ = true;
+    } else {
+      parser_.Feed(*chunk);
+    }
+  }
+  co_return true;
+}
+
+sim::Task<> SpillFileSource::Done() { co_await file_->Delete(); }
+
+sim::Task<Result<bool>> VectorSource::Next(Record* out) {
+  if (next_ >= records_.size()) co_return false;
+  *out = std::move(records_[next_++]);
+  co_return true;
+}
+
+sim::Task<> VectorSource::Done() {
+  records_.clear();
+  co_return;
+}
+
+namespace {
+bool HeadLess(const MergeStream::Head& a, const MergeStream::Head& b) {
+  return a.record.key < b.record.key;
+}
+}  // namespace
+
+sim::Task<Status> MergeStream::Prime() {
+  for (size_t i = 0; i < inputs_.size(); ++i) {
+    Record record;
+    auto has = co_await inputs_[i]->Next(&record);
+    if (!has.ok()) co_return has.status();
+    if (*has) heap_.push_back(Head{std::move(record), i});
+  }
+  std::make_heap(heap_.begin(), heap_.end(),
+                 [](const Head& a, const Head& b) { return HeadLess(b, a); });
+  primed_ = true;
+  co_return Status::OK();
+}
+
+sim::Task<Result<bool>> MergeStream::Next(Record* out) {
+  if (!primed_) {
+    Status primed = co_await Prime();
+    if (!primed.ok()) co_return primed;
+  }
+  if (heap_.empty()) co_return false;
+  auto cmp = [](const Head& a, const Head& b) { return HeadLess(b, a); };
+  std::pop_heap(heap_.begin(), heap_.end(), cmp);
+  Head head = std::move(heap_.back());
+  heap_.pop_back();
+  *out = std::move(head.record);
+  Record refill;
+  auto has = co_await inputs_[head.input]->Next(&refill);
+  if (!has.ok()) co_return has.status();
+  if (*has) {
+    heap_.push_back(Head{std::move(refill), head.input});
+    std::push_heap(heap_.begin(), heap_.end(), cmp);
+  }
+  co_return true;
+}
+
+sim::Task<> MergeStream::Done() {
+  for (auto& input : inputs_) co_await input->Done();
+}
+
+sim::Task<Result<std::unique_ptr<SpillFile>>> WriteSortedRun(
+    Spiller* spiller, const std::string& name, RecordSource* source) {
+  auto created = spiller->Create(name);
+  if (!created.ok()) co_return created.status();
+  std::unique_ptr<SpillFile> file = std::move(*created);
+  ByteRuns pending;
+  Record record;
+  while (true) {
+    auto has = co_await source->Next(&record);
+    if (!has.ok()) co_return has.status();
+    if (!*has) break;
+    SerializeRecord(record, &pending);
+    if (pending.size() >= kMiB) {
+      Status appended = co_await file->Append(std::move(pending));
+      if (!appended.ok()) co_return appended;
+      pending = ByteRuns{};
+    }
+  }
+  if (!pending.empty()) {
+    Status appended = co_await file->Append(std::move(pending));
+    if (!appended.ok()) co_return appended;
+  }
+  Status closed = co_await file->Close();
+  if (!closed.ok()) co_return closed;
+  co_return file;
+}
+
+}  // namespace spongefiles::mapred

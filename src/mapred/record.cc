@@ -1,0 +1,124 @@
+#include "mapred/record.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+
+namespace spongefiles::mapred {
+
+namespace {
+
+// Wire format (little endian):
+//   u32 header_len   (bytes of header, including this field)
+//   u64 total_len    (header_len + filler)
+//   u16 key_len, key bytes
+//   f64 number
+//   u16 nfields, then per field: u32 len, bytes
+// followed by (total_len - header_len) zero bytes of filler.
+
+template <typename T>
+void PutRaw(std::string* out, T value) {
+  char buf[sizeof(T)];
+  std::memcpy(buf, &value, sizeof(T));
+  out->append(buf, sizeof(T));
+}
+
+template <typename T>
+T GetRaw(const uint8_t* p) {
+  T value;
+  std::memcpy(&value, p, sizeof(T));
+  return value;
+}
+
+std::string BuildHeader(const Record& record) {
+  std::string header;
+  header.reserve(32 + record.key.size());
+  PutRaw<uint32_t>(&header, 0);  // patched below
+  PutRaw<uint64_t>(&header, 0);  // patched below
+  SPONGE_CHECK(record.key.size() <= 0xffff) << "key too long";
+  PutRaw<uint16_t>(&header, static_cast<uint16_t>(record.key.size()));
+  header.append(record.key);
+  PutRaw<double>(&header, record.number);
+  SPONGE_CHECK(record.fields.size() <= 0xffff) << "too many fields";
+  PutRaw<uint16_t>(&header, static_cast<uint16_t>(record.fields.size()));
+  for (const std::string& field : record.fields) {
+    PutRaw<uint32_t>(&header, static_cast<uint32_t>(field.size()));
+    header.append(field);
+  }
+  uint32_t header_len = static_cast<uint32_t>(header.size());
+  uint64_t total_len = std::max<uint64_t>(record.size, header_len);
+  std::memcpy(header.data(), &header_len, sizeof(header_len));
+  std::memcpy(header.data() + sizeof(header_len), &total_len,
+              sizeof(total_len));
+  return header;
+}
+
+}  // namespace
+
+uint64_t RecordHeaderSize(const Record& record) {
+  uint64_t n = 4 + 8 + 2 + record.key.size() + 8 + 2;
+  for (const std::string& field : record.fields) n += 4 + field.size();
+  return n;
+}
+
+uint64_t SerializedSize(const Record& record) {
+  return std::max<uint64_t>(record.size, RecordHeaderSize(record));
+}
+
+void SerializeRecord(const Record& record, ByteRuns* out) {
+  std::string header = BuildHeader(record);
+  uint64_t total_len;
+  std::memcpy(&total_len, header.data() + 4, sizeof(total_len));
+  out->AppendLiteral(Slice(header));
+  out->AppendZeros(total_len - header.size());
+}
+
+void RecordParser::Feed(const ByteRuns& chunk) {
+  Compact();
+  size_t old = buffer_.size();
+  buffer_.resize(old + chunk.size());
+  if (chunk.size() > 0) chunk.Read(0, chunk.size(), buffer_.data() + old);
+}
+
+void RecordParser::Compact() {
+  if (consumed_ == 0) return;
+  buffer_.erase(buffer_.begin(),
+                buffer_.begin() + static_cast<long>(consumed_));
+  consumed_ = 0;
+}
+
+bool RecordParser::Next(Record* out) {
+  const size_t available = buffer_.size() - consumed_;
+  if (available < 12) return false;
+  const uint8_t* p = buffer_.data() + consumed_;
+  uint32_t header_len = GetRaw<uint32_t>(p);
+  uint64_t total_len = GetRaw<uint64_t>(p + 4);
+  SPONGE_CHECK(header_len >= 24 && total_len >= header_len)
+      << "corrupt record header";
+  if (available < total_len) return false;
+
+  const uint8_t* cursor = p + 12;
+  uint16_t key_len = GetRaw<uint16_t>(cursor);
+  cursor += 2;
+  out->key.assign(reinterpret_cast<const char*>(cursor), key_len);
+  cursor += key_len;
+  out->number = GetRaw<double>(cursor);
+  cursor += 8;
+  uint16_t nfields = GetRaw<uint16_t>(cursor);
+  cursor += 2;
+  out->fields.clear();
+  out->fields.reserve(nfields);
+  for (uint16_t i = 0; i < nfields; ++i) {
+    uint32_t len = GetRaw<uint32_t>(cursor);
+    cursor += 4;
+    out->fields.emplace_back(reinterpret_cast<const char*>(cursor), len);
+    cursor += len;
+  }
+  SPONGE_CHECK(static_cast<uint64_t>(cursor - p) == header_len)
+      << "header length mismatch";
+  out->size = total_len;
+  consumed_ += total_len;
+  return true;
+}
+
+}  // namespace spongefiles::mapred

@@ -1,0 +1,215 @@
+#include "mapred/reduce_task.h"
+
+#include <algorithm>
+
+namespace spongefiles::mapred {
+
+ReduceTask::ReduceTask(sponge::SpongeEnv* env, const JobConfig* config,
+                       std::vector<MapOutput>* map_outputs, size_t partition,
+                       size_t node)
+    : env_(env),
+      config_(config),
+      map_outputs_(map_outputs),
+      partition_(partition),
+      node_(node) {}
+
+uint64_t ReduceTask::ReduceHeap() const {
+  if (config_->reduce_heap_bytes > 0) return config_->reduce_heap_bytes;
+  return env_->cluster()->node(node_).config().heap_per_slot;
+}
+
+std::unique_ptr<Spiller> ReduceTask::MakeSpiller() {
+  std::string prefix =
+      config_->name + ".reduce" + std::to_string(partition_);
+  if (config_->spill_mode == SpillMode::kSponge) {
+    return std::make_unique<SpongeSpiller>(env_, &task_, prefix);
+  }
+  return std::make_unique<DiskSpiller>(env_->engine(),
+                                       &env_->cluster()->node(node_).fs(),
+                                       prefix);
+}
+
+sim::Task<Status> ReduceTask::SpillMemorySegments() {
+  if (memory_segments_.empty()) co_return Status::OK();
+  std::unique_ptr<SpillFile> run;
+  if (memory_segments_.size() == 1) {
+    // A single segment is already a sorted run; stream it out directly.
+    SpillFileSource source(std::move(memory_segments_[0]));
+    auto written = co_await WriteSortedRun(
+        spiller_.get(), "run" + std::to_string(next_run_++), &source);
+    co_await source.Done();
+    if (!written.ok()) co_return written.status();
+    run = std::move(*written);
+  } else {
+    std::vector<std::unique_ptr<RecordSource>> inputs;
+    for (auto& segment : memory_segments_) {
+      inputs.push_back(
+          std::make_unique<SpillFileSource>(std::move(segment)));
+    }
+    MergeStream merge(std::move(inputs));
+    auto written = co_await WriteSortedRun(
+        spiller_.get(), "run" + std::to_string(next_run_++), &merge);
+    co_await merge.Done();
+    if (!written.ok()) co_return written.status();
+    run = std::move(*written);
+  }
+  memory_segments_.clear();
+  memory_bytes_ = 0;
+  spilled_segments_.push_back(std::move(run));
+  co_return Status::OK();
+}
+
+sim::Task<Status> ReduceTask::FetchSegment(MapOutput* output) {
+  SpillFile* source = output->partitions[partition_].get();
+  if (source == nullptr || source->size() == 0) co_return Status::OK();
+
+  uint64_t heap = ReduceHeap();
+  uint64_t shuffle_buffer = static_cast<uint64_t>(
+      config_->shuffle_buffer_fraction * static_cast<double>(heap));
+  if (memory_bytes_ + source->size() > shuffle_buffer) {
+    CO_RETURN_IF_ERROR(co_await SpillMemorySegments());
+  }
+
+  auto segment = std::make_unique<MemorySpillFile>(env_->engine());
+  while (true) {
+    auto chunk = co_await source->ReadNext();
+    if (!chunk.ok()) co_return chunk.status();
+    if (chunk->empty()) break;
+    uint64_t n = chunk->size();
+    if (output->node != node_) {
+      co_await env_->cluster()->network().Transfer(output->node, node_, n);
+    }
+    CO_RETURN_IF_ERROR(co_await segment->Append(std::move(*chunk)));
+    if (task_.killed) co_return Aborted("task killed");
+  }
+  CO_RETURN_IF_ERROR(co_await segment->Close());
+  memory_bytes_ += segment->size();
+  memory_segments_.push_back(std::move(segment));
+  // The map-side copy is kept until the job ends so a retried reduce can
+  // re-shuffle it (JobTracker deletes map outputs on job completion).
+  co_return Status::OK();
+}
+
+sim::Task<Status> ReduceTask::IntermediateMergeRounds() {
+  size_t factor = spiller_->merge_factor();
+  while (spilled_segments_.size() > factor) {
+    // Merge the `factor` smallest segments (Hadoop's polyphase heuristic)
+    // into a new run.
+    std::sort(spilled_segments_.begin(), spilled_segments_.end(),
+              [](const std::unique_ptr<SpillFile>& a,
+                 const std::unique_ptr<SpillFile>& b) {
+                return a->size() < b->size();
+              });
+    std::vector<std::unique_ptr<RecordSource>> inputs;
+    for (size_t i = 0; i < factor; ++i) {
+      inputs.push_back(std::make_unique<SpillFileSource>(
+          std::move(spilled_segments_[i])));
+    }
+    spilled_segments_.erase(spilled_segments_.begin(),
+                            spilled_segments_.begin() +
+                                static_cast<long>(factor));
+    MergeStream merge(std::move(inputs));
+    auto written = co_await WriteSortedRun(
+        spiller_.get(), "merge" + std::to_string(next_run_++), &merge);
+    co_await merge.Done();
+    if (!written.ok()) co_return written.status();
+    spilled_segments_.push_back(std::move(*written));
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Status> ReduceTask::DriveReducer(RecordSource* stream,
+                                           std::vector<Record>* job_output,
+                                           TaskStats* stats) {
+  CpuMeter cpu(env_->engine());
+  ReduceContext ctx;
+  ctx.engine = env_->engine();
+  ctx.spiller = spiller_.get();
+  ctx.task = &task_;
+  ctx.cpu = &cpu;
+  ctx.output = job_output;
+  ctx.heap_bytes = ReduceHeap();
+  CO_RETURN_IF_ERROR(co_await reducer_->Start(&ctx));
+
+  bool in_key = false;
+  std::string current_key;
+  Record record;
+  while (true) {
+    auto has = co_await stream->Next(&record);
+    if (!has.ok()) co_return has.status();
+    if (!*has) break;
+    if (task_.killed) co_return Aborted("task killed");
+    ++stats->input_records;
+    stats->input_bytes += SerializedSize(record);
+    if (!in_key || record.key != current_key) {
+      if (in_key) CO_RETURN_IF_ERROR(co_await reducer_->FinishKey());
+      current_key = record.key;
+      in_key = true;
+      CO_RETURN_IF_ERROR(co_await reducer_->StartKey(current_key));
+    }
+    co_await cpu.Charge(config_->reduce_cpu_per_record);
+    CO_RETURN_IF_ERROR(co_await reducer_->AddValue(std::move(record)));
+  }
+  if (in_key) CO_RETURN_IF_ERROR(co_await reducer_->FinishKey());
+  CO_RETURN_IF_ERROR(co_await reducer_->Finish());
+  co_await cpu.Flush();
+  co_return Status::OK();
+}
+
+sim::Task<Status> ReduceTask::Run(std::vector<Record>* job_output,
+                                  TaskStats* stats) {
+  sim::Engine* engine = env_->engine();
+  SimTime start = engine->now();
+  task_ = env_->StartTask(node_);
+  stats->node = node_;
+  spiller_ = MakeSpiller();
+  reducer_ = config_->reducer_factory();
+
+  auto finish = [&](Status status) {
+    stats->spill = spiller_->stats();
+    stats->runtime = engine->now() - start;
+    env_->EndTask(task_);
+    return status;
+  };
+
+  // 1. Shuffle.
+  for (MapOutput& output : *map_outputs_) {
+    if (config_->cancel && *config_->cancel) {
+      stats->completed = false;
+      co_return finish(Aborted("job cancelled"));
+    }
+    Status fetched = co_await FetchSegment(&output);
+    if (!fetched.ok()) co_return finish(fetched);
+  }
+
+  // 2. Nothing is retained in memory for the merge by default
+  // (reduce_retain_fraction = 0): spill what the shuffle buffer holds.
+  uint64_t heap = ReduceHeap();
+  uint64_t retain = static_cast<uint64_t>(
+      config_->reduce_retain_fraction * static_cast<double>(heap));
+  if (memory_bytes_ > retain) {
+    Status spilled = co_await SpillMemorySegments();
+    if (!spilled.ok()) co_return finish(spilled);
+  }
+
+  // 3. Multi-round merge while too many runs remain.
+  Status merged = co_await IntermediateMergeRounds();
+  if (!merged.ok()) co_return finish(merged);
+
+  // 4. Final merge streams into the reducer.
+  std::vector<std::unique_ptr<RecordSource>> inputs;
+  for (auto& segment : memory_segments_) {
+    inputs.push_back(std::make_unique<SpillFileSource>(std::move(segment)));
+  }
+  memory_segments_.clear();
+  for (auto& segment : spilled_segments_) {
+    inputs.push_back(std::make_unique<SpillFileSource>(std::move(segment)));
+  }
+  spilled_segments_.clear();
+  MergeStream merge(std::move(inputs));
+  Status reduced = co_await DriveReducer(&merge, job_output, stats);
+  co_await merge.Done();
+  co_return finish(reduced);
+}
+
+}  // namespace spongefiles::mapred

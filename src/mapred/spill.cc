@@ -1,0 +1,186 @@
+#include "mapred/spill.h"
+
+#include <limits>
+
+namespace spongefiles::mapred {
+
+void SpillStats::Add(const SpillStats& other) {
+  bytes_spilled += other.bytes_spilled;
+  files_created += other.files_created;
+  sponge_chunks += other.sponge_chunks;
+  sponge_chunks_local += other.sponge_chunks_local;
+  sponge_chunks_remote += other.sponge_chunks_remote;
+  sponge_chunks_disk += other.sponge_chunks_disk;
+  sponge_chunks_dfs += other.sponge_chunks_dfs;
+  fragmentation_bytes += other.fragmentation_bytes;
+  stale_list_retries += other.stale_list_retries;
+}
+
+namespace {
+
+// Disk-backed spill file: content kept alongside the LocalFs file that
+// provides timing and capacity accounting.
+class DiskSpillFile : public SpillFile {
+ public:
+  DiskSpillFile(cluster::LocalFs* fs, uint64_t file_id, SpillStats* stats)
+      : fs_(fs), file_id_(file_id), stats_(stats) {}
+
+  ~DiskSpillFile() override {
+    if (!deleted_) (void)fs_->Delete(file_id_);
+  }
+
+  sim::Task<Status> Append(ByteRuns data) override {
+    if (closed_) co_return FailedPrecondition("append after close");
+    uint64_t n = data.size();
+    content_.Append(data);
+    size_ += n;
+    stats_->bytes_spilled += n;
+    co_return co_await fs_->Append(file_id_, n);
+  }
+
+  sim::Task<Status> Close() override {
+    closed_ = true;
+    co_return Status::OK();
+  }
+
+  sim::Task<Result<ByteRuns>> ReadNext() override {
+    if (!closed_) co_return FailedPrecondition("read before close");
+    if (read_offset_ >= size_) co_return ByteRuns{};
+    uint64_t n = std::min<uint64_t>(kMiB, size_ - read_offset_);
+    Status read = co_await fs_->Read(file_id_, read_offset_, n);
+    if (!read.ok()) co_return read;
+    ByteRuns piece = content_.SubRange(read_offset_, n);
+    read_offset_ += n;
+    co_return piece;
+  }
+
+  Status Rewind() override {
+    read_offset_ = 0;
+    return Status::OK();
+  }
+
+  sim::Task<> Delete() override {
+    if (!deleted_) {
+      (void)fs_->Delete(file_id_);
+      deleted_ = true;
+      content_.Clear();
+    }
+    co_return;
+  }
+
+  uint64_t size() const override { return size_; }
+
+ private:
+  cluster::LocalFs* fs_;
+  uint64_t file_id_;
+  SpillStats* stats_;
+  ByteRuns content_;
+  uint64_t size_ = 0;
+  uint64_t read_offset_ = 0;
+  bool closed_ = false;
+  bool deleted_ = false;
+};
+
+// SpongeFile-backed spill file.
+class SpongeSpillFile : public SpillFile {
+ public:
+  SpongeSpillFile(sponge::SpongeEnv* env, sponge::TaskContext* task,
+                  const std::string& name, SpillStats* stats)
+      : file_(env, task, name), stats_(stats) {}
+
+  sim::Task<Status> Append(ByteRuns data) override {
+    uint64_t n = data.size();
+    Status status = co_await file_.Append(std::move(data));
+    if (status.ok()) stats_->bytes_spilled += n;
+    co_return status;
+  }
+
+  sim::Task<Status> Close() override {
+    Status status = co_await file_.Close();
+    if (status.ok() && !counted_) {
+      counted_ = true;
+      const auto& s = file_.stats();
+      stats_->sponge_chunks += s.total_chunks();
+      stats_->sponge_chunks_local += s.chunks_local_memory;
+      stats_->sponge_chunks_remote += s.chunks_remote_memory;
+      stats_->sponge_chunks_disk += s.chunks_local_disk;
+      stats_->sponge_chunks_dfs += s.chunks_dfs;
+      stats_->fragmentation_bytes += s.fragmentation_bytes;
+      stats_->stale_list_retries += s.stale_list_retries;
+    }
+    co_return status;
+  }
+
+  sim::Task<Result<ByteRuns>> ReadNext() override {
+    co_return co_await file_.ReadNext();
+  }
+
+  sim::Task<> Delete() override { co_await file_.Delete(); }
+
+  uint64_t size() const override { return file_.size(); }
+
+  const sponge::SpongeFile::Stats* sponge_stats() const override {
+    return &file_.stats();
+  }
+
+ private:
+  sponge::SpongeFile file_;
+  SpillStats* stats_;
+  bool counted_ = false;
+};
+
+}  // namespace
+
+Result<std::unique_ptr<SpillFile>> DiskSpiller::Create(
+    const std::string& name) {
+  auto file_id =
+      fs_->Create(name_prefix_ + "." + name + "." + std::to_string(next_id_++));
+  if (!file_id.ok()) return file_id.status();
+  ++stats_.files_created;
+  return std::unique_ptr<SpillFile>(
+      new DiskSpillFile(fs_, *file_id, &stats_));
+}
+
+Result<std::unique_ptr<SpillFile>> SpongeSpiller::Create(
+    const std::string& name) {
+  ++stats_.files_created;
+  return std::unique_ptr<SpillFile>(new SpongeSpillFile(
+      env_, task_,
+      name_prefix_ + "." + name + "." + std::to_string(next_id_++), &stats_));
+}
+
+sim::Task<Status> MemorySpillFile::Append(ByteRuns data) {
+  if (closed_) co_return FailedPrecondition("append after close");
+  uint64_t n = data.size();
+  content_.Append(data);
+  size_ += n;
+  co_await engine_->Delay(TransferTime(n, memory_bandwidth_));
+  co_return Status::OK();
+}
+
+sim::Task<Status> MemorySpillFile::Close() {
+  closed_ = true;
+  co_return Status::OK();
+}
+
+sim::Task<Result<ByteRuns>> MemorySpillFile::ReadNext() {
+  if (!closed_) co_return FailedPrecondition("read before close");
+  if (read_offset_ >= size_) co_return ByteRuns{};
+  uint64_t n = std::min<uint64_t>(read_unit_, size_ - read_offset_);
+  co_await engine_->Delay(TransferTime(n, memory_bandwidth_));
+  ByteRuns piece = content_.SubRange(read_offset_, n);
+  read_offset_ += n;
+  co_return piece;
+}
+
+Status MemorySpillFile::Rewind() {
+  read_offset_ = 0;
+  return Status::OK();
+}
+
+sim::Task<> MemorySpillFile::Delete() {
+  content_.Clear();
+  co_return;
+}
+
+}  // namespace spongefiles::mapred

@@ -1,0 +1,157 @@
+#ifndef SPONGEFILES_MAPRED_SPILL_H_
+#define SPONGEFILES_MAPRED_SPILL_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "cluster/local_fs.h"
+#include "common/byte_runs.h"
+#include "common/status.h"
+#include "sim/task.h"
+#include "sponge/sponge_env.h"
+#include "sponge/sponge_file.h"
+
+namespace spongefiles::mapred {
+
+// A spill target with SpongeFile semantics: write once sequentially,
+// close, read back once sequentially, delete. The two implementations are
+// the baseline (local disk through the node's buffer cache, stock Hadoop)
+// and SpongeFiles; a third, memory-backed one holds a reduce task's
+// in-memory shuffle segments so the merge machinery can treat every
+// segment uniformly.
+class SpillFile {
+ public:
+  virtual ~SpillFile() = default;
+
+  virtual sim::Task<Status> Append(ByteRuns data) = 0;
+  virtual sim::Task<Status> Close() = 0;
+  // Next sequential piece of the file; empty ByteRuns at EOF.
+  virtual sim::Task<Result<ByteRuns>> ReadNext() = 0;
+  virtual sim::Task<> Delete() = 0;
+
+  // Resets the read cursor so the file can be fetched again (map outputs
+  // survive until the job ends, so a retried reduce can re-shuffle).
+  // SpongeFiles are strictly read-once and do not support this.
+  virtual Status Rewind() {
+    return FailedPrecondition("spill file is read-once");
+  }
+
+  virtual uint64_t size() const = 0;
+  // Placement stats when backed by a SpongeFile, nullptr otherwise.
+  virtual const sponge::SpongeFile::Stats* sponge_stats() const {
+    return nullptr;
+  }
+};
+
+// Where a task's spills go; what Figures 4-6 vary.
+enum class SpillMode { kDisk, kSponge };
+
+// Aggregate spill accounting for one task (Table 2's columns).
+struct SpillStats {
+  uint64_t bytes_spilled = 0;
+  uint64_t files_created = 0;
+  uint64_t sponge_chunks = 0;
+  uint64_t sponge_chunks_local = 0;
+  uint64_t sponge_chunks_remote = 0;
+  uint64_t sponge_chunks_disk = 0;
+  uint64_t sponge_chunks_dfs = 0;
+  uint64_t fragmentation_bytes = 0;
+  uint64_t stale_list_retries = 0;
+
+  void Add(const SpillStats& other);
+};
+
+// Creates spill files for one task and accumulates their statistics.
+class Spiller {
+ public:
+  virtual ~Spiller() = default;
+
+  virtual Result<std::unique_ptr<SpillFile>> Create(
+      const std::string& name) = 0;
+
+  // Maximum segments merged at once. Disk merging is bounded by
+  // io.sort.factor (10) to limit concurrent streams and their seeks;
+  // SpongeFile merging has no seeks to avoid, so it is unbounded and the
+  // merge happens in a single round (paper section 4.2.3).
+  virtual size_t merge_factor() const = 0;
+
+  SpillStats& stats() { return stats_; }
+  const SpillStats& stats() const { return stats_; }
+
+ protected:
+  SpillStats stats_;
+};
+
+// Baseline: spill files on the task node's local filesystem (through the
+// buffer cache, exactly like stock Hadoop/Pig intermediate files).
+class DiskSpiller : public Spiller {
+ public:
+  DiskSpiller(sim::Engine* engine, cluster::LocalFs* fs,
+              std::string name_prefix, size_t merge_factor = 10)
+      : engine_(engine),
+        fs_(fs),
+        name_prefix_(std::move(name_prefix)),
+        merge_factor_(merge_factor) {}
+
+  Result<std::unique_ptr<SpillFile>> Create(const std::string& name) override;
+  size_t merge_factor() const override { return merge_factor_; }
+
+ private:
+  sim::Engine* engine_;
+  cluster::LocalFs* fs_;
+  std::string name_prefix_;
+  size_t merge_factor_;
+  uint64_t next_id_ = 0;
+};
+
+// SpongeFile-backed spilling (the paper's contribution).
+class SpongeSpiller : public Spiller {
+ public:
+  SpongeSpiller(sponge::SpongeEnv* env, sponge::TaskContext* task,
+                std::string name_prefix)
+      : env_(env), task_(task), name_prefix_(std::move(name_prefix)) {}
+
+  Result<std::unique_ptr<SpillFile>> Create(const std::string& name) override;
+  size_t merge_factor() const override {
+    return std::numeric_limits<size_t>::max();
+  }
+
+ private:
+  sponge::SpongeEnv* env_;
+  sponge::TaskContext* task_;
+  std::string name_prefix_;
+  uint64_t next_id_ = 0;
+};
+
+// A purely in-memory segment (a reduce task's shuffle buffer contents).
+// Reads cost only heap copy time.
+class MemorySpillFile : public SpillFile {
+ public:
+  MemorySpillFile(sim::Engine* engine, uint64_t read_unit = kMiB,
+                  double memory_bandwidth = 3.0 * 1024 * 1024 * 1024)
+      : engine_(engine),
+        read_unit_(read_unit),
+        memory_bandwidth_(memory_bandwidth) {}
+
+  sim::Task<Status> Append(ByteRuns data) override;
+  sim::Task<Status> Close() override;
+  sim::Task<Result<ByteRuns>> ReadNext() override;
+  sim::Task<> Delete() override;
+  Status Rewind() override;
+  uint64_t size() const override { return size_; }
+
+ private:
+  sim::Engine* engine_;
+  uint64_t read_unit_;
+  double memory_bandwidth_;
+  ByteRuns content_;
+  uint64_t size_ = 0;
+  uint64_t read_offset_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace spongefiles::mapred
+
+#endif  // SPONGEFILES_MAPRED_SPILL_H_

@@ -1,0 +1,28 @@
+#include "pig/query.h"
+
+namespace spongefiles::pig {
+
+mapred::JobConfig Compile(const GroupByQuery& query) {
+  mapred::JobConfig config;
+  config.name = query.name;
+  config.input = query.input;
+  config.num_reducers = query.num_reducers;
+  config.spill_mode = query.spill_mode;
+
+  auto group_key = query.group_key;
+  auto project = query.project;
+  config.map_fn = [group_key, project](const mapred::Record& in,
+                                       std::vector<mapred::Record>* out) {
+    mapred::Record tuple = project ? project(in) : in;
+    tuple.key = group_key(in);
+    out->push_back(std::move(tuple));
+  };
+
+  auto udf_factory = query.udf_factory;
+  config.reducer_factory = [udf_factory]() -> std::unique_ptr<mapred::Reducer> {
+    return std::make_unique<PigReducer>(udf_factory);
+  };
+  return config;
+}
+
+}  // namespace spongefiles::pig

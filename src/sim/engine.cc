@@ -1,0 +1,57 @@
+#include "sim/engine.h"
+
+#include "common/logging.h"
+
+namespace spongefiles::sim {
+
+namespace {
+
+// Wraps a detached task so the frame marks itself detached before running.
+// (The wrapper frame is what Spawn schedules; it awaits the real task.)
+Task<> RunDetached(Task<> task) { co_await task; }
+
+}  // namespace
+
+void Engine::Spawn(Task<> task) { SpawnAt(now_, std::move(task)); }
+
+void Engine::SpawnAt(SimTime at, Task<> task) {
+  SPONGE_CHECK(at >= now_) << "SpawnAt in the past: " << at << " < " << now_;
+  Task<> wrapper = RunDetached(std::move(task));
+  auto handle = wrapper.Release();
+  handle.promise().detached = true;
+  ScheduleHandle(at, handle);
+}
+
+void Engine::ScheduleHandle(SimTime at, std::coroutine_handle<> h) {
+  SPONGE_CHECK(at >= now_) << "schedule in the past: " << at << " < " << now_;
+  queue_.push(Event{at, next_seq_++, h});
+}
+
+uint64_t Engine::Run() {
+  uint64_t processed = 0;
+  while (!queue_.empty()) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ++processed;
+    ++events_processed_;
+    ev.handle.resume();
+  }
+  return processed;
+}
+
+uint64_t Engine::RunUntil(SimTime deadline) {
+  uint64_t processed = 0;
+  while (!queue_.empty() && queue_.top().at <= deadline) {
+    Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.at;
+    ++processed;
+    ++events_processed_;
+    ev.handle.resume();
+  }
+  if (now_ < deadline) now_ = deadline;
+  return processed;
+}
+
+}  // namespace spongefiles::sim

@@ -1,0 +1,89 @@
+#ifndef SPONGEFILES_SIM_ENGINE_H_
+#define SPONGEFILES_SIM_ENGINE_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/units.h"
+#include "sim/task.h"
+
+namespace spongefiles::sim {
+
+// A deterministic single-threaded discrete-event engine. Simulated
+// activities are coroutines (Task<T>); they advance simulated time by
+// awaiting Delay and the synchronization primitives in sim/sync.h.
+//
+// Determinism: events scheduled for the same instant fire in schedule
+// order (FIFO by a monotonically increasing sequence number).
+class Engine {
+ public:
+  Engine() = default;
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  SimTime now() const { return now_; }
+
+  // Detaches `task` and schedules it to start at the current time. The
+  // coroutine frame self-destructs when the task completes.
+  void Spawn(Task<> task);
+
+  // Detaches `task` and schedules it to start at absolute time `at`
+  // (must be >= now()).
+  void SpawnAt(SimTime at, Task<> task);
+
+  // Runs until the event queue drains. Returns the number of events
+  // processed. Activities blocked on sync primitives with no pending
+  // wake-ups simply never resume (e.g. a server loop awaiting a closed-over
+  // channel); callers shut such loops down via their own stop mechanisms.
+  uint64_t Run();
+
+  // Runs until the event queue drains or simulated time would exceed
+  // `deadline`; events after the deadline remain queued.
+  uint64_t RunUntil(SimTime deadline);
+
+  // Schedules `h` to resume at absolute simulated time `at` (>= now()).
+  // This is the primitive all awaitables build on.
+  void ScheduleHandle(SimTime at, std::coroutine_handle<> h);
+
+  // Awaitable: suspends the caller for `d` simulated microseconds
+  // (d >= 0; a zero delay still yields through the event queue).
+  auto Delay(Duration d) {
+    struct Awaiter {
+      Engine* engine;
+      Duration d;
+      bool await_ready() const { return false; }
+      void await_suspend(std::coroutine_handle<> h) {
+        engine->ScheduleHandle(engine->now_ + d, h);
+      }
+      void await_resume() const {}
+    };
+    return Awaiter{this, d < 0 ? 0 : d};
+  }
+
+  // Number of events processed so far (diagnostics).
+  uint64_t events_processed() const { return events_processed_; }
+
+ private:
+  struct Event {
+    SimTime at;
+    uint64_t seq;
+    std::coroutine_handle<> handle;
+  };
+  struct EventLater {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  SimTime now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t events_processed_ = 0;
+  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+};
+
+}  // namespace spongefiles::sim
+
+#endif  // SPONGEFILES_SIM_ENGINE_H_

@@ -1,0 +1,184 @@
+#ifndef SPONGEFILES_SIM_TASK_H_
+#define SPONGEFILES_SIM_TASK_H_
+
+#include <cassert>
+#include <coroutine>
+#include <exception>
+#include <optional>
+#include <utility>
+
+namespace spongefiles::sim {
+
+// Task<T> is the coroutine type for all simulated activities. A Task is
+// lazy: it runs only when co_awaited by another task or spawned on an
+// Engine. Awaiting a child task transfers control symmetrically (no engine
+// involvement, no simulated time passes); simulated time advances only
+// through Engine awaitables (Delay, resource waits, ...).
+//
+// Lifetime: the Task object owns the coroutine frame. Engine::Spawn detaches
+// the frame, which then destroys itself upon completion.
+template <typename T = void>
+class Task;
+
+namespace internal_task {
+
+struct FinalAwaiter {
+  bool await_ready() const noexcept { return false; }
+
+  template <typename Promise>
+  std::coroutine_handle<> await_suspend(
+      std::coroutine_handle<Promise> h) noexcept {
+    auto& promise = h.promise();
+    if (promise.continuation) return promise.continuation;
+    if (promise.detached) {
+      // Nothing will ever resume or destroy this frame; reclaim it now.
+      h.destroy();
+    }
+    return std::noop_coroutine();
+  }
+
+  void await_resume() const noexcept {}
+};
+
+struct PromiseBase {
+  std::coroutine_handle<> continuation;
+  bool detached = false;
+
+  std::suspend_always initial_suspend() noexcept { return {}; }
+  FinalAwaiter final_suspend() noexcept { return {}; }
+  void unhandled_exception() noexcept { std::terminate(); }
+};
+
+}  // namespace internal_task
+
+template <typename T>
+class [[nodiscard]] Task {
+ public:
+  struct promise_type : internal_task::PromiseBase {
+    std::optional<T> value;
+
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_value(T v) { value = std::move(v); }
+  };
+
+  Task(Task&& other) noexcept : handle_(other.handle_) {
+    other.handle_ = nullptr;
+  }
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = other.handle_;
+      other.handle_ = nullptr;
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+
+  // Awaiting a task starts it (if not started) and suspends the awaiter
+  // until the task completes, yielding its return value.
+  auto operator co_await() {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const { return handle.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+        handle.promise().continuation = parent;
+        return handle;
+      }
+      T await_resume() {
+        assert(handle.promise().value.has_value());
+        return std::move(*handle.promise().value);
+      }
+    };
+    assert(handle_);
+    return Awaiter{handle_};
+  }
+
+  // Releases ownership of the coroutine frame (used by Engine::Spawn).
+  std::coroutine_handle<promise_type> Release() {
+    auto h = handle_;
+    handle_ = nullptr;
+    return h;
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_ = nullptr;
+};
+
+template <>
+class [[nodiscard]] Task<void> {
+ public:
+  struct promise_type : internal_task::PromiseBase {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    void return_void() {}
+  };
+
+  Task(Task&& other) noexcept : handle_(other.handle_) {
+    other.handle_ = nullptr;
+  }
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = other.handle_;
+      other.handle_ = nullptr;
+    }
+    return *this;
+  }
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  ~Task() { Destroy(); }
+
+  bool valid() const { return handle_ != nullptr; }
+
+  auto operator co_await() {
+    struct Awaiter {
+      std::coroutine_handle<promise_type> handle;
+      bool await_ready() const { return handle.done(); }
+      std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+        handle.promise().continuation = parent;
+        return handle;
+      }
+      void await_resume() const {}
+    };
+    assert(handle_);
+    return Awaiter{handle_};
+  }
+
+  std::coroutine_handle<promise_type> Release() {
+    auto h = handle_;
+    handle_ = nullptr;
+    return h;
+  }
+
+ private:
+  explicit Task(std::coroutine_handle<promise_type> h) : handle_(h) {}
+
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_ = nullptr;
+};
+
+}  // namespace spongefiles::sim
+
+#endif  // SPONGEFILES_SIM_TASK_H_

@@ -1,0 +1,111 @@
+#include "sponge/chunk_pool.h"
+
+#include <algorithm>
+
+namespace spongefiles::sponge {
+
+ChunkPool::ChunkPool(const ChunkPoolConfig& config) : config_(config) {
+  uint64_t chunks_total = config.pool_size / config.chunk_size;
+  uint64_t chunks_per_segment =
+      std::max<uint64_t>(1, config.max_segment_size / config.chunk_size);
+  while (chunks_total > 0) {
+    uint64_t n = std::min(chunks_total, chunks_per_segment);
+    Segment segment;
+    segment.slots.resize(n);
+    segment.free_list.reserve(n);
+    // Reverse order so allocation proceeds from low indices first.
+    for (uint64_t i = n; i-- > 0;) {
+      segment.free_list.push_back(static_cast<uint32_t>(i));
+    }
+    segments_.push_back(std::move(segment));
+    chunks_total -= n;
+    total_chunks_ += n;
+  }
+  free_chunks_ = total_chunks_;
+}
+
+Result<ChunkHandle> ChunkPool::Allocate(const ChunkOwner& owner) {
+  if (owner.task_id == 0) return InvalidArgument("owner task_id must be != 0");
+  for (uint32_t s = 0; s < segments_.size(); ++s) {
+    Segment& segment = segments_[s];
+    if (segment.free_list.empty()) continue;
+    uint32_t index = segment.free_list.back();
+    segment.free_list.pop_back();
+    segment.slots[index].owner = owner;
+    --free_chunks_;
+    return ChunkHandle{s, index};
+  }
+  return ResourceExhausted("sponge pool full");
+}
+
+bool ChunkPool::ValidHandle(ChunkHandle handle) const {
+  return handle.segment < segments_.size() &&
+         handle.index < segments_[handle.segment].slots.size();
+}
+
+Status ChunkPool::Free(ChunkHandle handle, const ChunkOwner& owner) {
+  if (!ValidHandle(handle)) return InvalidArgument("bad chunk handle");
+  Slot& slot = segments_[handle.segment].slots[handle.index];
+  if (slot.owner.task_id == 0) {
+    return FailedPrecondition("double free of sponge chunk");
+  }
+  if (!(slot.owner == owner)) {
+    return FailedPrecondition("chunk owned by another task");
+  }
+  return ForceFree(handle);
+}
+
+Status ChunkPool::ForceFree(ChunkHandle handle) {
+  if (!ValidHandle(handle)) return InvalidArgument("bad chunk handle");
+  Slot& slot = segments_[handle.segment].slots[handle.index];
+  if (slot.owner.task_id == 0) {
+    return FailedPrecondition("double free of sponge chunk");
+  }
+  slot.owner = ChunkOwner{};
+  slot.data.Clear();
+  segments_[handle.segment].free_list.push_back(handle.index);
+  ++free_chunks_;
+  return Status::OK();
+}
+
+ByteRuns* ChunkPool::chunk_data(ChunkHandle handle) {
+  if (!ValidHandle(handle)) return nullptr;
+  Slot& slot = segments_[handle.segment].slots[handle.index];
+  if (slot.owner.task_id == 0) return nullptr;
+  return &slot.data;
+}
+
+Result<ChunkOwner> ChunkPool::OwnerOf(ChunkHandle handle) const {
+  if (!ValidHandle(handle)) return InvalidArgument("bad chunk handle");
+  const Slot& slot = segments_[handle.segment].slots[handle.index];
+  if (slot.owner.task_id == 0) return NotFound("chunk is free");
+  return slot.owner;
+}
+
+std::vector<std::pair<ChunkHandle, ChunkOwner>> ChunkPool::AllocatedChunks()
+    const {
+  std::vector<std::pair<ChunkHandle, ChunkOwner>> out;
+  for (uint32_t s = 0; s < segments_.size(); ++s) {
+    const Segment& segment = segments_[s];
+    for (uint32_t i = 0; i < segment.slots.size(); ++i) {
+      if (segment.slots[i].owner.task_id != 0) {
+        out.push_back({ChunkHandle{s, i}, segment.slots[i].owner});
+      }
+    }
+  }
+  return out;
+}
+
+void ChunkPool::Reset() {
+  for (Segment& segment : segments_) {
+    segment.free_list.clear();
+    for (uint64_t i = segment.slots.size(); i-- > 0;) {
+      segment.slots[i].owner = ChunkOwner{};
+      segment.slots[i].data.Clear();
+      segment.free_list.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  free_chunks_ = total_chunks_;
+}
+
+}  // namespace spongefiles::sponge

@@ -1,0 +1,105 @@
+#ifndef SPONGEFILES_SPONGE_CHUNK_POOL_H_
+#define SPONGEFILES_SPONGE_CHUNK_POOL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/byte_runs.h"
+#include "common/status.h"
+#include "common/units.h"
+
+namespace spongefiles::sponge {
+
+// Identifies the task that owns a chunk: the analogue of the (process id,
+// IP address) pair the paper stores per chunk slot, used by the garbage
+// collector to detect chunks orphaned by dead tasks.
+struct ChunkOwner {
+  uint64_t task_id = 0;  // 0 means the slot is free
+  size_t node = 0;       // node where the owning task runs
+
+  bool operator==(const ChunkOwner& other) const {
+    return task_id == other.task_id && node == other.node;
+  }
+};
+
+// A handle to one chunk slot: segment index + slot index within segment.
+struct ChunkHandle {
+  uint32_t segment = 0;
+  uint32_t index = 0;
+
+  bool operator==(const ChunkHandle& other) const {
+    return segment == other.segment && index == other.index;
+  }
+};
+
+struct ChunkPoolConfig {
+  uint64_t pool_size = 1024ull * 1024 * 1024;  // 1 GB sponge per node
+  uint64_t chunk_size = 1024ull * 1024;        // fixed 1 MB chunks
+  // Mirror of the JVM's 2 GB memory-mapped-file limit that forces the pool
+  // to be built from multiple mapped segments.
+  uint64_t max_segment_size = 2048ull * 1024 * 1024;
+};
+
+// The shared sponge-memory pool of one node: fixed equal-sized chunks plus
+// a metadata region (a global lock and one owner entry per chunk). Tasks on
+// the node use it directly through mapped memory; remote tasks go through
+// the node's SpongeServer. The pool itself is a passive data structure —
+// timing for copies in and out of it is charged by the callers.
+class ChunkPool {
+ public:
+  explicit ChunkPool(const ChunkPoolConfig& config);
+
+  ChunkPool(const ChunkPool&) = delete;
+  ChunkPool& operator=(const ChunkPool&) = delete;
+
+  // Finds a free chunk, records `owner` in its metadata entry, and returns
+  // its handle; RESOURCE_EXHAUSTED when the pool is full. (The global-lock
+  // acquire/release the paper describes is instantaneous in simulated time;
+  // its cost is part of the caller's charged copy time.)
+  Result<ChunkHandle> Allocate(const ChunkOwner& owner);
+
+  // Marks the chunk free and drops its contents. Freeing a free chunk or a
+  // chunk owned by someone else is an error.
+  Status Free(ChunkHandle handle, const ChunkOwner& owner);
+
+  // Frees regardless of owner (garbage collector path).
+  Status ForceFree(ChunkHandle handle);
+
+  // Content accessors; the handle must be allocated.
+  ByteRuns* chunk_data(ChunkHandle handle);
+  Result<ChunkOwner> OwnerOf(ChunkHandle handle) const;
+
+  // Every allocated chunk with its owner (garbage-collection scan).
+  std::vector<std::pair<ChunkHandle, ChunkOwner>> AllocatedChunks() const;
+
+  // Drops all contents and marks everything free (node crash).
+  void Reset();
+
+  uint64_t chunk_size() const { return config_.chunk_size; }
+  uint64_t total_chunks() const { return total_chunks_; }
+  uint64_t free_chunks() const { return free_chunks_; }
+  uint64_t free_bytes() const { return free_chunks_ * config_.chunk_size; }
+  size_t segments() const { return segments_.size(); }
+
+ private:
+  struct Slot {
+    ChunkOwner owner;  // task_id == 0 => free
+    ByteRuns data;
+  };
+  struct Segment {
+    std::vector<Slot> slots;
+    // Free-slot free list (indices into slots).
+    std::vector<uint32_t> free_list;
+  };
+
+  bool ValidHandle(ChunkHandle handle) const;
+
+  ChunkPoolConfig config_;
+  std::vector<Segment> segments_;
+  uint64_t total_chunks_ = 0;
+  uint64_t free_chunks_ = 0;
+};
+
+}  // namespace spongefiles::sponge
+
+#endif  // SPONGEFILES_SPONGE_CHUNK_POOL_H_

@@ -1,0 +1,53 @@
+#include "sponge/failure.h"
+
+#include <cmath>
+
+#include "sim/task.h"
+
+namespace spongefiles::sponge {
+
+double TaskFailureProbability(int num_machines, Duration task_runtime,
+                              Duration mttf) {
+  if (num_machines <= 0 || task_runtime <= 0) return 0.0;
+  double exponent = -static_cast<double>(num_machines) *
+                    static_cast<double>(task_runtime) /
+                    static_cast<double>(mttf);
+  return 1.0 - std::exp(exponent);
+}
+
+namespace {
+
+sim::Task<> CrashAt(SpongeEnv* env, size_t node, Duration downtime) {
+  env->CrashNode(node);
+  if (downtime > 0) {
+    co_await env->engine()->Delay(downtime);
+    env->RestartNode(node);
+  }
+  co_return;
+}
+
+}  // namespace
+
+void FailureInjector::ScheduleCrash(size_t node, SimTime at,
+                                    Duration downtime) {
+  ++crashes_;
+  env_->engine()->SpawnAt(at, CrashAt(env_, node, downtime));
+}
+
+size_t FailureInjector::SchedulePoissonCrashes(Duration mttf, SimTime horizon,
+                                               Duration downtime) {
+  size_t scheduled = 0;
+  for (size_t node = 0; node < env_->cluster()->size(); ++node) {
+    SimTime t = env_->engine()->now();
+    while (true) {
+      t += static_cast<Duration>(
+          rng_.Exponential(static_cast<double>(mttf)));
+      if (t > horizon) break;
+      ScheduleCrash(node, t, downtime);
+      ++scheduled;
+    }
+  }
+  return scheduled;
+}
+
+}  // namespace spongefiles::sponge

@@ -1,0 +1,50 @@
+#ifndef SPONGEFILES_SPONGE_FAILURE_H_
+#define SPONGEFILES_SPONGE_FAILURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+#include "sponge/sponge_env.h"
+
+namespace spongefiles::sponge {
+
+// The paper's failure analysis (section 4.3): a task whose spilled data is
+// spread over N machines fails if any of them fails during its runtime t.
+// Machine failures are modeled as a Poisson process, giving
+//   P = 1 - exp(-N * t / MTTF).
+double TaskFailureProbability(int num_machines, Duration task_runtime,
+                              Duration mttf);
+
+// Injects machine failures into a SpongeEnv: either scheduled
+// deterministically (tests) or drawn from the Poisson process (the failure
+// experiment). A crashed node loses its sponge-pool contents; tasks reading
+// chunks from it observe UNAVAILABLE and must be restarted by the
+// framework.
+class FailureInjector {
+ public:
+  FailureInjector(SpongeEnv* env, uint64_t seed)
+      : env_(env), rng_(seed) {}
+
+  // Crashes `node` at absolute simulated time `at` (optionally restarting
+  // it `downtime` later, with an empty pool — sponge servers are
+  // stateless).
+  void ScheduleCrash(size_t node, SimTime at, Duration downtime = 0);
+
+  // Draws exponential inter-failure times per node with the given MTTF and
+  // schedules crashes up to `horizon`. Returns the number scheduled.
+  size_t SchedulePoissonCrashes(Duration mttf, SimTime horizon,
+                                Duration downtime = 0);
+
+  size_t crashes_injected() const { return crashes_; }
+
+ private:
+  SpongeEnv* env_;
+  Rng rng_;
+  size_t crashes_ = 0;
+};
+
+}  // namespace spongefiles::sponge
+
+#endif  // SPONGEFILES_SPONGE_FAILURE_H_

@@ -1,0 +1,63 @@
+#include "sponge/memory_tracker.h"
+
+#include <algorithm>
+
+namespace spongefiles::sponge {
+
+MemoryTracker::MemoryTracker(sim::Engine* engine, cluster::Network* network,
+                             std::vector<SpongeServer*>* servers,
+                             size_t home_node,
+                             const MemoryTrackerConfig& config)
+    : engine_(engine),
+      network_(network),
+      servers_(servers),
+      home_node_(home_node),
+      config_(config) {}
+
+void MemoryTracker::Start() {
+  if (running_) return;
+  running_ = true;
+  engine_->Spawn(PollLoop());
+}
+
+sim::Task<> MemoryTracker::PollLoop() {
+  while (!stopping_) {
+    co_await PollOnce();
+    co_await engine_->Delay(config_.poll_period);
+  }
+  running_ = false;
+}
+
+sim::Task<> MemoryTracker::PollOnce() {
+  std::vector<FreeSpaceEntry> fresh;
+  for (SpongeServer* server : *servers_) {
+    if (!server->alive()) continue;
+    if (server->node_id() != home_node_) {
+      co_await network_->Rpc(home_node_, server->node_id(),
+                             config_.rpc_message_bytes,
+                             config_.rpc_message_bytes);
+    }
+    uint64_t free = server->free_bytes();
+    if (free > 0) fresh.push_back({server->node_id(), free});
+  }
+  std::sort(fresh.begin(), fresh.end(),
+            [](const FreeSpaceEntry& a, const FreeSpaceEntry& b) {
+              if (a.free_bytes != b.free_bytes) {
+                return a.free_bytes > b.free_bytes;
+              }
+              return a.node < b.node;
+            });
+  free_list_ = std::move(fresh);
+  ++polls_completed_;
+}
+
+sim::Task<std::vector<FreeSpaceEntry>> MemoryTracker::Query(
+    size_t from_node) {
+  if (from_node != home_node_) {
+    co_await network_->Rpc(from_node, home_node_, config_.rpc_message_bytes,
+                           config_.rpc_message_bytes * 4);
+  }
+  co_return free_list_;
+}
+
+}  // namespace spongefiles::sponge

@@ -1,0 +1,77 @@
+#ifndef SPONGEFILES_SPONGE_MEMORY_TRACKER_H_
+#define SPONGEFILES_SPONGE_MEMORY_TRACKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/network.h"
+#include "common/units.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+#include "sponge/sponge_server.h"
+
+namespace spongefiles::sponge {
+
+// Free-space snapshot for one sponge server, as reported by a poll.
+struct FreeSpaceEntry {
+  size_t node = 0;
+  uint64_t free_bytes = 0;
+};
+
+struct MemoryTrackerConfig {
+  Duration poll_period = Seconds(1);
+  uint64_t rpc_message_bytes = 256;
+};
+
+// The single cluster-wide memory tracking server. It periodically polls
+// every sponge server for free space and hands the (deliberately,
+// cheaply stale) list to SpongeFiles that need remote chunks. The tracker
+// is stateless: it can restart anywhere and rebuild its view in one poll
+// round, which is exactly why the paper accepts the relaxed consistency —
+// allocation failures from staleness just fall through to the next server
+// on the list and ultimately to disk.
+class MemoryTracker {
+ public:
+  MemoryTracker(sim::Engine* engine, cluster::Network* network,
+                std::vector<SpongeServer*>* servers, size_t home_node,
+                const MemoryTrackerConfig& config);
+
+  MemoryTracker(const MemoryTracker&) = delete;
+  MemoryTracker& operator=(const MemoryTracker&) = delete;
+
+  // Launches the polling loop (runs until Shutdown).
+  void Start();
+  void Shutdown() { stopping_ = true; }
+
+  // One poll round: RPCs every live server for its free space and
+  // replaces the published list.
+  sim::Task<> PollOnce();
+
+  // Client query from `from_node`: returns the current (possibly stale)
+  // list of servers with free memory, most free space first. Charges the
+  // query RPC.
+  sim::Task<std::vector<FreeSpaceEntry>> Query(size_t from_node);
+
+  // Snapshot without RPC cost (tests and diagnostics).
+  const std::vector<FreeSpaceEntry>& snapshot() const { return free_list_; }
+
+  uint64_t polls_completed() const { return polls_completed_; }
+
+ private:
+  sim::Task<> PollLoop();
+
+  sim::Engine* engine_;
+  cluster::Network* network_;
+  std::vector<SpongeServer*>* servers_;
+  size_t home_node_;
+  MemoryTrackerConfig config_;
+
+  std::vector<FreeSpaceEntry> free_list_;
+  bool stopping_ = false;
+  bool running_ = false;
+  uint64_t polls_completed_ = 0;
+};
+
+}  // namespace spongefiles::sponge
+
+#endif  // SPONGEFILES_SPONGE_MEMORY_TRACKER_H_

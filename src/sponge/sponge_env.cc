@@ -1,0 +1,51 @@
+#include "sponge/sponge_env.h"
+
+namespace spongefiles::sponge {
+
+SpongeEnv::SpongeEnv(cluster::Cluster* cluster, cluster::Dfs* dfs,
+                     const SpongeConfig& config,
+                     const ChunkPoolConfig& pool_config,
+                     const SpongeServerConfig& server_config,
+                     const MemoryTrackerConfig& tracker_config)
+    : cluster_(cluster), dfs_(dfs), config_(config) {
+  servers_.reserve(cluster->size());
+  for (size_t i = 0; i < cluster->size(); ++i) {
+    ChunkPoolConfig node_pool = pool_config;
+    node_pool.pool_size = cluster->node(i).config().sponge_memory;
+    node_pool.chunk_size = config.chunk_size;
+    servers_.push_back(std::make_unique<SpongeServer>(
+        cluster->engine(), &cluster->network(), &registry_, i, node_pool,
+        server_config));
+    server_ptrs_.push_back(servers_.back().get());
+  }
+  for (auto& server : servers_) server->SetPeers(&server_ptrs_);
+  // The tracker runs on node 0 (any node works; it is stateless — the
+  // paper suggests leader election via ZooKeeper for placement).
+  tracker_ = std::make_unique<MemoryTracker>(cluster->engine(),
+                                             &cluster->network(),
+                                             &server_ptrs_, 0,
+                                             tracker_config);
+}
+
+void SpongeEnv::StartServices() {
+  tracker_->Start();
+  for (auto& server : servers_) server->StartGc(&server_ptrs_);
+}
+
+void SpongeEnv::StopServices() {
+  tracker_->Shutdown();
+  for (auto& server : servers_) server->Shutdown();
+}
+
+TaskContext SpongeEnv::StartTask(size_t node) {
+  TaskContext task;
+  task.task_id = registry_.Register(node);
+  task.node = node;
+  return task;
+}
+
+void SpongeEnv::EndTask(const TaskContext& task) {
+  registry_.Deregister(task.task_id);
+}
+
+}  // namespace spongefiles::sponge

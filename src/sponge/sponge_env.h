@@ -1,0 +1,114 @@
+#ifndef SPONGEFILES_SPONGE_SPONGE_ENV_H_
+#define SPONGEFILES_SPONGE_SPONGE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/dfs.h"
+#include "common/units.h"
+#include "sponge/memory_tracker.h"
+#include "sponge/sponge_server.h"
+#include "sponge/task_registry.h"
+
+namespace spongefiles::sponge {
+
+// Knobs governing SpongeFile behaviour; defaults match the paper's
+// implementation choices (1 MB chunks, rack-local remote spilling, chunk
+// prefetch on read, asynchronous writes to non-local media, direct
+// shared-memory access for local chunks).
+struct SpongeConfig {
+  uint64_t chunk_size = 1024ull * 1024;
+  // Raw copy rate into the node's mapped shared-memory pool.
+  double shared_memory_bandwidth = 1.0 * 1024 * 1024 * 1024;
+  // When false, even local chunks are stored through the local sponge
+  // server over a socket (Table 1's second column) instead of directly
+  // through shared memory.
+  bool direct_local_access = true;
+  // Remote chunks only on the same rack (oversubscribed cross-rack links).
+  bool restrict_to_rack = true;
+  // Prefer remote servers already hosting chunks of this task.
+  bool affinity = true;
+  // Prefetch the next non-local chunk during sequential reads.
+  bool prefetch = true;
+  // Overlap non-local chunk writes with the writer's computation.
+  bool async_write = true;
+  // Disable the disk/DFS fallbacks (memory-only operation; allocation
+  // failures surface as RESOURCE_EXHAUSTED).
+  bool memory_only = false;
+  // Disable remote memory entirely (local pool then disk).
+  bool allow_remote_memory = true;
+  // Encrypt chunk contents before they leave the task (section 3.1.4's
+  // access-control story: sponge memory is readable by anyone on the
+  // cluster). Costs cipher_bandwidth per spilled/read byte.
+  bool encrypt = false;
+  std::string encryption_passphrase = "spongefiles";
+  double cipher_bandwidth = 500.0 * 1024 * 1024;
+};
+
+// The per-task view a SpongeFile needs: identity for chunk ownership and
+// the node whose pool / disk / NIC it uses. `killed` supports failure
+// injection: spilling tasks observe it at operation boundaries.
+// `sponge_affinity` is the set of remote servers already holding any of
+// this task's chunks — the paper's allocation preference that keeps a
+// task's failure footprint small; it is task-wide, shared by all of the
+// task's SpongeFiles.
+struct TaskContext {
+  uint64_t task_id = 0;
+  size_t node = 0;
+  bool killed = false;
+  std::vector<size_t> sponge_affinity;
+};
+
+// Wires together everything SpongeFiles need on a cluster: one sponge
+// server per node, the memory tracker, the task registry, and the DFS
+// last-resort target. Owns the sponge services; the cluster substrate is
+// borrowed.
+class SpongeEnv {
+ public:
+  SpongeEnv(cluster::Cluster* cluster, cluster::Dfs* dfs,
+            const SpongeConfig& config,
+            const ChunkPoolConfig& pool_config = {},
+            const SpongeServerConfig& server_config = {},
+            const MemoryTrackerConfig& tracker_config = {});
+
+  SpongeEnv(const SpongeEnv&) = delete;
+  SpongeEnv& operator=(const SpongeEnv&) = delete;
+
+  // Starts the tracker poll loop and each server's GC loop.
+  void StartServices();
+  // Stops the loops (lets Engine::Run drain).
+  void StopServices();
+
+  cluster::Cluster* cluster() { return cluster_; }
+  cluster::Dfs* dfs() { return dfs_; }
+  sim::Engine* engine() { return cluster_->engine(); }
+  TaskRegistry& registry() { return registry_; }
+  MemoryTracker& tracker() { return *tracker_; }
+  SpongeServer& server(size_t node) { return *servers_[node]; }
+  std::vector<SpongeServer*>* servers() { return &server_ptrs_; }
+  const SpongeConfig& config() const { return config_; }
+
+  // Registers a task with the registry and hands out its context.
+  TaskContext StartTask(size_t node);
+  void EndTask(const TaskContext& task);
+
+  // Simulates a machine failure: its sponge contents are lost.
+  void CrashNode(size_t node) { servers_[node]->Crash(); }
+  void RestartNode(size_t node) { servers_[node]->Restart(); }
+
+ private:
+  cluster::Cluster* cluster_;
+  cluster::Dfs* dfs_;
+  SpongeConfig config_;
+  TaskRegistry registry_;
+  std::vector<std::unique_ptr<SpongeServer>> servers_;
+  std::vector<SpongeServer*> server_ptrs_;
+  std::unique_ptr<MemoryTracker> tracker_;
+};
+
+}  // namespace spongefiles::sponge
+
+#endif  // SPONGEFILES_SPONGE_SPONGE_ENV_H_

@@ -1,0 +1,437 @@
+#include "sponge/sponge_file.h"
+
+#include <algorithm>
+
+#include "common/crypto.h"
+#include "common/logging.h"
+
+namespace spongefiles::sponge {
+
+const char* ChunkLocationName(ChunkLocation location) {
+  switch (location) {
+    case ChunkLocation::kLocalMemory:
+      return "local-memory";
+    case ChunkLocation::kRemoteMemory:
+      return "remote-memory";
+    case ChunkLocation::kLocalDisk:
+      return "local-disk";
+    case ChunkLocation::kDfs:
+      return "dfs";
+  }
+  return "?";
+}
+
+SpongeFile::SpongeFile(SpongeEnv* env, TaskContext* task, std::string name)
+    : env_(env), task_(task), name_(std::move(name)) {}
+
+SpongeFile::~SpongeFile() {
+  // Deliberately no cleanup here: freeing remote chunks takes simulated
+  // time, which a destructor cannot spend. Tasks delete their SpongeFiles
+  // explicitly; the sponge servers' GC reclaims anything a buggy or dead
+  // task leaves behind (that path is what section 3.1.3 describes).
+}
+
+sim::Task<Status> SpongeFile::Append(ByteRuns data) {
+  if (state_ != State::kWriting) {
+    co_return FailedPrecondition("append on closed SpongeFile");
+  }
+  if (task_->killed) co_return Aborted("task killed");
+  if (!pending_error_.ok()) co_return pending_error_;
+
+  size_ += data.size();
+  stats_.bytes_written += data.size();
+  buffer_.Append(data);
+  const uint64_t chunk_size = env_->config().chunk_size;
+  while (buffer_.size() >= chunk_size) {
+    ByteRuns chunk = buffer_.SplitPrefix(chunk_size);
+    CO_RETURN_IF_ERROR(co_await StoreChunk(std::move(chunk)));
+    if (task_->killed) co_return Aborted("task killed");
+  }
+  co_return Status::OK();
+}
+
+sim::Task<Status> SpongeFile::AppendBytes(Slice data) {
+  ByteRuns runs;
+  runs.AppendLiteral(data);
+  co_return co_await Append(std::move(runs));
+}
+
+sim::Task<Status> SpongeFile::WaitForPendingStore() {
+  if (pending_store_ != nullptr) {
+    co_await pending_store_->Wait();
+    pending_store_.reset();
+  }
+  co_return pending_error_;
+}
+
+sim::Task<Status> SpongeFile::StoreChunk(ByteRuns chunk) {
+  // One store may be in flight; wait for it so placement decisions see
+  // up-to-date pool state and disk chunks coalesce in order.
+  CO_RETURN_IF_ERROR(co_await WaitForPendingStore());
+
+  size_t index = chunks_.size();
+  chunks_.emplace_back();
+
+  // Placement is decided synchronously; only the data movement is
+  // overlapped with the caller.
+  if (env_->config().async_write) {
+    auto event = std::make_unique<sim::Event>(env_->engine());
+    sim::Event* raw = event.get();
+    pending_store_ = std::move(event);
+    auto store = [](SpongeFile* file, size_t index, ByteRuns chunk,
+                    sim::Event* done) -> sim::Task<> {
+      Status status = co_await file->StoreIntoRecord(index, std::move(chunk));
+      if (!status.ok() && file->pending_error_.ok()) {
+        file->pending_error_ = status;
+      }
+      done->Set();
+    };
+    env_->engine()->Spawn(store(this, index, std::move(chunk), raw));
+    co_return Status::OK();
+  }
+  co_return co_await StoreIntoRecord(index, std::move(chunk));
+}
+
+sim::Task<Status> SpongeFile::StoreIntoRecord(size_t index, ByteRuns chunk) {
+  ChunkRecord& record = chunks_[index];
+  record.size = chunk.size();
+  const SpongeConfig& config = env_->config();
+  ChunkOwner owner{task_->task_id, task_->node};
+  SpongeServer& local = env_->server(task_->node);
+
+  if (config.encrypt) {
+    // Transform before the chunk leaves the task (section 3.1.4).
+    XteaCtr cipher(XteaCtr::DeriveKey(config.encryption_passphrase));
+    cipher.ApplyToLiterals(ChunkNonce(index), &chunk);
+    co_await env_->engine()->Delay(
+        TransferTime(chunk.size(), config.cipher_bandwidth));
+  }
+
+  // 1. Local sponge memory.
+  Result<ChunkHandle> handle = local.LocalAllocate(owner);
+  if (handle.ok()) {
+    record.location = ChunkLocation::kLocalMemory;
+    record.node = task_->node;
+    record.handle = *handle;
+    if (config.direct_local_access) {
+      // Mapped shared memory: a raw copy into the pool.
+      co_await env_->engine()->Delay(
+          TransferTime(chunk.size(), config.shared_memory_bandwidth));
+      *local.pool().chunk_data(*handle) = std::move(chunk);
+    } else {
+      // Through the local sponge server over a socket (Table 1 column 2).
+      Status stored = co_await local.RemoteWrite(task_->node, *handle, owner,
+                                                 std::move(chunk));
+      if (!stored.ok()) co_return stored;
+    }
+    ++stats_.chunks_local_memory;
+    stats_.fragmentation_bytes += config.chunk_size - record.size;
+    co_return Status::OK();
+  }
+
+  // 2. Remote sponge memory on the same rack.
+  if (config.allow_remote_memory) {
+    auto allocated = co_await AllocateRemote();
+    if (allocated.ok()) {
+      auto [target, remote_handle] = *allocated;
+      record.location = ChunkLocation::kRemoteMemory;
+      record.node = target;
+      record.handle = remote_handle;
+      Status stored = co_await env_->server(target).RemoteWrite(
+          task_->node, remote_handle, owner, std::move(chunk));
+      if (!stored.ok()) co_return stored;
+      if (std::find(task_->sponge_affinity.begin(), task_->sponge_affinity.end(),
+                    target) == task_->sponge_affinity.end()) {
+        task_->sponge_affinity.push_back(target);
+      }
+      ++stats_.chunks_remote_memory;
+      stats_.fragmentation_bytes += config.chunk_size - record.size;
+      co_return Status::OK();
+    }
+  }
+
+  if (config.memory_only) {
+    co_return ResourceExhausted("no sponge memory available");
+  }
+
+  // 3. Local disk, appending to the previous on-disk chunk when there is
+  // one so on-disk data stays contiguous and file-system metadata
+  // operations stay rare.
+  cluster::LocalFs& fs = env_->cluster()->node(task_->node).fs();
+  if (!chunks_.empty() && index > 0 &&
+      chunks_[index - 1].location == ChunkLocation::kLocalDisk) {
+    ChunkRecord& prev = chunks_[index - 1];
+    Status appended = co_await fs.Append(prev.fs_file, chunk.size());
+    if (appended.ok()) {
+      record.location = ChunkLocation::kLocalDisk;
+      record.fs_file = prev.fs_file;
+      record.offset = prev.offset + prev.size;
+      record.data = std::move(chunk);
+      ++stats_.chunks_local_disk;
+      co_return Status::OK();
+    }
+  } else {
+    auto file = fs.Create(name_ + ".spill" + std::to_string(index));
+    if (file.ok()) {
+      Status appended = co_await fs.Append(*file, chunk.size());
+      if (appended.ok()) {
+        record.location = ChunkLocation::kLocalDisk;
+        record.fs_file = *file;
+        record.offset = 0;
+        record.data = std::move(chunk);
+        ++stats_.chunks_local_disk;
+        ++stats_.disk_files;
+        co_return Status::OK();
+      }
+      (void)fs.Delete(*file);
+    }
+  }
+
+  // 4. The distributed filesystem, as a last resort.
+  record.dfs_name = name_ + ".dfs" + std::to_string(index);
+  Status stored =
+      co_await env_->dfs()->AppendBlock(record.dfs_name, task_->node,
+                                        chunk.size());
+  if (!stored.ok()) co_return stored;
+  record.location = ChunkLocation::kDfs;
+  record.data = std::move(chunk);
+  ++stats_.chunks_dfs;
+  co_return Status::OK();
+}
+
+sim::Task<Result<std::pair<size_t, ChunkHandle>>>
+SpongeFile::AllocateRemote() {
+  const SpongeConfig& config = env_->config();
+  if (!free_list_loaded_) {
+    free_list_ = co_await env_->tracker().Query(task_->node);
+    free_list_loaded_ = true;
+  }
+
+  auto eligible = [&](size_t node) {
+    if (node == task_->node) return false;
+    if (config.restrict_to_rack &&
+        !env_->cluster()->SameRack(node, task_->node)) {
+      return false;
+    }
+    return true;
+  };
+  auto estimate_of = [&](size_t node) -> FreeSpaceEntry* {
+    for (FreeSpaceEntry& entry : free_list_) {
+      if (entry.node == node) return &entry;
+    }
+    return nullptr;
+  };
+
+  // Candidate order: affinity nodes first (fewer distinct machines hold
+  // this task's data, shrinking its failure footprint), then the rest of
+  // the tracker's list.
+  std::vector<size_t> candidates;
+  if (config.affinity) {
+    for (size_t node : task_->sponge_affinity) {
+      if (eligible(node)) candidates.push_back(node);
+    }
+  }
+  for (const FreeSpaceEntry& entry : free_list_) {
+    if (eligible(entry.node) &&
+        std::find(candidates.begin(), candidates.end(), entry.node) ==
+            candidates.end()) {
+      candidates.push_back(entry.node);
+    }
+  }
+
+  ChunkOwner owner{task_->task_id, task_->node};
+  for (size_t node : candidates) {
+    if (std::find(bounced_nodes_.begin(), bounced_nodes_.end(), node) !=
+        bounced_nodes_.end()) {
+      continue;
+    }
+    FreeSpaceEntry* estimate = estimate_of(node);
+    if (estimate != nullptr && estimate->free_bytes == 0) continue;
+    Result<ChunkHandle> handle =
+        co_await env_->server(node).RemoteAllocate(task_->node, owner);
+    if (handle.ok()) {
+      if (estimate != nullptr && estimate->free_bytes >= config.chunk_size) {
+        estimate->free_bytes -= config.chunk_size;
+      }
+      co_return std::make_pair(node, *handle);
+    }
+    // Stale list entry (or dead/quota-limited server): remember it is
+    // unusable and move on — the paper's "try the rest of the servers in
+    // the free list one at a time".
+    ++stats_.stale_list_retries;
+    if (estimate != nullptr) estimate->free_bytes = 0;
+    bounced_nodes_.push_back(node);
+  }
+  co_return NotFound("no remote sponge server with free memory");
+}
+
+sim::Task<Status> SpongeFile::Close() {
+  if (state_ == State::kDeleted) {
+    co_return FailedPrecondition("close on deleted SpongeFile");
+  }
+  if (state_ == State::kClosed) co_return pending_error_;
+  if (!buffer_.empty()) {
+    ByteRuns rest = std::move(buffer_);
+    buffer_.Clear();
+    Status stored = co_await StoreChunk(std::move(rest));
+    if (!stored.ok()) co_return stored;
+  }
+  CO_RETURN_IF_ERROR(co_await WaitForPendingStore());
+  state_ = State::kClosed;
+  co_return Status::OK();
+}
+
+sim::Task<Result<ByteRuns>> SpongeFile::FetchChunk(size_t index) {
+  Result<ByteRuns> fetched = co_await FetchChunkRaw(index);
+  if (!fetched.ok()) co_return fetched;
+  const SpongeConfig& config = env_->config();
+  if (config.encrypt) {
+    XteaCtr cipher(XteaCtr::DeriveKey(config.encryption_passphrase));
+    cipher.ApplyToLiterals(ChunkNonce(index), &*fetched);
+    co_await env_->engine()->Delay(
+        TransferTime(fetched->size(), config.cipher_bandwidth));
+  }
+  co_return fetched;
+}
+
+uint64_t SpongeFile::ChunkNonce(size_t index) const {
+  uint64_t h = 14695981039346656037ull;
+  for (char c : name_) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h ^ (task_->task_id << 20) ^ index;
+}
+
+sim::Task<Result<ByteRuns>> SpongeFile::FetchChunkRaw(size_t index) {
+  ChunkRecord& record = chunks_[index];
+  const SpongeConfig& config = env_->config();
+  ChunkOwner owner{task_->task_id, task_->node};
+  switch (record.location) {
+    case ChunkLocation::kLocalMemory: {
+      SpongeServer& server = env_->server(record.node);
+      ByteRuns* data = server.pool().chunk_data(record.handle);
+      if (data == nullptr) {
+        co_return Unavailable("local chunk lost");
+      }
+      if (config.direct_local_access) {
+        co_await env_->engine()->Delay(
+            TransferTime(record.size, config.shared_memory_bandwidth));
+        co_return *data;
+      }
+      co_return co_await server.RemoteRead(task_->node, record.handle,
+                                           owner);
+    }
+    case ChunkLocation::kRemoteMemory: {
+      SpongeServer& server = env_->server(record.node);
+      if (!server.alive()) {
+        co_return Unavailable("remote sponge server down");
+      }
+      co_return co_await server.RemoteRead(task_->node, record.handle,
+                                           owner);
+    }
+    case ChunkLocation::kLocalDisk: {
+      cluster::LocalFs& fs = env_->cluster()->node(task_->node).fs();
+      Status read = co_await fs.Read(record.fs_file, record.offset,
+                                     record.size);
+      if (!read.ok()) co_return read;
+      co_return record.data;
+    }
+    case ChunkLocation::kDfs: {
+      Status read = co_await env_->dfs()->Read(record.dfs_name, task_->node,
+                                               0, record.size);
+      if (!read.ok()) co_return read;
+      co_return record.data;
+    }
+  }
+  co_return Internal("corrupt chunk record");
+}
+
+void SpongeFile::MaybePrefetch(size_t index) {
+  if (!env_->config().prefetch) return;
+  if (index >= chunks_.size()) return;
+  // Local-memory chunks are already a memory copy away; prefetching them
+  // buys nothing (the paper prefetches the next non-local chunk).
+  if (chunks_[index].location == ChunkLocation::kLocalMemory) return;
+  prefetch_done_ = std::make_unique<sim::Event>(env_->engine());
+  prefetch_index_ = index;
+  prefetch_active_ = true;
+  auto fetch = [](SpongeFile* file, size_t index,
+                  sim::Event* done) -> sim::Task<> {
+    file->prefetch_result_ = co_await file->FetchChunk(index);
+    done->Set();
+  };
+  env_->engine()->Spawn(fetch(this, index, prefetch_done_.get()));
+}
+
+sim::Task<Result<ByteRuns>> SpongeFile::ReadNext() {
+  if (state_ != State::kClosed) {
+    co_return FailedPrecondition("read before Close (or after Delete)");
+  }
+  if (task_->killed) co_return Aborted("task killed");
+  if (next_read_ >= chunks_.size()) co_return ByteRuns{};
+
+  size_t index = next_read_++;
+  Result<ByteRuns> result{ByteRuns{}};
+  if (prefetch_active_ && prefetch_index_ == index) {
+    co_await prefetch_done_->Wait();
+    prefetch_active_ = false;
+    result = std::move(prefetch_result_);
+    prefetch_result_ = ByteRuns{};
+  } else {
+    result = co_await FetchChunk(index);
+  }
+  // Kick off the next chunk's fetch before handing this one back, so the
+  // caller's processing overlaps the next transfer.
+  MaybePrefetch(next_read_);
+  co_return result;
+}
+
+sim::Task<> SpongeFile::Delete() {
+  if (state_ == State::kDeleted) co_return;
+  (void)co_await WaitForPendingStore();
+  if (prefetch_active_) {
+    co_await prefetch_done_->Wait();
+    prefetch_active_ = false;
+  }
+  state_ = State::kDeleted;
+  ChunkOwner owner{task_->task_id, task_->node};
+  std::vector<uint64_t> deleted_files;
+  for (ChunkRecord& record : chunks_) {
+    switch (record.location) {
+      case ChunkLocation::kLocalMemory:
+        (void)env_->server(record.node).LocalFree(record.handle, owner);
+        break;
+      case ChunkLocation::kRemoteMemory:
+        if (env_->server(record.node).alive()) {
+          (void)co_await env_->server(record.node)
+              .RemoteFree(task_->node, record.handle, owner);
+        }
+        break;
+      case ChunkLocation::kLocalDisk: {
+        // Coalesced chunks share one file; delete it once.
+        if (std::find(deleted_files.begin(), deleted_files.end(),
+                      record.fs_file) == deleted_files.end()) {
+          (void)env_->cluster()->node(task_->node).fs().Delete(
+              record.fs_file);
+          deleted_files.push_back(record.fs_file);
+        }
+        record.data.Clear();
+        break;
+      }
+      case ChunkLocation::kDfs:
+        (void)env_->dfs()->Delete(record.dfs_name);
+        record.data.Clear();
+        break;
+    }
+  }
+}
+
+std::vector<ChunkLocation> SpongeFile::ChunkPlacements() const {
+  std::vector<ChunkLocation> out;
+  out.reserve(chunks_.size());
+  for (const ChunkRecord& record : chunks_) out.push_back(record.location);
+  return out;
+}
+
+}  // namespace spongefiles::sponge

@@ -1,0 +1,170 @@
+#ifndef SPONGEFILES_SPONGE_SPONGE_FILE_H_
+#define SPONGEFILES_SPONGE_SPONGE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/byte_runs.h"
+#include "common/status.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+#include "sponge/sponge_env.h"
+
+namespace spongefiles::sponge {
+
+// Where a chunk ended up in the allocation cascade.
+enum class ChunkLocation {
+  kLocalMemory,
+  kRemoteMemory,
+  kLocalDisk,
+  kDfs,
+};
+
+const char* ChunkLocationName(ChunkLocation location);
+
+// A SpongeFile: the paper's distributed-memory spill target. A logical
+// byte array with exactly one writer and one reader, written once front to
+// back, closed, read back sequentially once, then deleted. Chunks are
+// placed by the cascade: local sponge memory -> remote sponge memory on
+// the same rack (servers already hosting this task's chunks first) ->
+// local disk (coalescing consecutive disk chunks into one growing file) ->
+// the distributed filesystem as the last resort.
+//
+// Reads prefetch the next non-local-memory chunk and writes to non-local
+// media are asynchronous (one outstanding store), overlapping IO with the
+// spilling task's computation.
+class SpongeFile {
+ public:
+  struct Stats {
+    uint64_t bytes_written = 0;
+    uint64_t chunks_local_memory = 0;
+    uint64_t chunks_remote_memory = 0;
+    uint64_t chunks_local_disk = 0;   // coalesced count: appends, not files
+    uint64_t chunks_dfs = 0;
+    uint64_t disk_files = 0;
+    uint64_t stale_list_retries = 0;  // allocation attempts that bounced
+    // Memory occupied by in-memory chunk slots beyond the logical bytes
+    // stored in them (internal fragmentation, paper section 4.2.3).
+    uint64_t fragmentation_bytes = 0;
+    uint64_t total_chunks() const {
+      return chunks_local_memory + chunks_remote_memory + chunks_local_disk +
+             chunks_dfs;
+    }
+  };
+
+  // `name` must be unique per task (it names disk spill files).
+  SpongeFile(SpongeEnv* env, TaskContext* task, std::string name);
+  ~SpongeFile();
+
+  SpongeFile(const SpongeFile&) = delete;
+  SpongeFile& operator=(const SpongeFile&) = delete;
+
+  // --- write phase ---
+
+  // Appends `data`; buffers internally and stores a chunk whenever a full
+  // chunk_size accumulates. Fails if the file is closed, the task was
+  // killed, or a prior asynchronous store failed.
+  sim::Task<Status> Append(ByteRuns data);
+
+  // Convenience for literal payloads.
+  sim::Task<Status> AppendBytes(Slice data);
+
+  // Flushes the partial buffer as a final chunk and waits for outstanding
+  // asynchronous stores. Idempotent.
+  sim::Task<Status> Close();
+
+  // --- read phase (only after Close) ---
+
+  // Returns the next chunk's content, or an empty ByteRuns at end of
+  // file. Consumes the file: a chunk can be read only once.
+  sim::Task<Result<ByteRuns>> ReadNext();
+
+  // --- teardown ---
+
+  // Frees every chunk (pool slots locally and via RPC remotely, disk and
+  // DFS files through their filesystems). Idempotent.
+  sim::Task<> Delete();
+
+  uint64_t size() const { return size_; }
+  const Stats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+
+  // Chunk placement summary, in write order (tests and diagnostics).
+  std::vector<ChunkLocation> ChunkPlacements() const;
+
+ private:
+  enum class State { kWriting, kClosed, kDeleted };
+
+  struct ChunkRecord {
+    ChunkLocation location;
+    size_t node = 0;          // memory chunks: owning server
+    ChunkHandle handle;       // memory chunks: pool slot
+    uint64_t fs_file = 0;     // local-disk chunks: LocalFs id
+    std::string dfs_name;     // DFS chunks
+    uint64_t offset = 0;      // within the (coalesced) disk file
+    uint64_t size = 0;
+    ByteRuns data;            // content for disk/DFS chunks
+  };
+
+  // Decides placement for one full buffer and stores it (possibly
+  // asynchronously). Appends the record synchronously so ordering and
+  // coalescing stay correct.
+  sim::Task<Status> StoreChunk(ByteRuns chunk);
+
+  // The store cascade; returns the record index it stored into.
+  sim::Task<Status> StoreIntoRecord(size_t index, ByteRuns chunk);
+
+  // Walks the candidate servers (affinity nodes first, then the tracker's
+  // free list) issuing allocation RPCs until one succeeds; NOT_FOUND when
+  // every candidate is full or ineligible. Bounced attempts (stale list)
+  // are counted and the bounced server is skipped for later chunks.
+  sim::Task<Result<std::pair<size_t, ChunkHandle>>> AllocateRemote();
+
+  sim::Task<Status> WaitForPendingStore();
+
+  // Fetches chunk `index`'s content, charging media time and decrypting
+  // when encryption is enabled.
+  sim::Task<Result<ByteRuns>> FetchChunk(size_t index);
+  sim::Task<Result<ByteRuns>> FetchChunkRaw(size_t index);
+
+  // Deterministic per-chunk cipher nonce.
+  uint64_t ChunkNonce(size_t index) const;
+
+  void MaybePrefetch(size_t index);
+
+  SpongeEnv* env_;
+  TaskContext* task_;
+  std::string name_;
+  State state_ = State::kWriting;
+
+  ByteRuns buffer_;
+  uint64_t size_ = 0;
+  std::vector<ChunkRecord> chunks_;
+
+  // Remote allocation state. `free_list_` is this file's working copy of
+  // the tracker snapshot: successful allocations decrement the entry and
+  // bounced ones zero it, so exhausted servers are not re-tried per chunk.
+  bool free_list_loaded_ = false;
+  std::vector<FreeSpaceEntry> free_list_;
+  
+  std::vector<size_t> bounced_nodes_;   // servers that rejected us
+
+  // Async write state: at most one store in flight.
+  std::unique_ptr<sim::Event> pending_store_;
+  Status pending_error_;
+
+  // Read state.
+  size_t next_read_ = 0;
+  std::unique_ptr<sim::Event> prefetch_done_;
+  size_t prefetch_index_ = 0;
+  Result<ByteRuns> prefetch_result_{ByteRuns{}};
+  bool prefetch_active_ = false;
+
+  Stats stats_;
+};
+
+}  // namespace spongefiles::sponge
+
+#endif  // SPONGEFILES_SPONGE_SPONGE_FILE_H_

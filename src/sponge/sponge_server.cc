@@ -1,0 +1,177 @@
+#include "sponge/sponge_server.h"
+
+#include <unordered_map>
+
+namespace spongefiles::sponge {
+
+SpongeServer::SpongeServer(sim::Engine* engine, cluster::Network* network,
+                           TaskRegistry* registry, size_t node_id,
+                           const ChunkPoolConfig& pool_config,
+                           const SpongeServerConfig& config)
+    : engine_(engine),
+      network_(network),
+      registry_(registry),
+      node_id_(node_id),
+      config_(config),
+      pool_(std::make_unique<ChunkPool>(pool_config)) {}
+
+bool SpongeServer::QuotaAllows(const ChunkOwner& owner) const {
+  if (config_.quota_chunks_per_task == 0) return true;
+  uint64_t held = 0;
+  for (const auto& [handle, chunk_owner] : pool_->AllocatedChunks()) {
+    if (chunk_owner == owner) ++held;
+  }
+  return held < config_.quota_chunks_per_task;
+}
+
+sim::Task<Result<ChunkHandle>> SpongeServer::RemoteAllocate(
+    size_t from, const ChunkOwner& owner) {
+  co_await network_->Rpc(from, node_id_, config_.rpc_message_bytes,
+                         config_.rpc_message_bytes);
+  if (!alive_) co_return Unavailable("sponge server down");
+  if (!QuotaAllows(owner)) {
+    ++failed_allocations_;
+    co_return ResourceExhausted("task over quota");
+  }
+  Result<ChunkHandle> handle = pool_->Allocate(owner);
+  if (handle.ok()) {
+    ++remote_allocations_;
+  } else {
+    ++failed_allocations_;
+  }
+  co_return handle;
+}
+
+sim::Task<Status> SpongeServer::RemoteWrite(size_t from, ChunkHandle handle,
+                                            const ChunkOwner& owner,
+                                            ByteRuns data) {
+  // The chunk payload travels over the network, then the server copies it
+  // into the pool.
+  co_await network_->Transfer(from, node_id_, data.size());
+  if (!alive_) co_return Unavailable("sponge server down");
+  auto holder = pool_->OwnerOf(handle);
+  if (!holder.ok() || !(*holder == owner)) {
+    co_return FailedPrecondition("chunk not owned by caller");
+  }
+  co_await engine_->Delay(
+      TransferTime(data.size(), config_.server_copy_bandwidth));
+  *pool_->chunk_data(handle) = std::move(data);
+  co_return Status::OK();
+}
+
+sim::Task<Result<ByteRuns>> SpongeServer::RemoteRead(size_t from,
+                                                     ChunkHandle handle,
+                                                     const ChunkOwner& owner) {
+  // Request message to the server.
+  co_await network_->Transfer(from, node_id_, config_.rpc_message_bytes);
+  if (!alive_) co_return Unavailable("sponge server down");
+  auto holder = pool_->OwnerOf(handle);
+  if (!holder.ok() || !(*holder == owner)) {
+    co_return FailedPrecondition("chunk not owned by caller");
+  }
+  ByteRuns* data = pool_->chunk_data(handle);
+  co_await engine_->Delay(
+      TransferTime(data->size(), config_.server_copy_bandwidth));
+  ByteRuns copy = *data;
+  co_await network_->Transfer(node_id_, from, copy.size());
+  co_return copy;
+}
+
+sim::Task<Status> SpongeServer::RemoteFree(size_t from, ChunkHandle handle,
+                                           const ChunkOwner& owner) {
+  co_await network_->Rpc(from, node_id_, config_.rpc_message_bytes,
+                         config_.rpc_message_bytes);
+  if (!alive_) co_return Unavailable("sponge server down");
+  co_return pool_->Free(handle, owner);
+}
+
+sim::Task<bool> SpongeServer::RemoteIsTaskAlive(size_t from,
+                                                uint64_t task_id) {
+  co_await network_->Rpc(from, node_id_, config_.rpc_message_bytes,
+                         config_.rpc_message_bytes);
+  if (!alive_) co_return false;
+  co_return registry_->IsAliveOn(task_id, node_id_);
+}
+
+void SpongeServer::StartGc(std::vector<SpongeServer*>* peers) {
+  peers_ = peers;
+  if (gc_running_) return;
+  gc_running_ = true;
+  engine_->Spawn(GcLoop(peers));
+}
+
+sim::Task<> SpongeServer::GcLoop(std::vector<SpongeServer*>* peers) {
+  peers_ = peers;
+  while (!stopping_) {
+    co_await engine_->Delay(config_.gc_period);
+    if (stopping_) break;
+    if (alive_) co_await GcSweep();
+  }
+  gc_running_ = false;
+}
+
+sim::Task<uint64_t> SpongeServer::GcSweep() {
+  uint64_t reclaimed = 0;
+  // Cache liveness verdicts per owner so a task holding many chunks costs
+  // one probe, not one per chunk.
+  std::unordered_map<uint64_t, bool> verdicts;
+  for (const auto& [handle, owner] : pool_->AllocatedChunks()) {
+    auto it = verdicts.find(owner.task_id);
+    bool live;
+    if (it != verdicts.end()) {
+      live = it->second;
+    } else if (owner.node == node_id_) {
+      // Local process: consult the local process table directly.
+      live = registry_->IsAliveOn(owner.task_id, node_id_);
+      verdicts[owner.task_id] = live;
+    } else if (peers_ != nullptr && owner.node < peers_->size() &&
+               (*peers_)[owner.node]->alive()) {
+      // Remote process: ask the sponge server on the owner's node to check
+      // on our behalf.
+      live = co_await (*peers_)[owner.node]->RemoteIsTaskAlive(
+          node_id_, owner.task_id);
+      verdicts[owner.task_id] = live;
+    } else {
+      // Owner's node is gone; the task cannot be alive.
+      live = false;
+      verdicts[owner.task_id] = live;
+    }
+    if (!live) {
+      // The owner may have freed this chunk while we awaited the probe.
+      auto still_owned = pool_->OwnerOf(handle);
+      if (still_owned.ok() && *still_owned == owner) {
+        (void)pool_->ForceFree(handle);
+        ++reclaimed;
+      }
+    }
+  }
+  gc_reclaimed_ += reclaimed;
+  co_return reclaimed;
+}
+
+uint64_t SpongeServer::EnforceQuotas() {
+  if (config_.quota_chunks_per_task == 0 || !alive_) return 0;
+  // Count holdings per owner, then free everything beyond the quota
+  // (later allocations first: the task keeps its oldest chunks, which it
+  // will read first).
+  std::unordered_map<uint64_t, uint64_t> held;
+  uint64_t reclaimed = 0;
+  for (const auto& [handle, owner] : pool_->AllocatedChunks()) {
+    uint64_t count = ++held[owner.task_id];
+    if (count > config_.quota_chunks_per_task) {
+      (void)pool_->ForceFree(handle);
+      ++reclaimed;
+    }
+  }
+  gc_reclaimed_ += reclaimed;
+  return reclaimed;
+}
+
+void SpongeServer::Crash() {
+  alive_ = false;
+  pool_->Reset();
+}
+
+void SpongeServer::Restart() { alive_ = true; }
+
+}  // namespace spongefiles::sponge

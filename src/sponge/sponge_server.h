@@ -1,0 +1,151 @@
+#ifndef SPONGEFILES_SPONGE_SPONGE_SERVER_H_
+#define SPONGEFILES_SPONGE_SPONGE_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "cluster/network.h"
+#include "common/byte_runs.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/engine.h"
+#include "sim/task.h"
+#include "sponge/chunk_pool.h"
+#include "sponge/task_registry.h"
+
+namespace spongefiles::sponge {
+
+struct SpongeServerConfig {
+  // Size of control messages (allocate/free/liveness requests and
+  // responses) on the wire.
+  uint64_t rpc_message_bytes = 256;
+  // Copy rate between a request buffer and the pool on the server side.
+  double server_copy_bandwidth = 2.0 * 1024 * 1024 * 1024;
+  // Period between garbage-collection sweeps.
+  Duration gc_period = Seconds(30);
+  // Per-task per-node chunk quota; 0 disables enforcement (the paper's
+  // access-control section sketches quotas; this implements them).
+  uint64_t quota_chunks_per_task = 0;
+};
+
+// The per-node sponge server. It shares the node's chunk pool with local
+// tasks, exports its free space to the memory tracker, serves allocation /
+// write / read / free requests from remote tasks, and garbage-collects
+// chunks owned by dead tasks. The server is stateless: all durable state
+// is the pool metadata itself.
+class SpongeServer {
+ public:
+  SpongeServer(sim::Engine* engine, cluster::Network* network,
+               TaskRegistry* registry, size_t node_id,
+               const ChunkPoolConfig& pool_config,
+               const SpongeServerConfig& config);
+
+  SpongeServer(const SpongeServer&) = delete;
+  SpongeServer& operator=(const SpongeServer&) = delete;
+
+  size_t node_id() const { return node_id_; }
+  ChunkPool& pool() { return *pool_; }
+  bool alive() const { return alive_; }
+
+  // Free sponge memory right now (what the tracker's poll reads).
+  uint64_t free_bytes() const { return pool_->free_bytes(); }
+
+  // --- remote operations (called by tasks on other nodes; `from` is the
+  // --- caller's node, used to charge network time) ---
+
+  // Allocates one chunk for `owner`; RESOURCE_EXHAUSTED when full — the
+  // caller then tries the next server on its (possibly stale) free list.
+  sim::Task<Result<ChunkHandle>> RemoteAllocate(size_t from,
+                                                const ChunkOwner& owner);
+
+  // Ships `data` from node `from` into chunk `handle`.
+  sim::Task<Status> RemoteWrite(size_t from, ChunkHandle handle,
+                                const ChunkOwner& owner, ByteRuns data);
+
+  // Reads chunk `handle` back to node `from`.
+  sim::Task<Result<ByteRuns>> RemoteRead(size_t from, ChunkHandle handle,
+                                         const ChunkOwner& owner);
+
+  sim::Task<Status> RemoteFree(size_t from, ChunkHandle handle,
+                               const ChunkOwner& owner);
+
+  // Liveness probe used by peer servers' GC: is `task_id` alive on this
+  // node? `from` pays for the RPC.
+  sim::Task<bool> RemoteIsTaskAlive(size_t from, uint64_t task_id);
+
+  // --- local operations (same-node tasks through shared memory; no
+  // --- server involvement, hence no IPC cost — the SpongeFile charges the
+  // --- raw memory copy itself) ---
+  Result<ChunkHandle> LocalAllocate(const ChunkOwner& owner) {
+    if (!alive_) return Unavailable("sponge server down");
+    if (!QuotaAllows(owner)) return ResourceExhausted("task over quota");
+    return pool_->Allocate(owner);
+  }
+  Status LocalFree(ChunkHandle handle, const ChunkOwner& owner) {
+    return pool_->Free(handle, owner);
+  }
+
+  // --- garbage collection ---
+
+  // Provides the peer list GcSweep consults for remote liveness checks.
+  void SetPeers(std::vector<SpongeServer*>* peers) { peers_ = peers; }
+
+  // Starts the periodic GC loop; it runs until Shutdown().
+  void StartGc(std::vector<SpongeServer*>* peers);
+
+  // One sweep: frees chunks whose owner is dead. Local owners are checked
+  // against the local process table; remote owners via the owning node's
+  // server. Returns the number of chunks reclaimed.
+  sim::Task<uint64_t> GcSweep();
+
+  // Corrective action for quota offenders (section 3.1.4): scans for
+  // owners holding more than the per-task quota and reclaims their excess
+  // chunks (the offending task discovers the loss on its next read and is
+  // restarted by the framework). No-op when quotas are disabled. Returns
+  // the number of chunks reclaimed.
+  uint64_t EnforceQuotas();
+
+  // Adjusts the per-task quota at runtime (operator action); enforced on
+  // subsequent allocations and EnforceQuotas sweeps.
+  void set_quota_chunks_per_task(uint64_t quota) {
+    config_.quota_chunks_per_task = quota;
+  }
+
+  // Simulated machine failure: pool contents are lost; subsequent remote
+  // operations fail UNAVAILABLE.
+  void Crash();
+  // The server restarts empty (it is stateless).
+  void Restart();
+
+  void Shutdown() { stopping_ = true; }
+
+  // --- statistics ---
+  uint64_t remote_allocations() const { return remote_allocations_; }
+  uint64_t failed_allocations() const { return failed_allocations_; }
+  uint64_t gc_reclaimed() const { return gc_reclaimed_; }
+
+ private:
+  bool QuotaAllows(const ChunkOwner& owner) const;
+
+  sim::Task<> GcLoop(std::vector<SpongeServer*>* peers);
+
+  sim::Engine* engine_;
+  cluster::Network* network_;
+  TaskRegistry* registry_;
+  size_t node_id_;
+  SpongeServerConfig config_;
+  std::unique_ptr<ChunkPool> pool_;
+  std::vector<SpongeServer*>* peers_ = nullptr;
+
+  bool alive_ = true;
+  bool stopping_ = false;
+  bool gc_running_ = false;
+
+  uint64_t remote_allocations_ = 0;
+  uint64_t failed_allocations_ = 0;
+  uint64_t gc_reclaimed_ = 0;
+};
+
+}  // namespace spongefiles::sponge
+
+#endif  // SPONGEFILES_SPONGE_SPONGE_SERVER_H_

@@ -1,0 +1,24 @@
+#include "sponge/task_registry.h"
+
+namespace spongefiles::sponge {
+
+uint64_t TaskRegistry::Register(size_t node) {
+  uint64_t id = next_id_++;
+  tasks_[id] = node;
+  return id;
+}
+
+void TaskRegistry::Deregister(uint64_t task_id) { tasks_.erase(task_id); }
+
+bool TaskRegistry::IsAliveOn(uint64_t task_id, size_t node) const {
+  auto it = tasks_.find(task_id);
+  return it != tasks_.end() && it->second == node;
+}
+
+Result<size_t> TaskRegistry::NodeOf(uint64_t task_id) const {
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) return NotFound("task not alive");
+  return it->second;
+}
+
+}  // namespace spongefiles::sponge

@@ -1,0 +1,43 @@
+#ifndef SPONGEFILES_SPONGE_TASK_REGISTRY_H_
+#define SPONGEFILES_SPONGE_TASK_REGISTRY_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "common/status.h"
+
+namespace spongefiles::sponge {
+
+// Tracks which tasks are alive on which node. This stands in for the OS
+// process table each sponge server consults to decide whether a local
+// process still exists; the garbage collector uses it to find chunks
+// owned by dead tasks.
+class TaskRegistry {
+ public:
+  TaskRegistry() = default;
+
+  // Registers a live task running on `node`; returns a fresh task id
+  // (never 0; 0 marks a free chunk slot).
+  uint64_t Register(size_t node);
+
+  // Marks the task dead (normal exit or crash).
+  void Deregister(uint64_t task_id);
+
+  // Whether `task_id` is alive *on `node`* — a sponge server can only
+  // check processes on its own machine, so callers must direct the query
+  // to the right node (remote queries go through that node's server).
+  bool IsAliveOn(uint64_t task_id, size_t node) const;
+
+  // Node where the task was registered (dead tasks are forgotten).
+  Result<size_t> NodeOf(uint64_t task_id) const;
+
+  size_t live_count() const { return tasks_.size(); }
+
+ private:
+  uint64_t next_id_ = 1;
+  std::unordered_map<uint64_t, size_t> tasks_;  // id -> node
+};
+
+}  // namespace spongefiles::sponge
+
+#endif  // SPONGEFILES_SPONGE_TASK_REGISTRY_H_

@@ -1,0 +1,50 @@
+#ifndef SPONGEFILES_WORKLOAD_JOBS_H_
+#define SPONGEFILES_WORKLOAD_JOBS_H_
+
+#include <memory>
+#include <string>
+
+#include "mapred/job.h"
+#include "pig/query.h"
+#include "workload/webdata.h"
+
+namespace spongefiles::workload {
+
+// Builders for the paper's three evaluation jobs (section 4.2.1) plus the
+// background contention job. Each returns a JobConfig ready for
+// JobTracker::Run; callers set spill_mode per experiment.
+
+// The MapReduce job: exact median of the numbers dataset through a single
+// reduce task (inter-job skew: one task gets the entire ~10 GB input).
+mapred::JobConfig MakeMedianJob(NumbersDataset* input,
+                                mapred::SpillMode spill_mode);
+
+// "Frequent Anchortext": group pages by language, top-k anchortext terms
+// per language (holistic UDF over skewed groups). The map side projects
+// pages down to their anchortext (the well-written part of this query);
+// English is the straggling group. The custom partitioner isolates the
+// giant group on partition 0, mirroring the paper's single overloaded
+// reduce.
+mapred::JobConfig MakeAnchortextJob(WebDataset* input,
+                                    mapred::SpillMode spill_mode,
+                                    size_t k = 10, int num_reducers = 8,
+                                    uint64_t projected_size = 4096);
+
+// "Spam Quantiles": group pages by domain, spam-score quantiles per domain
+// (holistic UDF with internal state, no projection — full 10 KB tuples
+// shuffle and fill the bags). The rank-0 domain (~30% of the data) is the
+// straggling group.
+mapred::JobConfig MakeSpamQuantilesJob(WebDataset* input,
+                                       mapred::SpillMode spill_mode,
+                                       int num_reducers = 8);
+
+// The background "grep" job: a map-only scan over `input` that saturates
+// idle map slots and the disks under them. `cpu_seconds_per_task` tunes
+// per-task runtime (~16 s in the paper's cluster).
+mapred::JobConfig MakeGrepJob(ScanDataset* input,
+                              std::shared_ptr<bool> cancel,
+                              double task_cpu_seconds = 14.0);
+
+}  // namespace spongefiles::workload
+
+#endif  // SPONGEFILES_WORKLOAD_JOBS_H_

@@ -1,0 +1,84 @@
+#include "workload/trace.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace spongefiles::workload {
+
+double TraceJob::average_input() const {
+  return Mean(reduce_input_bytes);
+}
+
+double TraceJob::skewness() const {
+  return UnbiasedSkewness(reduce_input_bytes);
+}
+
+std::vector<TraceJob> TraceSynthesizer::Generate() const {
+  Rng rng(config_.seed);
+  std::vector<TraceJob> jobs;
+  jobs.reserve(config_.num_jobs);
+  for (size_t j = 0; j < config_.num_jobs; ++j) {
+    TraceJob job;
+    size_t reduces = static_cast<size_t>(std::clamp(
+        rng.LogNormal(config_.reduces_mu, config_.reduces_sigma), 1.0,
+        static_cast<double>(config_.max_reduces)));
+    job.reduce_input_bytes.reserve(reduces);
+    // Per-job base scale, so jobs differ from each other (inter-job skew).
+    double job_scale = rng.LogNormal(0.0, 1.0);
+    for (size_t t = 0; t < reduces; ++t) {
+      double bytes = job_scale *
+                     rng.LogNormal(config_.size_mu, config_.size_sigma);
+      job.reduce_input_bytes.push_back(std::min(
+          bytes, static_cast<double>(config_.max_task_bytes)));
+    }
+    // Half the jobs get a hot-key straggler: one task's input inflated by
+    // a Pareto factor (the "millions of anchortexts for one site" effect).
+    // A minority are inflated on the opposite side (all-but-one large),
+    // producing the negative-skew tail of Figure 1(b).
+    if (rng.NextDouble() < config_.skewed_job_fraction && reduces >= 3) {
+      double u = rng.NextDouble();
+      double factor =
+          std::pow(1.0 - u, -1.0 / config_.pareto_alpha);  // Pareto >= 1
+      size_t victim = rng.Uniform(reduces);
+      if (rng.NextDouble() < 0.25) {
+        // Negative skew: every task but one is inflated.
+        for (size_t t = 0; t < reduces; ++t) {
+          if (t != victim) {
+            job.reduce_input_bytes[t] = std::min(
+                job.reduce_input_bytes[t] * factor,
+                static_cast<double>(config_.max_task_bytes));
+          }
+        }
+      } else {
+        job.reduce_input_bytes[victim] = std::min(
+            job.reduce_input_bytes[victim] * factor,
+            static_cast<double>(config_.max_task_bytes));
+      }
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+TraceSynthesizer::Figure1 TraceSynthesizer::BuildFigure1(
+    size_t cdf_points) const {
+  std::vector<TraceJob> jobs = Generate();
+  std::vector<double> all_tasks;
+  std::vector<double> averages;
+  std::vector<double> skews;
+  for (const TraceJob& job : jobs) {
+    all_tasks.insert(all_tasks.end(), job.reduce_input_bytes.begin(),
+                     job.reduce_input_bytes.end());
+    averages.push_back(job.average_input());
+    if (job.reduce_input_bytes.size() >= 3) {
+      skews.push_back(job.skewness());
+    }
+  }
+  Figure1 fig;
+  fig.task_inputs = EmpiricalCdf(std::move(all_tasks), cdf_points);
+  fig.job_average_inputs = EmpiricalCdf(std::move(averages), cdf_points);
+  fig.job_skewness = EmpiricalCdf(std::move(skews), cdf_points);
+  return fig;
+}
+
+}  // namespace spongefiles::workload

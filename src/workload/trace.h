@@ -1,0 +1,60 @@
+#ifndef SPONGEFILES_WORKLOAD_TRACE_H_
+#define SPONGEFILES_WORKLOAD_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/random.h"
+#include "common/stats.h"
+
+namespace spongefiles::workload {
+
+// Synthesizes a month of production reduce-task input sizes with the
+// qualitative properties of Figure 1: per-task inputs spanning ~8 orders
+// of magnitude (bytes to ~105 GB, far beyond any node's memory), and
+// within-job distributions whose unbiased skewness is heavy on both tails
+// with a large fraction beyond +/-1.
+struct TraceConfig {
+  size_t num_jobs = 20000;
+  uint64_t seed = 14;
+  // Per-job reduce count: lognormal, clamped to [1, max_reduces].
+  double reduces_mu = 3.0;
+  double reduces_sigma = 1.5;
+  size_t max_reduces = 2000;
+  // Base per-task input size: lognormal around tens of MB.
+  double size_mu = 17.0;    // e^17 ~ 24 MB
+  double size_sigma = 2.5;  // heavy spread
+  // Fraction of jobs with an extra heavy-tailed straggler group.
+  double skewed_job_fraction = 0.5;
+  double pareto_alpha = 0.9;
+  uint64_t max_task_bytes = 105ull * 1024 * 1024 * 1024;
+};
+
+struct TraceJob {
+  std::vector<double> reduce_input_bytes;
+  double average_input() const;
+  double skewness() const;  // unbiased estimator over task inputs
+};
+
+class TraceSynthesizer {
+ public:
+  explicit TraceSynthesizer(const TraceConfig& config) : config_(config) {}
+
+  std::vector<TraceJob> Generate() const;
+
+  // The three curves of Figure 1, as CDF point sets:
+  // all reduce-task inputs, per-job average inputs, per-job skewness.
+  struct Figure1 {
+    std::vector<CdfPoint> task_inputs;
+    std::vector<CdfPoint> job_average_inputs;
+    std::vector<CdfPoint> job_skewness;
+  };
+  Figure1 BuildFigure1(size_t cdf_points = 40) const;
+
+ private:
+  TraceConfig config_;
+};
+
+}  // namespace spongefiles::workload
+
+#endif  // SPONGEFILES_WORKLOAD_TRACE_H_

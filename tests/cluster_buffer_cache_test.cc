@@ -1,0 +1,175 @@
+#include "cluster/buffer_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "cluster/disk.h"
+#include "common/units.h"
+#include "sim/engine.h"
+
+namespace spongefiles::cluster {
+namespace {
+
+struct Fixture {
+  sim::Engine engine;
+  Disk disk;
+  BufferCache cache;
+
+  explicit Fixture(uint64_t capacity)
+      : disk(&engine, DiskConfig{}),
+        cache(&engine, &disk, MakeConfig(capacity)) {}
+
+  static BufferCacheConfig MakeConfig(uint64_t capacity) {
+    BufferCacheConfig config;
+    config.capacity = capacity;
+    return config;
+  }
+};
+
+sim::Task<> WriteFile(BufferCache* cache, uint64_t file, uint64_t bytes) {
+  co_await cache->Write(file, 0, bytes);
+}
+
+sim::Task<> ReadFile(BufferCache* cache, uint64_t file, uint64_t bytes) {
+  co_await cache->Read(file, 0, bytes);
+}
+
+TEST(BufferCacheTest, SmallWriteAbsorbedWithoutDiskIo) {
+  Fixture f(GiB(1));
+  f.engine.Spawn(WriteFile(&f.cache, 1, MiB(10)));
+  f.engine.Run();
+  EXPECT_EQ(f.disk.bytes_written(), 0u);
+  EXPECT_EQ(f.cache.bytes_absorbed(), MiB(10));
+  // Only a memory copy: far faster than any disk write.
+  EXPECT_LT(f.engine.now(), Millis(20));
+}
+
+TEST(BufferCacheTest, ReadBackOfCachedWriteHitsMemory) {
+  Fixture f(GiB(1));
+  auto run = [](BufferCache* cache) -> sim::Task<> {
+    co_await cache->Write(1, 0, MiB(10));
+    co_await cache->Read(1, 0, MiB(10));
+  };
+  f.engine.Spawn(run(&f.cache));
+  f.engine.Run();
+  EXPECT_EQ(f.disk.bytes_read(), 0u);
+  EXPECT_EQ(f.cache.hits(), 10u);
+  EXPECT_EQ(f.cache.misses(), 0u);
+}
+
+TEST(BufferCacheTest, UncachedReadGoesToDisk) {
+  Fixture f(GiB(1));
+  f.engine.Spawn(ReadFile(&f.cache, 7, MiB(8)));
+  f.engine.Run();
+  EXPECT_EQ(f.disk.bytes_read(), MiB(8));
+  EXPECT_EQ(f.cache.misses(), 8u);
+}
+
+TEST(BufferCacheTest, ContiguousMissesCoalesceIntoOneDiskRequest) {
+  Fixture f(GiB(1));
+  f.engine.Spawn(ReadFile(&f.cache, 7, MiB(16)));
+  f.engine.Run();
+  EXPECT_EQ(f.disk.requests(), 1u);
+}
+
+TEST(BufferCacheTest, TinyCacheWritesThrough) {
+  Fixture f(0);
+  f.engine.Spawn(WriteFile(&f.cache, 1, MiB(4)));
+  f.engine.Run();
+  EXPECT_EQ(f.disk.bytes_written(), MiB(4));
+}
+
+TEST(BufferCacheTest, DirtyThrottlingForcesFlush) {
+  // 100 MB cache, dirty threshold 40 MB: writing 200 MB must push most of
+  // it to disk.
+  Fixture f(MiB(100));
+  f.engine.Spawn(WriteFile(&f.cache, 1, MiB(200)));
+  f.engine.Run();
+  EXPECT_GT(f.disk.bytes_written(), MiB(100));
+  EXPECT_LE(f.cache.dirty_bytes(),
+            static_cast<uint64_t>(0.4 * MiB(100)) + kMiB);
+}
+
+TEST(BufferCacheTest, DropDiscardsDirtyDataWithoutWriteback) {
+  Fixture f(GiB(1));
+  f.engine.Spawn(WriteFile(&f.cache, 1, MiB(50)));
+  f.engine.Run();
+  EXPECT_EQ(f.cache.dirty_bytes(), MiB(50));
+  f.cache.Drop(1);
+  EXPECT_EQ(f.cache.dirty_bytes(), 0u);
+  EXPECT_EQ(f.cache.cached_bytes(), 0u);
+  f.engine.Run();
+  EXPECT_EQ(f.disk.bytes_written(), 0u);
+}
+
+TEST(BufferCacheTest, FlushWritesDirtyBlocksOnce) {
+  Fixture f(GiB(1));
+  auto run = [](BufferCache* cache) -> sim::Task<> {
+    co_await cache->Write(1, 0, MiB(30));
+    co_await cache->Flush(1);
+    co_await cache->Flush(1);  // second flush is a no-op
+  };
+  f.engine.Spawn(run(&f.cache));
+  f.engine.Run();
+  EXPECT_EQ(f.disk.bytes_written(), MiB(30));
+  EXPECT_EQ(f.cache.dirty_bytes(), 0u);
+}
+
+TEST(BufferCacheTest, EvictionKeepsCacheWithinCapacity) {
+  Fixture f(MiB(64));
+  auto run = [](BufferCache* cache) -> sim::Task<> {
+    for (uint64_t file = 1; file <= 4; ++file) {
+      co_await cache->Read(file, 0, MiB(32));
+    }
+  };
+  f.engine.Spawn(run(&f.cache));
+  f.engine.Run();
+  EXPECT_LE(f.cache.cached_bytes(), MiB(64));
+}
+
+TEST(BufferCacheTest, StreamingScanDoesNotEvictHotData) {
+  // Segmented LRU: a file written then read (two touches -> active list)
+  // must survive a one-pass streaming scan bigger than the cache.
+  Fixture f(MiB(256));
+  auto run = [](BufferCache* cache, Disk* disk, uint64_t* reread_disk_bytes)
+      -> sim::Task<> {
+    // Hot spill file: written, read back once (promoted to active).
+    co_await cache->Write(1, 0, MiB(40));
+    co_await cache->Read(1, 0, MiB(40));
+    // Cold streaming scan, 1 GB through a 256 MB cache.
+    for (uint64_t off = 0; off < GiB(1); off += MiB(16)) {
+      co_await cache->Read(2, off, MiB(16));
+    }
+    uint64_t before = disk->bytes_read();
+    co_await cache->Read(1, 0, MiB(40));
+    *reread_disk_bytes = disk->bytes_read() - before;
+  };
+  uint64_t reread_disk_bytes = ~0ull;
+  f.engine.Spawn(run(&f.cache, &f.disk, &reread_disk_bytes));
+  f.engine.Run();
+  EXPECT_EQ(reread_disk_bytes, 0u) << "hot spill file was evicted";
+}
+
+TEST(BufferCacheTest, PlainLruWouldThrashButActiveListCaps) {
+  // The streaming file itself must not occupy more than the cache.
+  Fixture f(MiB(128));
+  auto run = [](BufferCache* cache) -> sim::Task<> {
+    for (uint64_t off = 0; off < GiB(1); off += MiB(8)) {
+      co_await cache->Read(9, off, MiB(8));
+    }
+  };
+  f.engine.Spawn(run(&f.cache));
+  f.engine.Run();
+  EXPECT_LE(f.cache.cached_bytes(), MiB(128));
+  // One-pass scan: every block is a miss.
+  EXPECT_EQ(f.cache.misses(), 1024u);
+}
+
+TEST(BufferCacheTest, CapacityZeroReadAlsoWritesThrough) {
+  Fixture f(0);
+  f.engine.Spawn(ReadFile(&f.cache, 3, MiB(2)));
+  f.engine.Run();
+  EXPECT_EQ(f.disk.bytes_read(), MiB(2));
+}
+
+}  // namespace
+}  // namespace spongefiles::cluster

@@ -1,0 +1,144 @@
+#include "cluster/disk.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+
+namespace spongefiles::cluster {
+namespace {
+
+DiskConfig TestDisk() {
+  DiskConfig config;
+  config.avg_seek = Millis(8);
+  config.avg_rotation = Millis(4);
+  config.sequential_bandwidth = static_cast<double>(MiB(100));
+  return config;
+}
+
+sim::Task<> DoRead(Disk* disk, uint64_t stream, uint64_t offset,
+                   uint64_t bytes) {
+  co_await disk->Read(stream, offset, bytes);
+}
+
+TEST(DiskTest, FirstAccessPaysSeek) {
+  sim::Engine engine;
+  Disk disk(&engine, TestDisk());
+  engine.Spawn(DoRead(&disk, 1, 0, MiB(1)));
+  engine.Run();
+  // 12 ms seek+rotation plus 10 ms transfer of 1 MB at 100 MB/s.
+  EXPECT_NEAR(ToMillis(engine.now()), 22.0, 0.5);
+  EXPECT_EQ(disk.seeks(), 1u);
+}
+
+TEST(DiskTest, SequentialContinuationSkipsSeek) {
+  sim::Engine engine;
+  Disk disk(&engine, TestDisk());
+  auto run = [](Disk* d) -> sim::Task<> {
+    co_await d->Read(1, 0, MiB(1));
+    co_await d->Read(1, MiB(1), MiB(1));
+    co_await d->Read(1, MiB(2), MiB(1));
+  };
+  engine.Spawn(run(&disk));
+  engine.Run();
+  // One seek total, then pure sequential transfer.
+  EXPECT_EQ(disk.seeks(), 1u);
+  EXPECT_NEAR(ToMillis(engine.now()), 12 + 30, 0.5);
+}
+
+TEST(DiskTest, RandomOffsetsAlwaysSeek) {
+  sim::Engine engine;
+  Disk disk(&engine, TestDisk());
+  auto run = [](Disk* d) -> sim::Task<> {
+    co_await d->Write(1, 0, MiB(1));
+    co_await d->Write(1, MiB(10), MiB(1));
+    co_await d->Write(1, MiB(5), MiB(1));
+  };
+  engine.Spawn(run(&disk));
+  engine.Run();
+  EXPECT_EQ(disk.seeks(), 3u);
+}
+
+TEST(DiskTest, InterleavedStreamsCauseSeeks) {
+  sim::Engine engine;
+  Disk disk(&engine, TestDisk());
+  // Two tasks streaming different files concurrently: every request
+  // switches streams, so every request seeks. This is the contention
+  // breakdown the paper's Table 1 demonstrates.
+  auto stream_file = [](Disk* d, uint64_t stream) -> sim::Task<> {
+    for (int i = 0; i < 10; ++i) {
+      co_await d->Read(stream, static_cast<uint64_t>(i) * MiB(1), MiB(1));
+    }
+  };
+  engine.Spawn(stream_file(&disk, 1));
+  engine.Spawn(stream_file(&disk, 2));
+  engine.Run();
+  EXPECT_EQ(disk.seeks(), 20u);
+  // 20 requests x (12 + 10) ms.
+  EXPECT_NEAR(ToMillis(engine.now()), 20 * 22.0, 1.0);
+}
+
+TEST(DiskTest, SoloStreamFasterThanContended) {
+  Duration solo;
+  Duration contended;
+  {
+    sim::Engine engine;
+    Disk disk(&engine, TestDisk());
+    auto run = [](Disk* d) -> sim::Task<> {
+      for (int i = 0; i < 50; ++i) {
+        co_await d->Read(1, static_cast<uint64_t>(i) * MiB(1), MiB(1));
+      }
+    };
+    engine.Spawn(run(&disk));
+    engine.Run();
+    solo = engine.now();
+  }
+  {
+    sim::Engine engine;
+    Disk disk(&engine, TestDisk());
+    auto run = [](Disk* d, uint64_t stream) -> sim::Task<> {
+      for (int i = 0; i < 50; ++i) {
+        co_await d->Read(stream, static_cast<uint64_t>(i) * MiB(1), MiB(1));
+      }
+    };
+    engine.Spawn(run(&disk, 1));
+    engine.Spawn(run(&disk, 2));
+    engine.Run();
+    contended = engine.now();
+  }
+  // Two interleaved streams take far more than 2x the solo time because of
+  // the per-request seeks.
+  EXPECT_GT(contended, 3 * solo);
+}
+
+TEST(DiskTest, StatsTrackBytes) {
+  sim::Engine engine;
+  Disk disk(&engine, TestDisk());
+  auto run = [](Disk* d) -> sim::Task<> {
+    co_await d->Read(1, 0, MiB(2));
+    co_await d->Write(2, 0, MiB(3));
+  };
+  engine.Spawn(run(&disk));
+  engine.Run();
+  EXPECT_EQ(disk.bytes_read(), MiB(2));
+  EXPECT_EQ(disk.bytes_written(), MiB(3));
+  EXPECT_EQ(disk.requests(), 2u);
+  EXPECT_EQ(disk.busy_time(), engine.now());
+}
+
+TEST(DiskTest, FifoQueueing) {
+  sim::Engine engine;
+  Disk disk(&engine, TestDisk());
+  std::vector<int> order;
+  auto req = [](Disk* d, std::vector<int>* log, int id) -> sim::Task<> {
+    co_await d->Read(static_cast<uint64_t>(id), 0, MiB(1));
+    log->push_back(id);
+  };
+  for (int i = 0; i < 5; ++i) engine.Spawn(req(&disk, &order, i));
+  engine.Run();
+  EXPECT_EQ(order, std::vector<int>({0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace spongefiles::cluster

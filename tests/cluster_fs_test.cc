@@ -1,0 +1,227 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/dfs.h"
+#include "cluster/local_fs.h"
+#include "common/units.h"
+#include "sim/engine.h"
+
+namespace spongefiles::cluster {
+namespace {
+
+struct FsFixture {
+  sim::Engine engine;
+  Disk disk;
+  BufferCache cache;
+  LocalFs fs;
+
+  FsFixture()
+      : disk(&engine, DiskConfig{}),
+        cache(&engine, &disk, CacheConfig()),
+        fs(&cache, GiB(10)) {}
+
+  static BufferCacheConfig CacheConfig() {
+    BufferCacheConfig config;
+    config.capacity = GiB(1);
+    return config;
+  }
+};
+
+TEST(LocalFsTest, CreateAppendReadDelete) {
+  FsFixture f;
+  auto id = f.fs.Create("spill0");
+  ASSERT_TRUE(id.ok());
+  Status out;
+  auto run = [](LocalFs* fs, uint64_t id, Status* out) -> sim::Task<> {
+    Status s = co_await fs->Append(id, MiB(5));
+    if (!s.ok()) {
+      *out = s;
+      co_return;
+    }
+    *out = co_await fs->Read(id, 0, MiB(5));
+  };
+  f.engine.Spawn(run(&f.fs, *id, &out));
+  f.engine.Run();
+  EXPECT_TRUE(out.ok()) << out.ToString();
+  EXPECT_EQ(*f.fs.Size(*id), MiB(5));
+  EXPECT_EQ(f.fs.used(), MiB(5));
+  EXPECT_TRUE(f.fs.Delete(*id).ok());
+  EXPECT_EQ(f.fs.used(), 0u);
+  EXPECT_EQ(f.cache.cached_bytes(), 0u);
+}
+
+TEST(LocalFsTest, DuplicateNameRejected) {
+  FsFixture f;
+  ASSERT_TRUE(f.fs.Create("x").ok());
+  EXPECT_EQ(f.fs.Create("x").status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(LocalFsTest, ReadPastEofFails) {
+  FsFixture f;
+  auto id = f.fs.Create("f");
+  Status out;
+  auto run = [](LocalFs* fs, uint64_t id, Status* out) -> sim::Task<> {
+    (void)co_await fs->Append(id, MiB(1));
+    *out = co_await fs->Read(id, MiB(1) - 10, 20);
+  };
+  f.engine.Spawn(run(&f.fs, *id, &out));
+  f.engine.Run();
+  EXPECT_EQ(out.code(), StatusCode::kOutOfRange);
+}
+
+TEST(LocalFsTest, CapacityEnforced) {
+  FsFixture f;
+  auto id = f.fs.Create("big");
+  Status out;
+  auto run = [](LocalFs* fs, uint64_t id, Status* out) -> sim::Task<> {
+    *out = co_await fs->Append(id, GiB(11));
+  };
+  f.engine.Spawn(run(&f.fs, *id, &out));
+  f.engine.Run();
+  EXPECT_EQ(out.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(LocalFsTest, TruncateReservesWithoutIo) {
+  FsFixture f;
+  auto id = f.fs.Create("dataset");
+  ASSERT_TRUE(f.fs.Truncate(*id, GiB(2)).ok());
+  EXPECT_EQ(*f.fs.Size(*id), GiB(2));
+  EXPECT_EQ(f.fs.used(), GiB(2));
+  EXPECT_EQ(f.disk.bytes_written(), 0u);
+  EXPECT_EQ(f.fs.Truncate(*id, GiB(1)).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(LocalFsTest, MissingFileErrors) {
+  FsFixture f;
+  Status append_status;
+  auto run = [](LocalFs* fs, Status* out) -> sim::Task<> {
+    *out = co_await fs->Append(999, 10);
+  };
+  f.engine.Spawn(run(&f.fs, &append_status));
+  f.engine.Run();
+  EXPECT_EQ(append_status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(f.fs.Delete(999).code(), StatusCode::kNotFound);
+  EXPECT_EQ(f.fs.Size(999).status().code(), StatusCode::kNotFound);
+}
+
+ClusterConfig SmallCluster() {
+  ClusterConfig config;
+  config.num_nodes = 4;
+  config.nodes_per_rack = 2;
+  return config;
+}
+
+TEST(ClusterTest, NodesAssignedToRacks) {
+  sim::Engine engine;
+  Cluster cluster(&engine, SmallCluster());
+  EXPECT_EQ(cluster.size(), 4u);
+  EXPECT_EQ(cluster.node(0).rack(), 0u);
+  EXPECT_EQ(cluster.node(1).rack(), 0u);
+  EXPECT_EQ(cluster.node(2).rack(), 1u);
+  EXPECT_EQ(cluster.node(3).rack(), 1u);
+  EXPECT_TRUE(cluster.SameRack(0, 1));
+  EXPECT_FALSE(cluster.SameRack(1, 2));
+  EXPECT_EQ(cluster.RackPeers(0), (std::vector<size_t>{0, 1}));
+}
+
+TEST(ClusterTest, CacheCapacityDerivedFromMemorySplit) {
+  sim::Engine engine;
+  ClusterConfig config = SmallCluster();
+  config.node.physical_memory = GiB(16);
+  config.node.map_slots = 2;
+  config.node.reduce_slots = 1;
+  config.node.heap_per_slot = GiB(1);
+  config.node.sponge_memory = GiB(1);
+  config.node.os_reserved = MiB(512);
+  Cluster cluster(&engine, config);
+  // 16 - 3x1 - 1 - 0.5 = 11.5 GB.
+  EXPECT_EQ(cluster.node(0).cache_capacity(), GiB(16) - GiB(4) - MiB(512));
+}
+
+TEST(ClusterTest, PinnedMemoryShrinksCache) {
+  sim::Engine engine;
+  ClusterConfig config = SmallCluster();
+  config.node.physical_memory = GiB(16);
+  config.node.pinned_memory = GiB(12);
+  Cluster cluster(&engine, config);
+  EXPECT_LT(cluster.node(0).cache_capacity(), GiB(1));
+}
+
+TEST(DfsTest, CreateAndReadCharged) {
+  sim::Engine engine;
+  Cluster cluster(&engine, SmallCluster());
+  Dfs dfs(&cluster);
+  ASSERT_TRUE(dfs.CreateFile("input", MiB(600)).ok());
+  EXPECT_EQ(*dfs.Size("input"), MiB(600));
+  Status out;
+  auto run = [](Dfs* dfs, Status* out) -> sim::Task<> {
+    *out = co_await dfs->Read("input", 0, 0, MiB(300));
+  };
+  engine.Spawn(run(&dfs, &out));
+  engine.Run();
+  EXPECT_TRUE(out.ok()) << out.ToString();
+  EXPECT_GT(engine.now(), 0);
+}
+
+TEST(DfsTest, BlocksSpreadAcrossNodes) {
+  sim::Engine engine;
+  Cluster cluster(&engine, SmallCluster());
+  Dfs dfs(&cluster);
+  ASSERT_TRUE(dfs.CreateFile("spread", 4 * Dfs::kBlockSize).ok());
+  std::set<size_t> owners;
+  for (uint64_t b = 0; b < 4; ++b) {
+    owners.insert(*dfs.BlockLocation("spread", b * Dfs::kBlockSize));
+  }
+  EXPECT_EQ(owners.size(), 4u);
+}
+
+TEST(DfsTest, AppendBlockWritesLocallyFirst) {
+  sim::Engine engine;
+  Cluster cluster(&engine, SmallCluster());
+  Dfs dfs(&cluster);
+  Status out;
+  auto run = [](Dfs* dfs, Status* out) -> sim::Task<> {
+    *out = co_await dfs->AppendBlock("spill", 2, MiB(64));
+  };
+  engine.Spawn(run(&dfs, &out));
+  engine.Run();
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(*dfs.BlockLocation("spill", 0), 2u);
+  EXPECT_EQ(cluster.network().bytes_transferred(), 0u);
+}
+
+TEST(DfsTest, DeleteFreesSpace) {
+  sim::Engine engine;
+  Cluster cluster(&engine, SmallCluster());
+  Dfs dfs(&cluster);
+  ASSERT_TRUE(dfs.CreateFile("tmp", MiB(256)).ok());
+  uint64_t used = 0;
+  for (size_t i = 0; i < cluster.size(); ++i) used += cluster.node(i).fs().used();
+  EXPECT_EQ(used, MiB(256));
+  ASSERT_TRUE(dfs.Delete("tmp").ok());
+  used = 0;
+  for (size_t i = 0; i < cluster.size(); ++i) used += cluster.node(i).fs().used();
+  EXPECT_EQ(used, 0u);
+  EXPECT_FALSE(dfs.Exists("tmp"));
+}
+
+TEST(DfsTest, RemoteReadUsesNetwork) {
+  sim::Engine engine;
+  Cluster cluster(&engine, SmallCluster());
+  Dfs dfs(&cluster);
+  ASSERT_TRUE(dfs.CreateFile("data", Dfs::kBlockSize).ok());
+  size_t owner = *dfs.BlockLocation("data", 0);
+  size_t reader = (owner + 1) % cluster.size();
+  Status out;
+  auto run = [](Dfs* dfs, size_t reader, Status* out) -> sim::Task<> {
+    *out = co_await dfs->Read("data", reader, 0, MiB(10));
+  };
+  engine.Spawn(run(&dfs, reader, &out));
+  engine.Run();
+  EXPECT_TRUE(out.ok());
+  EXPECT_EQ(cluster.network().bytes_transferred(), MiB(10));
+}
+
+}  // namespace
+}  // namespace spongefiles::cluster

@@ -1,0 +1,151 @@
+#include "cluster/network.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+#include "sim/engine.h"
+
+namespace spongefiles::cluster {
+namespace {
+
+NetworkConfig TestNet() {
+  NetworkConfig config;
+  config.bandwidth = static_cast<double>(MiB(125));
+  config.latency = Micros(300);
+  config.ipc_bandwidth = static_cast<double>(MiB(160));
+  config.ipc_overhead = Micros(400);
+  return config;
+}
+
+sim::Task<> DoTransfer(Network* net, size_t src, size_t dst,
+                       uint64_t bytes) {
+  co_await net->Transfer(src, dst, bytes);
+}
+
+TEST(NetworkTest, RemoteTransferTimeMatchesBandwidthPlusLatency) {
+  sim::Engine engine;
+  Network net(&engine, 4, TestNet());
+  engine.Spawn(DoTransfer(&net, 0, 1, MiB(1)));
+  engine.Run();
+  // 1 MB at 125 MB/s = 8 ms plus 0.3 ms latency.
+  EXPECT_NEAR(ToMillis(engine.now()), 8.3, 0.2);
+}
+
+TEST(NetworkTest, LoopbackUsesIpcPath) {
+  sim::Engine engine;
+  Network net(&engine, 4, TestNet());
+  engine.Spawn(DoTransfer(&net, 2, 2, MiB(1)));
+  engine.Run();
+  // 1 MB at 160 MB/s = 6.4 ms plus 0.4 ms overhead.
+  EXPECT_NEAR(ToMillis(engine.now()), 6.8, 0.2);
+}
+
+TEST(NetworkTest, SharedSenderLinkSerializes) {
+  sim::Engine engine;
+  Network net(&engine, 4, TestNet());
+  engine.Spawn(DoTransfer(&net, 0, 1, MiB(1)));
+  engine.Spawn(DoTransfer(&net, 0, 2, MiB(1)));
+  engine.Run();
+  EXPECT_NEAR(ToMillis(engine.now()), 2 * 8.3, 0.4);
+}
+
+TEST(NetworkTest, SharedReceiverLinkSerializes) {
+  sim::Engine engine;
+  Network net(&engine, 4, TestNet());
+  engine.Spawn(DoTransfer(&net, 0, 2, MiB(1)));
+  engine.Spawn(DoTransfer(&net, 1, 2, MiB(1)));
+  engine.Run();
+  EXPECT_GE(ToMillis(engine.now()), 2 * 8.0);
+}
+
+TEST(NetworkTest, DisjointPairsRunInParallel) {
+  sim::Engine engine;
+  Network net(&engine, 4, TestNet());
+  engine.Spawn(DoTransfer(&net, 0, 1, MiB(1)));
+  engine.Spawn(DoTransfer(&net, 2, 3, MiB(1)));
+  engine.Run();
+  EXPECT_NEAR(ToMillis(engine.now()), 8.3, 0.2);
+}
+
+TEST(NetworkTest, OpposingTransfersDoNotDeadlockFullDuplex) {
+  sim::Engine engine;
+  Network net(&engine, 2, TestNet());
+  engine.Spawn(DoTransfer(&net, 0, 1, MiB(1)));
+  engine.Spawn(DoTransfer(&net, 1, 0, MiB(1)));
+  engine.Run();
+  // Full duplex: both complete in one transfer time.
+  EXPECT_NEAR(ToMillis(engine.now()), 8.3, 0.2);
+}
+
+TEST(NetworkTest, RpcPaysTwoLatencies) {
+  sim::Engine engine;
+  Network net(&engine, 2, TestNet());
+  auto rpc = [](Network* n) -> sim::Task<> {
+    co_await n->Rpc(0, 1, 256, 256);
+  };
+  engine.Spawn(rpc(&net));
+  engine.Run();
+  EXPECT_GE(engine.now(), 2 * Micros(300));
+  EXPECT_LT(engine.now(), Millis(1));
+}
+
+TEST(NetworkTest, CrossRackMeteredByUplink) {
+  sim::Engine engine;
+  NetworkConfig config = TestNet();
+  config.cross_rack_bandwidth = config.bandwidth / 4;  // 4:1 oversubscribed
+  Network net(&engine, 4, config, {0, 0, 1, 1});
+  engine.Spawn(DoTransfer(&net, 0, 2, MiB(1)));
+  engine.Run();
+  // 1 MB at ~31 MB/s plus latencies: ~32+ ms, far beyond the 8.3 ms
+  // in-rack time.
+  EXPECT_GT(ToMillis(engine.now()), 30.0);
+  EXPECT_EQ(net.cross_rack_bytes(), MiB(1));
+}
+
+TEST(NetworkTest, SameRackUnaffectedByCrossRackMetering) {
+  sim::Engine engine;
+  NetworkConfig config = TestNet();
+  config.cross_rack_bandwidth = config.bandwidth / 4;
+  Network net(&engine, 4, config, {0, 0, 1, 1});
+  engine.Spawn(DoTransfer(&net, 0, 1, MiB(1)));
+  engine.Run();
+  EXPECT_NEAR(ToMillis(engine.now()), 8.3, 0.2);
+  EXPECT_EQ(net.cross_rack_bytes(), 0u);
+}
+
+TEST(NetworkTest, SharedUplinkSerializesCrossRackFlows) {
+  sim::Engine engine;
+  NetworkConfig config = TestNet();
+  config.cross_rack_bandwidth = config.bandwidth;  // metered but full rate
+  Network net(&engine, 6, config, {0, 0, 0, 1, 1, 1});
+  // Two flows out of rack 0 from different nodes share one uplink.
+  engine.Spawn(DoTransfer(&net, 0, 3, MiB(1)));
+  engine.Spawn(DoTransfer(&net, 1, 4, MiB(1)));
+  engine.Run();
+  EXPECT_GE(ToMillis(engine.now()), 2 * 8.0);
+}
+
+TEST(NetworkTest, OpposingCrossRackFlowsDoNotDeadlock) {
+  sim::Engine engine;
+  NetworkConfig config = TestNet();
+  config.cross_rack_bandwidth = config.bandwidth / 2;
+  Network net(&engine, 4, config, {0, 0, 1, 1});
+  engine.Spawn(DoTransfer(&net, 0, 2, MiB(1)));
+  engine.Spawn(DoTransfer(&net, 2, 0, MiB(1)));
+  engine.Spawn(DoTransfer(&net, 1, 3, MiB(1)));
+  engine.Spawn(DoTransfer(&net, 3, 1, MiB(1)));
+  uint64_t events = engine.Run();
+  EXPECT_GT(events, 0u);
+  EXPECT_EQ(net.cross_rack_bytes(), 4 * MiB(1));
+}
+
+TEST(NetworkTest, TracksBytesTransferred) {
+  sim::Engine engine;
+  Network net(&engine, 2, TestNet());
+  engine.Spawn(DoTransfer(&net, 0, 1, MiB(3)));
+  engine.Run();
+  EXPECT_EQ(net.bytes_transferred(), MiB(3));
+}
+
+}  // namespace
+}  // namespace spongefiles::cluster

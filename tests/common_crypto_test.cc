@@ -1,0 +1,85 @@
+#include "common/crypto.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace spongefiles {
+namespace {
+
+TEST(XteaCtrTest, ApplyTwiceRestoresInput) {
+  XteaCtr cipher(XteaCtr::DeriveKey("secret"));
+  Rng rng(4);
+  std::vector<uint8_t> data(1000);
+  for (auto& b : data) b = static_cast<uint8_t>(rng.Next());
+  std::vector<uint8_t> original = data;
+  cipher.Apply(42, data.data(), data.size());
+  EXPECT_NE(data, original);
+  cipher.Apply(42, data.data(), data.size());
+  EXPECT_EQ(data, original);
+}
+
+TEST(XteaCtrTest, DifferentNoncesDifferentCiphertext) {
+  XteaCtr cipher(XteaCtr::DeriveKey("secret"));
+  std::vector<uint8_t> a(64, 0x5a);
+  std::vector<uint8_t> b(64, 0x5a);
+  cipher.Apply(1, a.data(), a.size());
+  cipher.Apply(2, b.data(), b.size());
+  EXPECT_NE(a, b);
+}
+
+TEST(XteaCtrTest, DifferentKeysDifferentCiphertext) {
+  XteaCtr a(XteaCtr::DeriveKey("alpha"));
+  XteaCtr b(XteaCtr::DeriveKey("beta"));
+  std::vector<uint8_t> da(64, 0x5a);
+  std::vector<uint8_t> db(64, 0x5a);
+  a.Apply(1, da.data(), da.size());
+  b.Apply(1, db.data(), db.size());
+  EXPECT_NE(da, db);
+}
+
+TEST(XteaCtrTest, NonBlockSizes) {
+  XteaCtr cipher(XteaCtr::DeriveKey("k"));
+  for (size_t n : {1u, 7u, 8u, 9u, 63u, 100u}) {
+    std::vector<uint8_t> data(n, 0x33);
+    std::vector<uint8_t> original = data;
+    cipher.Apply(9, data.data(), n);
+    cipher.Apply(9, data.data(), n);
+    EXPECT_EQ(data, original) << n;
+  }
+}
+
+TEST(XteaCtrTest, CiphertextLooksUniform) {
+  XteaCtr cipher(XteaCtr::DeriveKey("entropy"));
+  std::vector<uint8_t> data(1 << 16, 0);  // all zeros: pure keystream
+  cipher.Apply(5, data.data(), data.size());
+  // Mean byte value of a decent keystream is ~127.5.
+  double sum = 0;
+  for (uint8_t b : data) sum += b;
+  EXPECT_NEAR(sum / data.size(), 127.5, 3.0);
+}
+
+TEST(XteaCtrTest, ApplyToLiteralsRoundTripsMixedRuns) {
+  XteaCtr cipher(XteaCtr::DeriveKey("mixed"));
+  ByteRuns runs;
+  runs.AppendLiteral(Slice(std::string_view("confidential-header")));
+  runs.AppendZeros(5000);
+  runs.AppendLiteral(Slice(std::string_view("confidential-footer")));
+  auto plaintext = runs.ToBytes();
+  cipher.ApplyToLiterals(77, &runs);
+  auto ciphertext = runs.ToBytes();
+  EXPECT_NE(plaintext, ciphertext);
+  // Logical structure preserved; zero filler untouched.
+  EXPECT_EQ(runs.size(), plaintext.size());
+  EXPECT_EQ(runs.physical_size(), 2u * 19);
+  cipher.ApplyToLiterals(77, &runs);
+  EXPECT_EQ(runs.ToBytes(), plaintext);
+}
+
+TEST(XteaCtrTest, DeriveKeyDeterministic) {
+  EXPECT_EQ(XteaCtr::DeriveKey("x"), XteaCtr::DeriveKey("x"));
+  EXPECT_NE(XteaCtr::DeriveKey("x"), XteaCtr::DeriveKey("y"));
+}
+
+}  // namespace
+}  // namespace spongefiles

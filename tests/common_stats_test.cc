@@ -1,0 +1,139 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace spongefiles {
+namespace {
+
+TEST(StatsTest, MeanAndVariance) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(Mean(xs), 3.0);
+  EXPECT_DOUBLE_EQ(Variance(xs), 2.0);
+  EXPECT_NEAR(StdDev(xs), 1.4142, 1e-3);
+}
+
+TEST(StatsTest, EmptyInputsAreZero) {
+  std::vector<double> xs;
+  EXPECT_EQ(Mean(xs), 0);
+  EXPECT_EQ(Variance(xs), 0);
+  EXPECT_EQ(UnbiasedSkewness(xs), 0);
+}
+
+TEST(StatsTest, SymmetricDataHasZeroSkewness) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_NEAR(UnbiasedSkewness(xs), 0.0, 1e-12);
+}
+
+TEST(StatsTest, RightTailPositiveSkewness) {
+  // Heavy right tail: one giant value among small ones (the reduce-input
+  // pattern in Figure 1(b)).
+  std::vector<double> xs = {1, 1, 1, 1, 1, 1, 1, 1, 1, 100};
+  EXPECT_GT(UnbiasedSkewness(xs), 1.0);
+}
+
+TEST(StatsTest, LeftTailNegativeSkewness) {
+  std::vector<double> xs = {-100, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+  EXPECT_LT(UnbiasedSkewness(xs), -1.0);
+}
+
+TEST(StatsTest, SkewnessMatchesKnownValue) {
+  // Computed against scipy.stats.skew(..., bias=False) for this sample.
+  std::vector<double> xs = {2, 8, 0, 4, 1, 9, 9, 0};
+  EXPECT_NEAR(UnbiasedSkewness(xs), 0.33058218040797466, 1e-9);
+}
+
+TEST(StatsTest, ConstantDataHasZeroSkewness) {
+  std::vector<double> xs(10, 3.5);
+  EXPECT_EQ(UnbiasedSkewness(xs), 0.0);
+}
+
+TEST(StatsTest, QuantileInterpolates) {
+  std::vector<double> xs = {10, 20, 30, 40};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.0), 10);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 1.0), 40);
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 25);
+}
+
+TEST(StatsTest, QuantileUnsortedInput) {
+  std::vector<double> xs = {40, 10, 30, 20};
+  EXPECT_DOUBLE_EQ(Quantile(xs, 0.5), 25);
+}
+
+TEST(StatsTest, EmpiricalCdfEndsAtOne) {
+  Rng rng(3);
+  std::vector<double> xs;
+  for (int i = 0; i < 1000; ++i) xs.push_back(rng.NextDouble());
+  auto cdf = EmpiricalCdf(xs, 32);
+  ASSERT_FALSE(cdf.empty());
+  EXPECT_LE(cdf.size(), 32u);
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  for (size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+}
+
+TEST(StatsTest, EmpiricalCdfUniformIsLinear) {
+  Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) xs.push_back(rng.NextDouble());
+  auto cdf = EmpiricalCdf(xs, 11);
+  for (const auto& p : cdf) {
+    EXPECT_NEAR(p.fraction, p.value, 0.02);
+  }
+}
+
+TEST(StatsTest, AccumulatorTracksMinMaxMean) {
+  Accumulator acc;
+  acc.Add(5);
+  acc.Add(-1);
+  acc.Add(2);
+  EXPECT_EQ(acc.count(), 3u);
+  EXPECT_EQ(acc.min(), -1);
+  EXPECT_EQ(acc.max(), 5);
+  EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
+}
+
+TEST(UnitsTest, ByteFormatting) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(MiB(10)), "10.0 MB");
+  EXPECT_EQ(FormatBytes(GiB(10) + MiB(300)), "10.3 GB");
+}
+
+TEST(UnitsTest, DurationFormatting) {
+  EXPECT_EQ(FormatDuration(Millis(174)), "174.00 ms");
+  EXPECT_EQ(FormatDuration(Seconds(1.25)), "1.25 s");
+  EXPECT_EQ(FormatDuration(Micros(42)), "42 us");
+}
+
+TEST(UnitsTest, TransferTime) {
+  // 1 MB at 1 MB/s is one second.
+  EXPECT_EQ(TransferTime(MiB(1), static_cast<double>(MiB(1))), kSecond);
+  EXPECT_EQ(TransferTime(0, 100.0), 0);
+  // Tiny transfers round up to 1 us.
+  EXPECT_EQ(TransferTime(1, 1e12), 1);
+}
+
+TEST(TableTest, RendersAlignedColumns) {
+  AsciiTable table({"medium", "ms"});
+  table.AddRow({"local shared memory", "1"});
+  table.AddRow({"disk", "25"});
+  std::string out = table.ToString();
+  EXPECT_NE(out.find("| medium"), std::string::npos);
+  EXPECT_NE(out.find("| local shared memory | 1"), std::string::npos);
+  EXPECT_NE(out.find("+--"), std::string::npos);
+}
+
+TEST(TableTest, StrFormatFormats) {
+  EXPECT_EQ(StrFormat("%d ms", 174), "174 ms");
+  EXPECT_EQ(StrFormat("%.1f%%", 85.04), "85.0%");
+}
+
+}  // namespace
+}  // namespace spongefiles

@@ -1,0 +1,176 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/cluster.h"
+#include "cluster/dfs.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "mapred/job_tracker.h"
+#include "mapred/map_task.h"
+#include "sim/engine.h"
+#include "sponge/sponge_env.h"
+
+namespace spongefiles::mapred {
+namespace {
+
+struct MapFixture {
+  sim::Engine engine;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<cluster::Dfs> dfs;
+  std::unique_ptr<sponge::SpongeEnv> env;
+
+  MapFixture() {
+    cluster::ClusterConfig cc;
+    cc.num_nodes = 2;
+    cluster_ = std::make_unique<cluster::Cluster>(&engine, cc);
+    dfs = std::make_unique<cluster::Dfs>(cluster_.get());
+    env = std::make_unique<sponge::SpongeEnv>(cluster_.get(), dfs.get(),
+                                              sponge::SpongeConfig{});
+    (void)dfs->CreateFile("input", MiB(64));
+  }
+
+  // Runs one map task over `records` with the given config knobs and
+  // returns (output, stats).
+  std::pair<MapOutput, TaskStats> RunMap(std::vector<Record> records,
+                                         JobConfig* config) {
+    InputSplit split;
+    split.dfs_file = "input";
+    split.offset = 0;
+    split.bytes = MiB(64);
+    split.generate = [records]() { return records; };
+    MapOutput output;
+    TaskStats stats;
+    Status status;
+    auto run = [&]() -> sim::Task<> {
+      MapTask task(env.get(), dfs.get(), config, &split, /*node=*/0,
+                   /*task_index=*/0);
+      status = co_await task.Run(&output, &stats);
+    };
+    engine.Spawn(run());
+    engine.Run();
+    EXPECT_TRUE(status.ok()) << status.ToString();
+    return {std::move(output), std::move(stats)};
+  }
+};
+
+std::vector<Record> ReverseSortedRecords(int n, uint64_t size) {
+  std::vector<Record> records;
+  for (int i = n - 1; i >= 0; --i) {
+    Record r;
+    r.key = StrFormat("key%06d", i);
+    r.number = i;
+    r.size = size;
+    records.push_back(std::move(r));
+  }
+  return records;
+}
+
+sim::Task<> DrainSorted(SpillFile* file, std::vector<Record>* out) {
+  RecordParser parser;
+  while (true) {
+    auto chunk = co_await file->ReadNext();
+    if (!chunk.ok() || chunk->empty()) break;
+    parser.Feed(*chunk);
+    Record r;
+    while (parser.Next(&r)) out->push_back(r);
+  }
+}
+
+TEST(MapTaskTest, OutputIsSortedByKey) {
+  MapFixture f;
+  JobConfig config;
+  config.num_reducers = 1;
+  auto [output, stats] = f.RunMap(ReverseSortedRecords(500, 2000), &config);
+  ASSERT_EQ(output.partitions.size(), 1u);
+  ASSERT_NE(output.partitions[0], nullptr);
+  std::vector<Record> drained;
+  auto run = [&]() -> sim::Task<> {
+    co_await DrainSorted(output.partitions[0].get(), &drained);
+  };
+  f.engine.Spawn(run());
+  f.engine.Run();
+  ASSERT_EQ(drained.size(), 500u);
+  for (size_t i = 1; i < drained.size(); ++i) {
+    EXPECT_LE(drained[i - 1].key, drained[i].key);
+  }
+}
+
+TEST(MapTaskTest, SmallSortBufferSpillsAndMerges) {
+  MapFixture f;
+  JobConfig config;
+  config.num_reducers = 1;
+  config.io_sort_mb = 200 * 1000;  // ~100 records per spill
+  auto [output, stats] = f.RunMap(ReverseSortedRecords(1000, 2000), &config);
+  // Multiple spills happened and were merged into one sorted output.
+  EXPECT_GT(stats.spill.files_created, 5u);
+  std::vector<Record> drained;
+  auto run = [&]() -> sim::Task<> {
+    co_await DrainSorted(output.partitions[0].get(), &drained);
+  };
+  f.engine.Spawn(run());
+  f.engine.Run();
+  ASSERT_EQ(drained.size(), 1000u);
+  for (size_t i = 1; i < drained.size(); ++i) {
+    EXPECT_LE(drained[i - 1].key, drained[i].key);
+  }
+  // Intermediate spill files were deleted after the merge; only the
+  // output file's space remains on disk.
+  EXPECT_EQ(f.cluster_->node(0).fs().file_count(), 1u);
+}
+
+TEST(MapTaskTest, PartitionsSplitByPartitioner) {
+  MapFixture f;
+  JobConfig config;
+  config.num_reducers = 4;
+  config.partitioner = [](const Record& r, int) {
+    return static_cast<size_t>(static_cast<int>(r.number)) % 4;
+  };
+  auto [output, stats] = f.RunMap(ReverseSortedRecords(400, 1500), &config);
+  ASSERT_EQ(output.partitions.size(), 4u);
+  for (size_t p = 0; p < 4; ++p) {
+    ASSERT_NE(output.partitions[p], nullptr) << p;
+    EXPECT_EQ(output.partition_records[p], 100u);
+  }
+}
+
+TEST(MapTaskTest, EmptyPartitionsAreNull) {
+  MapFixture f;
+  JobConfig config;
+  config.num_reducers = 3;
+  config.partitioner = [](const Record&, int) { return size_t{1}; };
+  auto [output, stats] = f.RunMap(ReverseSortedRecords(50, 1000), &config);
+  EXPECT_EQ(output.partitions[0], nullptr);
+  ASSERT_NE(output.partitions[1], nullptr);
+  EXPECT_EQ(output.partitions[2], nullptr);
+}
+
+TEST(MapTaskTest, MapFunctionCanExplodeRecords) {
+  MapFixture f;
+  JobConfig config;
+  config.num_reducers = 1;
+  config.map_fn = [](const Record& in, std::vector<Record>* out) {
+    // Emit two records per input (word-splitting style).
+    for (int copy = 0; copy < 2; ++copy) {
+      Record r = in;
+      r.key += copy == 0 ? ".a" : ".b";
+      out->push_back(std::move(r));
+    }
+  };
+  auto [output, stats] = f.RunMap(ReverseSortedRecords(100, 1000), &config);
+  EXPECT_EQ(output.partition_records[0], 200u);
+  EXPECT_EQ(stats.input_records, 100u);
+}
+
+TEST(MapTaskTest, ChargesInputBytesAndRuntime) {
+  MapFixture f;
+  JobConfig config;
+  config.num_reducers = 1;
+  auto [output, stats] = f.RunMap(ReverseSortedRecords(10, 1000), &config);
+  EXPECT_EQ(stats.input_bytes, MiB(64));
+  EXPECT_GT(stats.runtime, 0);
+  EXPECT_EQ(stats.node, 0u);
+}
+
+}  // namespace
+}  // namespace spongefiles::mapred

@@ -1,0 +1,132 @@
+#include "mapred/record.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace spongefiles::mapred {
+namespace {
+
+TEST(RecordSerdeTest, RoundTripSimple) {
+  Record in;
+  in.key = "domain.com";
+  in.number = 0.75;
+  in.fields = {"english", "click here"};
+  in.size = 1000;
+  ByteRuns wire;
+  SerializeRecord(in, &wire);
+  EXPECT_EQ(wire.size(), 1000u);
+
+  RecordParser parser;
+  parser.Feed(wire);
+  Record out;
+  ASSERT_TRUE(parser.Next(&out));
+  EXPECT_EQ(out, in);
+  EXPECT_FALSE(parser.Next(&out));
+  EXPECT_EQ(parser.pending_bytes(), 0u);
+}
+
+TEST(RecordSerdeTest, HeaderOnlyRecordWhenSizeSmall) {
+  Record in;
+  in.key = "k";
+  in.size = 1;  // smaller than the header: wire size is the header size
+  ByteRuns wire;
+  SerializeRecord(in, &wire);
+  EXPECT_EQ(wire.size(), RecordHeaderSize(in));
+  RecordParser parser;
+  parser.Feed(wire);
+  Record out;
+  ASSERT_TRUE(parser.Next(&out));
+  EXPECT_EQ(out.key, "k");
+  EXPECT_EQ(out.size, RecordHeaderSize(in));
+}
+
+TEST(RecordSerdeTest, EmptyFieldsAndKey) {
+  Record in;
+  in.size = 64;
+  ByteRuns wire;
+  SerializeRecord(in, &wire);
+  RecordParser parser;
+  parser.Feed(wire);
+  Record out;
+  ASSERT_TRUE(parser.Next(&out));
+  EXPECT_EQ(out.key, "");
+  EXPECT_TRUE(out.fields.empty());
+  EXPECT_EQ(out.size, 64u);
+}
+
+TEST(RecordSerdeTest, SerializedSizeMatchesWire) {
+  Record in;
+  in.key = "abc";
+  in.fields = {"x"};
+  in.size = 500;
+  ByteRuns wire;
+  SerializeRecord(in, &wire);
+  EXPECT_EQ(SerializedSize(in), wire.size());
+}
+
+TEST(RecordSerdeTest, RecordsSpanningChunkBoundaries) {
+  // Serialize many records, then feed the stream in awkward chunk sizes.
+  std::vector<Record> records;
+  ByteRuns wire;
+  Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    Record r;
+    r.key = "key" + std::to_string(i);
+    r.number = static_cast<double>(i) * 1.5;
+    r.fields = {std::string(rng.Uniform(50), 'x')};
+    r.size = 100 + rng.Uniform(400);
+    SerializeRecord(r, &wire);
+    ByteRuns one;
+    SerializeRecord(r, &one);
+    r.size = one.size();  // normalize for comparison
+    records.push_back(std::move(r));
+  }
+
+  RecordParser parser;
+  std::vector<Record> parsed;
+  uint64_t offset = 0;
+  Rng chunk_rng(9);
+  while (offset < wire.size()) {
+    uint64_t n = std::min<uint64_t>(1 + chunk_rng.Uniform(333),
+                                    wire.size() - offset);
+    parser.Feed(wire.SubRange(offset, n));
+    offset += n;
+    Record out;
+    while (parser.Next(&out)) parsed.push_back(out);
+  }
+  ASSERT_EQ(parsed.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(parsed[i], records[i]) << "record " << i;
+  }
+}
+
+TEST(RecordSerdeTest, NumberPrecisionPreserved) {
+  Record in;
+  in.key = "quantile";
+  in.number = 0.12345678901234567;
+  ByteRuns wire;
+  SerializeRecord(in, &wire);
+  RecordParser parser;
+  parser.Feed(wire);
+  Record out;
+  ASSERT_TRUE(parser.Next(&out));
+  EXPECT_DOUBLE_EQ(out.number, in.number);
+}
+
+TEST(RecordSerdeTest, ManyFields) {
+  Record in;
+  in.key = "multi";
+  for (int i = 0; i < 100; ++i) in.fields.push_back("f" + std::to_string(i));
+  ByteRuns wire;
+  SerializeRecord(in, &wire);
+  RecordParser parser;
+  parser.Feed(wire);
+  Record out;
+  ASSERT_TRUE(parser.Next(&out));
+  EXPECT_EQ(out.fields.size(), 100u);
+  EXPECT_EQ(out.fields[99], "f99");
+}
+
+}  // namespace
+}  // namespace spongefiles::mapred

@@ -1,0 +1,160 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/task.h"
+
+namespace spongefiles::sim {
+namespace {
+
+Task<> Sleeper(Engine* engine, Duration d, std::vector<int>* log, int id) {
+  co_await engine->Delay(d);
+  log->push_back(id);
+}
+
+TEST(EngineTest, TimeStartsAtZero) {
+  Engine engine;
+  EXPECT_EQ(engine.now(), 0);
+}
+
+TEST(EngineTest, DelayAdvancesTime) {
+  Engine engine;
+  std::vector<int> log;
+  engine.Spawn(Sleeper(&engine, Millis(5), &log, 1));
+  engine.Run();
+  EXPECT_EQ(engine.now(), Millis(5));
+  EXPECT_EQ(log, std::vector<int>({1}));
+}
+
+TEST(EngineTest, EventsFireInTimeOrder) {
+  Engine engine;
+  std::vector<int> log;
+  engine.Spawn(Sleeper(&engine, Millis(30), &log, 3));
+  engine.Spawn(Sleeper(&engine, Millis(10), &log, 1));
+  engine.Spawn(Sleeper(&engine, Millis(20), &log, 2));
+  engine.Run();
+  EXPECT_EQ(log, std::vector<int>({1, 2, 3}));
+}
+
+TEST(EngineTest, SameTimeFifoBySpawnOrder) {
+  Engine engine;
+  std::vector<int> log;
+  for (int i = 0; i < 5; ++i) {
+    engine.Spawn(Sleeper(&engine, Millis(7), &log, i));
+  }
+  engine.Run();
+  EXPECT_EQ(log, std::vector<int>({0, 1, 2, 3, 4}));
+}
+
+TEST(EngineTest, ZeroDelayYields) {
+  Engine engine;
+  std::vector<int> log;
+  engine.Spawn(Sleeper(&engine, 0, &log, 1));
+  engine.Run();
+  EXPECT_EQ(engine.now(), 0);
+  EXPECT_EQ(log, std::vector<int>({1}));
+}
+
+Task<> SequentialDelays(Engine* engine, std::vector<SimTime>* times) {
+  co_await engine->Delay(Millis(1));
+  times->push_back(engine->now());
+  co_await engine->Delay(Millis(2));
+  times->push_back(engine->now());
+  co_await engine->Delay(Millis(3));
+  times->push_back(engine->now());
+}
+
+TEST(EngineTest, DelaysAccumulate) {
+  Engine engine;
+  std::vector<SimTime> times;
+  engine.Spawn(SequentialDelays(&engine, &times));
+  engine.Run();
+  EXPECT_EQ(times,
+            std::vector<SimTime>({Millis(1), Millis(3), Millis(6)}));
+}
+
+Task<int> Compute(Engine* engine, int x) {
+  co_await engine->Delay(Millis(1));
+  co_return x * 2;
+}
+
+Task<> AwaitChild(Engine* engine, int* out) {
+  *out = co_await Compute(engine, 21);
+}
+
+TEST(EngineTest, ChildTaskReturnsValue) {
+  Engine engine;
+  int out = 0;
+  engine.Spawn(AwaitChild(&engine, &out));
+  engine.Run();
+  EXPECT_EQ(out, 42);
+}
+
+Task<int> Fib(Engine* engine, int n) {
+  if (n <= 1) co_return n;
+  int a = co_await Fib(engine, n - 1);
+  int b = co_await Fib(engine, n - 2);
+  co_return a + b;
+}
+
+Task<> AwaitFib(Engine* engine, int* out) { *out = co_await Fib(engine, 12); }
+
+TEST(EngineTest, DeepNestedAwaits) {
+  Engine engine;
+  int out = 0;
+  engine.Spawn(AwaitFib(&engine, &out));
+  engine.Run();
+  EXPECT_EQ(out, 144);
+}
+
+TEST(EngineTest, SpawnAtStartsLater) {
+  Engine engine;
+  std::vector<int> log;
+  engine.SpawnAt(Millis(100), Sleeper(&engine, Millis(1), &log, 9));
+  engine.Run();
+  EXPECT_EQ(engine.now(), Millis(101));
+  EXPECT_EQ(log, std::vector<int>({9}));
+}
+
+TEST(EngineTest, RunUntilStopsAtDeadline) {
+  Engine engine;
+  std::vector<int> log;
+  engine.Spawn(Sleeper(&engine, Millis(10), &log, 1));
+  engine.Spawn(Sleeper(&engine, Millis(50), &log, 2));
+  engine.RunUntil(Millis(20));
+  EXPECT_EQ(log, std::vector<int>({1}));
+  EXPECT_EQ(engine.now(), Millis(20));
+  engine.Run();
+  EXPECT_EQ(log, std::vector<int>({1, 2}));
+}
+
+Task<> SpawnFromInside(Engine* engine, std::vector<int>* log) {
+  log->push_back(1);
+  engine->Spawn(Sleeper(engine, Millis(1), log, 2));
+  co_await engine->Delay(Millis(5));
+  log->push_back(3);
+}
+
+TEST(EngineTest, TasksCanSpawnTasks) {
+  Engine engine;
+  std::vector<int> log;
+  engine.Spawn(SpawnFromInside(&engine, &log));
+  engine.Run();
+  EXPECT_EQ(log, std::vector<int>({1, 2, 3}));
+}
+
+TEST(EngineTest, ManyTasksComplete) {
+  Engine engine;
+  std::vector<int> log;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    engine.Spawn(Sleeper(&engine, Millis(i % 97), &log, i));
+  }
+  engine.Run();
+  EXPECT_EQ(log.size(), static_cast<size_t>(n));
+}
+
+}  // namespace
+}  // namespace spongefiles::sim

@@ -1,0 +1,208 @@
+#include "sim/sync.h"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/task.h"
+
+namespace spongefiles::sim {
+namespace {
+
+Task<> Waiter(Event* event, std::vector<int>* log, int id) {
+  co_await event->Wait();
+  log->push_back(id);
+}
+
+Task<> Setter(Engine* engine, Event* event, Duration d) {
+  co_await engine->Delay(d);
+  event->Set();
+}
+
+TEST(EventTest, WaitersResumeOnSet) {
+  Engine engine;
+  Event event(&engine);
+  std::vector<int> log;
+  engine.Spawn(Waiter(&event, &log, 1));
+  engine.Spawn(Waiter(&event, &log, 2));
+  engine.Spawn(Setter(&engine, &event, Millis(10)));
+  engine.Run();
+  EXPECT_EQ(engine.now(), Millis(10));
+  EXPECT_EQ(log, std::vector<int>({1, 2}));
+  EXPECT_TRUE(event.is_set());
+}
+
+TEST(EventTest, WaitAfterSetCompletesImmediately) {
+  Engine engine;
+  Event event(&engine);
+  event.Set();
+  std::vector<int> log;
+  engine.Spawn(Waiter(&event, &log, 7));
+  engine.Run();
+  EXPECT_EQ(log, std::vector<int>({7}));
+  EXPECT_EQ(engine.now(), 0);
+}
+
+Task<> HoldSemaphore(Engine* engine, Semaphore* sem, std::vector<int>* log,
+                     int id, Duration hold) {
+  co_await sem->Acquire();
+  log->push_back(id);
+  co_await engine->Delay(hold);
+  sem->Release();
+}
+
+TEST(SemaphoreTest, LimitsConcurrency) {
+  Engine engine;
+  Semaphore sem(&engine, 1);
+  std::vector<int> log;
+  engine.Spawn(HoldSemaphore(&engine, &sem, &log, 1, Millis(10)));
+  engine.Spawn(HoldSemaphore(&engine, &sem, &log, 2, Millis(10)));
+  engine.Spawn(HoldSemaphore(&engine, &sem, &log, 3, Millis(10)));
+  engine.Run();
+  // Serialized: total time 30ms, FIFO order.
+  EXPECT_EQ(engine.now(), Millis(30));
+  EXPECT_EQ(log, std::vector<int>({1, 2, 3}));
+}
+
+TEST(SemaphoreTest, MultiplePermitsAllowParallelism) {
+  Engine engine;
+  Semaphore sem(&engine, 2);
+  std::vector<int> log;
+  for (int i = 0; i < 4; ++i) {
+    engine.Spawn(HoldSemaphore(&engine, &sem, &log, i, Millis(10)));
+  }
+  engine.Run();
+  // Two at a time: 20ms total.
+  EXPECT_EQ(engine.now(), Millis(20));
+  EXPECT_EQ(log.size(), 4u);
+}
+
+TEST(SemaphoreTest, FifoHandoffNoBarging) {
+  Engine engine;
+  Semaphore sem(&engine, 1);
+  std::vector<int> log;
+  engine.Spawn(HoldSemaphore(&engine, &sem, &log, 1, Millis(10)));
+  engine.Spawn(HoldSemaphore(&engine, &sem, &log, 2, Millis(1)));
+  // Task 3 arrives later but before task 2 finishes; must run after 2.
+  engine.SpawnAt(Millis(5), HoldSemaphore(&engine, &sem, &log, 3, Millis(1)));
+  engine.Run();
+  EXPECT_EQ(log, std::vector<int>({1, 2, 3}));
+}
+
+Task<> LockUnlock(Engine* engine, Mutex* mu, int* counter, int* max_inside) {
+  co_await mu->Lock();
+  ++*counter;
+  *max_inside = std::max(*max_inside, *counter);
+  co_await engine->Delay(Millis(1));
+  --*counter;
+  mu->Unlock();
+}
+
+TEST(MutexTest, MutualExclusion) {
+  Engine engine;
+  Mutex mu(&engine);
+  int counter = 0;
+  int max_inside = 0;
+  for (int i = 0; i < 10; ++i) {
+    engine.Spawn(LockUnlock(&engine, &mu, &counter, &max_inside));
+  }
+  engine.Run();
+  EXPECT_EQ(max_inside, 1);
+  EXPECT_EQ(counter, 0);
+}
+
+Task<> Producer(Engine* engine, Channel<int>* ch, int n) {
+  for (int i = 0; i < n; ++i) {
+    co_await engine->Delay(Millis(1));
+    ch->Push(i);
+  }
+  ch->Close();
+}
+
+Task<> Consumer(Channel<int>* ch, std::vector<int>* got) {
+  while (true) {
+    std::optional<int> item = co_await ch->Pop();
+    if (!item.has_value()) break;
+    got->push_back(*item);
+  }
+}
+
+TEST(ChannelTest, ProducerConsumerDeliversAllInOrder) {
+  Engine engine;
+  Channel<int> ch(&engine);
+  std::vector<int> got;
+  engine.Spawn(Consumer(&ch, &got));
+  engine.Spawn(Producer(&engine, &ch, 100));
+  engine.Run();
+  ASSERT_EQ(got.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(got[i], i);
+}
+
+TEST(ChannelTest, MultipleConsumersShareItems) {
+  Engine engine;
+  Channel<int> ch(&engine);
+  std::vector<int> a;
+  std::vector<int> b;
+  engine.Spawn(Consumer(&ch, &a));
+  engine.Spawn(Consumer(&ch, &b));
+  engine.Spawn(Producer(&engine, &ch, 50));
+  engine.Run();
+  EXPECT_EQ(a.size() + b.size(), 50u);
+  // No item lost or duplicated.
+  std::vector<int> all = a;
+  all.insert(all.end(), b.begin(), b.end());
+  std::sort(all.begin(), all.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(all[i], i);
+}
+
+TEST(ChannelTest, PopDrainsBufferedItemsAfterClose) {
+  Engine engine;
+  Channel<std::string> ch(&engine);
+  ch.Push("a");
+  ch.Push("b");
+  ch.Close();
+  std::vector<std::string> got;
+  auto consume = [](Channel<std::string>* c,
+                    std::vector<std::string>* out) -> Task<> {
+    while (true) {
+      auto item = co_await c->Pop();
+      if (!item) break;
+      out->push_back(*item);
+    }
+  };
+  engine.Spawn(consume(&ch, &got));
+  engine.Run();
+  EXPECT_EQ(got, std::vector<std::string>({"a", "b"}));
+}
+
+Task<> WgWorker(Engine* engine, WaitGroup* wg, Duration d, int* done) {
+  co_await engine->Delay(d);
+  ++*done;
+  wg->Done();
+}
+
+Task<> WgWaiter(WaitGroup* wg, int* done, int* observed) {
+  co_await wg->Wait();
+  *observed = *done;
+}
+
+TEST(WaitGroupTest, WaitBlocksUntilAllDone) {
+  Engine engine;
+  WaitGroup wg(&engine);
+  int done = 0;
+  int observed = -1;
+  wg.Add(3);
+  engine.Spawn(WgWaiter(&wg, &done, &observed));
+  engine.Spawn(WgWorker(&engine, &wg, Millis(5), &done));
+  engine.Spawn(WgWorker(&engine, &wg, Millis(10), &done));
+  engine.Spawn(WgWorker(&engine, &wg, Millis(15), &done));
+  engine.Run();
+  EXPECT_EQ(observed, 3);
+  EXPECT_EQ(engine.now(), Millis(15));
+}
+
+}  // namespace
+}  // namespace spongefiles::sim

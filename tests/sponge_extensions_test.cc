@@ -1,0 +1,189 @@
+// Tests for the extensions beyond the paper's prototype: encrypted chunks
+// and quota enforcement with corrective reclamation (both sketched in the
+// paper's section 3.1.4 and left as future work there).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/cluster.h"
+#include "cluster/dfs.h"
+#include "common/checksum.h"
+#include "common/random.h"
+#include "common/units.h"
+#include "sim/engine.h"
+#include "sponge/sponge_env.h"
+#include "sponge/sponge_file.h"
+
+namespace spongefiles::sponge {
+namespace {
+
+struct ExtFixture {
+  sim::Engine engine;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<cluster::Dfs> dfs;
+  std::unique_ptr<SpongeEnv> env;
+
+  explicit ExtFixture(SpongeConfig config = {},
+                      SpongeServerConfig server_config = {}) {
+    cluster::ClusterConfig cc;
+    cc.num_nodes = 3;
+    cc.node.sponge_memory = MiB(8);
+    cluster_ = std::make_unique<cluster::Cluster>(&engine, cc);
+    dfs = std::make_unique<cluster::Dfs>(cluster_.get());
+    env = std::make_unique<SpongeEnv>(cluster_.get(), dfs.get(), config,
+                                      ChunkPoolConfig{}, server_config);
+    auto prime = [](MemoryTracker* t) -> sim::Task<> {
+      co_await t->PollOnce();
+    };
+    engine.Spawn(prime(&env->tracker()));
+    engine.Run();
+  }
+};
+
+std::string PatternData(size_t n) {
+  std::string out(n, '\0');
+  for (size_t i = 0; i < n; ++i) out[i] = static_cast<char>(i * 37 % 251);
+  return out;
+}
+
+TEST(EncryptionTest, RoundTripPreservesPlaintext) {
+  SpongeConfig config;
+  config.encrypt = true;
+  config.encryption_passphrase = "rack-secret";
+  ExtFixture f(config);
+  TaskContext task = f.env->StartTask(0);
+  SpongeFile file(f.env.get(), &task, "enc");
+  std::string data = PatternData(3 * MiB(1) + 999);
+  Status status;
+  uint64_t digest = 0;
+  auto run = [&]() -> sim::Task<> {
+    status = co_await file.AppendBytes(Slice(data));
+    if (!status.ok()) co_return;
+    status = co_await file.Close();
+    if (!status.ok()) co_return;
+    Checksum sum;
+    while (true) {
+      auto chunk = co_await file.ReadNext();
+      if (!chunk.ok()) {
+        status = chunk.status();
+        co_return;
+      }
+      if (chunk->empty()) break;
+      auto bytes = chunk->ToBytes();
+      sum.Update(Slice(bytes));
+    }
+    digest = sum.digest();
+    co_await file.Delete();
+  };
+  f.engine.Spawn(run());
+  f.engine.Run();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(digest, Checksum::Of(Slice(data)));
+}
+
+TEST(EncryptionTest, PoolHoldsCiphertextNotPlaintext) {
+  SpongeConfig config;
+  config.encrypt = true;
+  ExtFixture f(config);
+  TaskContext task = f.env->StartTask(0);
+  SpongeFile file(f.env.get(), &task, "snoop");
+  std::string data = PatternData(MiB(1));
+  auto run = [&]() -> sim::Task<> {
+    (void)co_await file.AppendBytes(Slice(data));
+    (void)co_await file.Close();
+  };
+  f.engine.Spawn(run());
+  f.engine.Run();
+  // A snooping neighbor reads the raw pool slot: must not see plaintext.
+  auto chunks = f.env->server(0).pool().AllocatedChunks();
+  ASSERT_FALSE(chunks.empty());
+  ByteRuns* raw = f.env->server(0).pool().chunk_data(chunks[0].first);
+  ASSERT_NE(raw, nullptr);
+  auto stored = raw->ToBytes();
+  EXPECT_EQ(stored.size(), MiB(1));
+  EXPECT_NE(std::string(stored.begin(), stored.end()),
+            data.substr(0, stored.size()));
+}
+
+TEST(EncryptionTest, CostsCipherTime) {
+  auto time_with = [](bool encrypt) {
+    SpongeConfig config;
+    config.encrypt = encrypt;
+    config.async_write = false;
+    ExtFixture f(config);
+    TaskContext task = f.env->StartTask(0);
+    SpongeFile file(f.env.get(), &task, "cost");
+    auto run = [&]() -> sim::Task<> {
+      ByteRuns data;
+      data.AppendZeros(MiB(4));
+      (void)co_await file.Append(std::move(data));
+      (void)co_await file.Close();
+    };
+    f.engine.Spawn(run());
+    f.engine.Run();
+    return f.engine.now();
+  };
+  EXPECT_GT(time_with(true), time_with(false));
+}
+
+TEST(QuotaEnforcementTest, SweepReclaimsExcessChunks) {
+  SpongeServerConfig server_config;
+  server_config.quota_chunks_per_task = 3;
+  ExtFixture f(SpongeConfig{}, server_config);
+  // A task sneaks past the allocation-time check by allocating directly
+  // from the pool (a buggy/hostile client).
+  TaskContext task = f.env->StartTask(1);
+  ChunkOwner owner{task.task_id, 1};
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(f.env->server(1).pool().Allocate(owner).ok());
+  }
+  uint64_t reclaimed = f.env->server(1).EnforceQuotas();
+  EXPECT_EQ(reclaimed, 4u);
+  EXPECT_EQ(f.env->server(1).pool().AllocatedChunks().size(), 3u);
+}
+
+TEST(QuotaEnforcementTest, DisabledQuotaIsNoop) {
+  ExtFixture f;
+  TaskContext task = f.env->StartTask(0);
+  ChunkOwner owner{task.task_id, 0};
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(f.env->server(0).pool().Allocate(owner).ok());
+  }
+  EXPECT_EQ(f.env->server(0).EnforceQuotas(), 0u);
+  EXPECT_EQ(f.env->server(0).pool().AllocatedChunks().size(), 5u);
+}
+
+TEST(QuotaEnforcementTest, VictimTaskObservesLossOnRead) {
+  SpongeConfig config;
+  config.allow_remote_memory = false;  // keep everything on node 0
+  ExtFixture f(config);
+  TaskContext task = f.env->StartTask(0);
+  SpongeFile file(f.env.get(), &task, "victim");
+  Status read_status;
+  auto run = [&]() -> sim::Task<> {
+    ByteRuns data;
+    data.AppendZeros(MiB(4));
+    (void)co_await file.Append(std::move(data));
+    (void)co_await file.Close();
+    // An operator tightens the quota; the server's corrective sweep
+    // reclaims the task's excess chunks out from under it.
+    f.env->server(0).set_quota_chunks_per_task(2);
+    EXPECT_EQ(f.env->server(0).EnforceQuotas(), 2u);
+    while (true) {
+      auto chunk = co_await file.ReadNext();
+      if (!chunk.ok()) {
+        read_status = chunk.status();
+        break;
+      }
+      if (chunk->empty()) break;
+    }
+  };
+  f.engine.Spawn(run());
+  f.engine.Run();
+  // A chunk is gone; the task fails and the framework would restart it.
+  EXPECT_EQ(read_status.code(), StatusCode::kUnavailable);
+}
+
+}  // namespace
+}  // namespace spongefiles::sponge

@@ -1,0 +1,128 @@
+#include "sponge/chunk_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace spongefiles::sponge {
+namespace {
+
+ChunkPoolConfig SmallPool() {
+  ChunkPoolConfig config;
+  config.pool_size = MiB(8);
+  config.chunk_size = MiB(1);
+  return config;
+}
+
+TEST(ChunkPoolTest, CapacityFromConfig) {
+  ChunkPool pool(SmallPool());
+  EXPECT_EQ(pool.total_chunks(), 8u);
+  EXPECT_EQ(pool.free_chunks(), 8u);
+  EXPECT_EQ(pool.free_bytes(), MiB(8));
+}
+
+TEST(ChunkPoolTest, SegmentsCappedAtTwoGigabytes) {
+  // Mirrors the JVM's 2 GB mapped-file limit: a 5 GB pool needs 3 segments.
+  ChunkPoolConfig config;
+  config.pool_size = GiB(5);
+  config.chunk_size = MiB(1);
+  ChunkPool pool(config);
+  EXPECT_EQ(pool.segments(), 3u);
+  EXPECT_EQ(pool.total_chunks(), 5u * 1024);
+}
+
+TEST(ChunkPoolTest, AllocateAndFree) {
+  ChunkPool pool(SmallPool());
+  ChunkOwner owner{42, 3};
+  auto handle = pool.Allocate(owner);
+  ASSERT_TRUE(handle.ok());
+  EXPECT_EQ(pool.free_chunks(), 7u);
+  EXPECT_EQ(pool.OwnerOf(*handle)->task_id, 42u);
+  ASSERT_TRUE(pool.Free(*handle, owner).ok());
+  EXPECT_EQ(pool.free_chunks(), 8u);
+}
+
+TEST(ChunkPoolTest, ExhaustionReturnsResourceExhausted) {
+  ChunkPool pool(SmallPool());
+  ChunkOwner owner{1, 0};
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(pool.Allocate(owner).ok());
+  }
+  auto overflow = pool.Allocate(owner);
+  EXPECT_EQ(overflow.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(ChunkPoolTest, FreeingMakesChunkReusable) {
+  ChunkPool pool(SmallPool());
+  ChunkOwner a{1, 0};
+  std::vector<ChunkHandle> handles;
+  for (int i = 0; i < 8; ++i) handles.push_back(*pool.Allocate(a));
+  ASSERT_TRUE(pool.Free(handles[3], a).ok());
+  auto fresh = pool.Allocate(ChunkOwner{2, 1});
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_EQ(*pool.OwnerOf(*fresh), (ChunkOwner{2, 1}));
+}
+
+TEST(ChunkPoolTest, DoubleFreeRejected) {
+  ChunkPool pool(SmallPool());
+  ChunkOwner owner{7, 0};
+  auto handle = *pool.Allocate(owner);
+  ASSERT_TRUE(pool.Free(handle, owner).ok());
+  EXPECT_EQ(pool.Free(handle, owner).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(ChunkPoolTest, FreeByWrongOwnerRejected) {
+  ChunkPool pool(SmallPool());
+  auto handle = *pool.Allocate(ChunkOwner{7, 0});
+  EXPECT_EQ(pool.Free(handle, ChunkOwner{8, 0}).code(),
+            StatusCode::kFailedPrecondition);
+  // Same task id from a different node is a different owner.
+  EXPECT_EQ(pool.Free(handle, ChunkOwner{7, 1}).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ChunkPoolTest, ZeroOwnerIdRejected) {
+  ChunkPool pool(SmallPool());
+  EXPECT_EQ(pool.Allocate(ChunkOwner{0, 0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ChunkPoolTest, DataSurvivesUntilFree) {
+  ChunkPool pool(SmallPool());
+  ChunkOwner owner{5, 2};
+  auto handle = *pool.Allocate(owner);
+  ByteRuns* data = pool.chunk_data(handle);
+  ASSERT_NE(data, nullptr);
+  data->AppendLiteral(Slice(std::string_view("payload")));
+  EXPECT_EQ(pool.chunk_data(handle)->size(), 7u);
+  ASSERT_TRUE(pool.Free(handle, owner).ok());
+  EXPECT_EQ(pool.chunk_data(handle), nullptr);
+}
+
+TEST(ChunkPoolTest, AllocatedChunksListsOwners) {
+  ChunkPool pool(SmallPool());
+  auto h1 = *pool.Allocate(ChunkOwner{1, 0});
+  auto h2 = *pool.Allocate(ChunkOwner{2, 4});
+  auto chunks = pool.AllocatedChunks();
+  ASSERT_EQ(chunks.size(), 2u);
+  EXPECT_TRUE((chunks[0].first == h1 && chunks[1].first == h2) ||
+              (chunks[0].first == h2 && chunks[1].first == h1));
+}
+
+TEST(ChunkPoolTest, ResetFreesEverything) {
+  ChunkPool pool(SmallPool());
+  for (int i = 0; i < 5; ++i) (void)pool.Allocate(ChunkOwner{1, 0});
+  pool.Reset();
+  EXPECT_EQ(pool.free_chunks(), 8u);
+  EXPECT_TRUE(pool.AllocatedChunks().empty());
+}
+
+TEST(ChunkPoolTest, ForceFreeIgnoresOwner) {
+  ChunkPool pool(SmallPool());
+  auto handle = *pool.Allocate(ChunkOwner{9, 3});
+  ASSERT_TRUE(pool.ForceFree(handle).ok());
+  EXPECT_EQ(pool.free_chunks(), 8u);
+}
+
+}  // namespace
+}  // namespace spongefiles::sponge

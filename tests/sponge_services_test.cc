@@ -1,0 +1,297 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/cluster.h"
+#include "cluster/dfs.h"
+#include "common/units.h"
+#include "sim/engine.h"
+#include "sponge/failure.h"
+#include "sponge/memory_tracker.h"
+#include "sponge/sponge_env.h"
+#include "sponge/sponge_file.h"
+#include "sponge/sponge_server.h"
+
+namespace spongefiles::sponge {
+namespace {
+
+struct ServicesFixture {
+  sim::Engine engine;
+  std::unique_ptr<cluster::Cluster> cluster_;
+  std::unique_ptr<cluster::Dfs> dfs;
+  std::unique_ptr<SpongeEnv> env;
+
+  explicit ServicesFixture(SpongeServerConfig server_config = {},
+                           MemoryTrackerConfig tracker_config = {},
+                           uint64_t sponge_per_node = MiB(4)) {
+    cluster::ClusterConfig cc;
+    cc.num_nodes = 4;
+    cc.node.sponge_memory = sponge_per_node;
+    cluster_ = std::make_unique<cluster::Cluster>(&engine, cc);
+    dfs = std::make_unique<cluster::Dfs>(cluster_.get());
+    env = std::make_unique<SpongeEnv>(cluster_.get(), dfs.get(),
+                                      SpongeConfig{}, ChunkPoolConfig{},
+                                      server_config, tracker_config);
+  }
+};
+
+TEST(TaskRegistryTest, RegisterAndLiveness) {
+  TaskRegistry registry;
+  uint64_t id = registry.Register(3);
+  EXPECT_TRUE(registry.IsAliveOn(id, 3));
+  EXPECT_FALSE(registry.IsAliveOn(id, 2));
+  EXPECT_EQ(*registry.NodeOf(id), 3u);
+  registry.Deregister(id);
+  EXPECT_FALSE(registry.IsAliveOn(id, 3));
+  EXPECT_FALSE(registry.NodeOf(id).ok());
+}
+
+TEST(TaskRegistryTest, IdsNeverZeroAndUnique) {
+  TaskRegistry registry;
+  uint64_t a = registry.Register(0);
+  uint64_t b = registry.Register(0);
+  EXPECT_NE(a, 0u);
+  EXPECT_NE(b, 0u);
+  EXPECT_NE(a, b);
+}
+
+TEST(MemoryTrackerTest, PollBuildsSortedFreeList) {
+  ServicesFixture f;
+  // Consume chunks so free space differs per node.
+  (void)f.env->server(1).pool().Allocate(ChunkOwner{1, 1});
+  (void)f.env->server(1).pool().Allocate(ChunkOwner{1, 1});
+  (void)f.env->server(2).pool().Allocate(ChunkOwner{1, 2});
+  auto run = [&]() -> sim::Task<> { co_await f.env->tracker().PollOnce(); };
+  f.engine.Spawn(run());
+  f.engine.Run();
+  const auto& list = f.env->tracker().snapshot();
+  ASSERT_EQ(list.size(), 4u);
+  for (size_t i = 1; i < list.size(); ++i) {
+    EXPECT_GE(list[i - 1].free_bytes, list[i].free_bytes);
+  }
+}
+
+TEST(MemoryTrackerTest, SnapshotGoesStaleUntilNextPoll) {
+  ServicesFixture f;
+  auto run = [&]() -> sim::Task<> { co_await f.env->tracker().PollOnce(); };
+  f.engine.Spawn(run());
+  f.engine.Run();
+  uint64_t before = f.env->tracker().snapshot()[0].free_bytes;
+  // Consume memory: the snapshot must NOT change until re-polled.
+  (void)f.env->server(0).pool().Allocate(ChunkOwner{1, 0});
+  for (const auto& entry : f.env->tracker().snapshot()) {
+    if (entry.node == 0) {
+      EXPECT_EQ(entry.free_bytes, before);
+    }
+  }
+  f.engine.Spawn(run());
+  f.engine.Run();
+  bool updated = false;
+  for (const auto& entry : f.env->tracker().snapshot()) {
+    if (entry.node == 0) updated = entry.free_bytes < before;
+  }
+  EXPECT_TRUE(updated);
+}
+
+TEST(MemoryTrackerTest, PeriodicLoopKeepsPolling) {
+  MemoryTrackerConfig tracker_config;
+  tracker_config.poll_period = Seconds(1);
+  ServicesFixture f(SpongeServerConfig{}, tracker_config);
+  f.env->tracker().Start();
+  f.engine.RunUntil(Seconds(5.5));
+  EXPECT_GE(f.env->tracker().polls_completed(), 5u);
+  f.env->StopServices();
+  f.engine.Run();
+}
+
+TEST(MemoryTrackerTest, DeadServersExcludedFromList) {
+  ServicesFixture f;
+  f.env->CrashNode(2);
+  auto run = [&]() -> sim::Task<> { co_await f.env->tracker().PollOnce(); };
+  f.engine.Spawn(run());
+  f.engine.Run();
+  for (const auto& entry : f.env->tracker().snapshot()) {
+    EXPECT_NE(entry.node, 2u);
+  }
+}
+
+TEST(SpongeServerTest, RemoteAllocateWriteReadFree) {
+  ServicesFixture f;
+  TaskContext task = f.env->StartTask(0);
+  ChunkOwner owner{task.task_id, 0};
+  Status status;
+  uint64_t got_size = 0;
+  auto run = [&]() -> sim::Task<> {
+    SpongeServer& server = f.env->server(1);
+    auto handle = co_await server.RemoteAllocate(0, owner);
+    if (!handle.ok()) {
+      status = handle.status();
+      co_return;
+    }
+    ByteRuns data;
+    data.AppendZeros(MiB(1));
+    status = co_await server.RemoteWrite(0, *handle, owner, std::move(data));
+    if (!status.ok()) co_return;
+    auto read = co_await server.RemoteRead(0, *handle, owner);
+    if (!read.ok()) {
+      status = read.status();
+      co_return;
+    }
+    got_size = read->size();
+    status = co_await server.RemoteFree(0, *handle, owner);
+  };
+  f.engine.Spawn(run());
+  f.engine.Run();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(got_size, MiB(1));
+  EXPECT_EQ(f.env->server(1).free_bytes(), MiB(4));
+  EXPECT_EQ(f.env->server(1).remote_allocations(), 1u);
+}
+
+TEST(SpongeServerTest, WrongOwnerCannotTouchChunk) {
+  ServicesFixture f;
+  ChunkOwner owner{77, 0};
+  ChunkOwner thief{78, 2};
+  Status status;
+  auto run = [&]() -> sim::Task<> {
+    SpongeServer& server = f.env->server(1);
+    auto handle = co_await server.RemoteAllocate(0, owner);
+    auto read = co_await server.RemoteRead(2, *handle, thief);
+    status = read.status();
+  };
+  f.engine.Spawn(run());
+  f.engine.Run();
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(SpongeServerTest, QuotaLimitsPerTaskChunks) {
+  SpongeServerConfig server_config;
+  server_config.quota_chunks_per_task = 2;
+  ServicesFixture f(server_config);
+  ChunkOwner owner{55, 0};
+  Status third;
+  auto run = [&]() -> sim::Task<> {
+    SpongeServer& server = f.env->server(1);
+    (void)co_await server.RemoteAllocate(0, owner);
+    (void)co_await server.RemoteAllocate(0, owner);
+    auto blocked = co_await server.RemoteAllocate(0, owner);
+    third = blocked.status();
+    // A different task still gets memory.
+    auto other = co_await server.RemoteAllocate(0, ChunkOwner{56, 0});
+    EXPECT_TRUE(other.ok());
+  };
+  f.engine.Spawn(run());
+  f.engine.Run();
+  EXPECT_EQ(third.code(), StatusCode::kResourceExhausted);
+}
+
+TEST(SpongeServerTest, GcReclaimsOrphanedLocalChunks) {
+  ServicesFixture f;
+  TaskContext task = f.env->StartTask(1);
+  ChunkOwner owner{task.task_id, 1};
+  (void)f.env->server(1).pool().Allocate(owner);
+  (void)f.env->server(1).pool().Allocate(owner);
+  // The task dies without freeing its chunks.
+  f.env->EndTask(task);
+  uint64_t reclaimed = 0;
+  auto run = [&]() -> sim::Task<> {
+    reclaimed = co_await f.env->server(1).GcSweep();
+  };
+  f.engine.Spawn(run());
+  f.engine.Run();
+  EXPECT_EQ(reclaimed, 2u);
+  EXPECT_EQ(f.env->server(1).free_bytes(), MiB(4));
+}
+
+TEST(SpongeServerTest, GcChecksRemoteOwnersViaPeerServer) {
+  ServicesFixture f;
+  // Task on node 0 holding a chunk on node 2, then dies.
+  TaskContext dead = f.env->StartTask(0);
+  TaskContext alive = f.env->StartTask(0);
+  (void)f.env->server(2).pool().Allocate(ChunkOwner{dead.task_id, 0});
+  (void)f.env->server(2).pool().Allocate(ChunkOwner{alive.task_id, 0});
+  f.env->EndTask(dead);
+  uint64_t reclaimed = 0;
+  auto run = [&]() -> sim::Task<> {
+    reclaimed = co_await f.env->server(2).GcSweep();
+  };
+  f.engine.Spawn(run());
+  f.engine.Run();
+  EXPECT_EQ(reclaimed, 1u);
+  // The live task's chunk survives.
+  EXPECT_EQ(f.env->server(2).pool().AllocatedChunks().size(), 1u);
+}
+
+TEST(SpongeServerTest, PeriodicGcLoopCleansUpAfterDeadTask) {
+  SpongeServerConfig server_config;
+  server_config.gc_period = Seconds(10);
+  ServicesFixture f(server_config);
+  TaskContext task = f.env->StartTask(1);
+  (void)f.env->server(1).pool().Allocate(ChunkOwner{task.task_id, 1});
+  f.env->StartServices();
+  f.env->EndTask(task);
+  f.engine.RunUntil(Seconds(25));
+  EXPECT_EQ(f.env->server(1).pool().AllocatedChunks().size(), 0u);
+  f.env->StopServices();
+  f.engine.Run();
+}
+
+TEST(SpongeServerTest, CrashedServerRejectsRemoteOps) {
+  ServicesFixture f;
+  f.env->CrashNode(1);
+  Status status;
+  auto run = [&]() -> sim::Task<> {
+    auto handle = co_await f.env->server(1).RemoteAllocate(0,
+                                                           ChunkOwner{5, 0});
+    status = handle.status();
+  };
+  f.engine.Spawn(run());
+  f.engine.Run();
+  EXPECT_EQ(status.code(), StatusCode::kUnavailable);
+  f.env->RestartNode(1);
+  // Stateless restart: empty pool, fully available again.
+  EXPECT_EQ(f.env->server(1).free_bytes(), MiB(4));
+}
+
+TEST(FailureModelTest, ProbabilityFormula) {
+  // With MTTF = 100 months and a 2-hour task on 1 machine the failure
+  // probability is tiny (the paper's argument for why spreading spills is
+  // safe).
+  Duration mttf = Minutes(100.0 * 30 * 24 * 60);
+  double p1 = TaskFailureProbability(1, Minutes(120), mttf);
+  EXPECT_LT(p1, 1e-4);
+  // Spreading over 30 machines stays small.
+  double p30 = TaskFailureProbability(30, Minutes(120), mttf);
+  EXPECT_LT(p30, 1e-2);
+  EXPECT_GT(p30, p1);
+  // Monotone in every argument.
+  EXPECT_GT(TaskFailureProbability(30, Minutes(240), mttf), p30);
+  EXPECT_EQ(TaskFailureProbability(0, Minutes(60), mttf), 0.0);
+  // Sanity: N*t/MTTF = ln(2) gives exactly 0.5.
+  double half = TaskFailureProbability(
+      1, static_cast<Duration>(0.6931471805599453 * kSecond), Seconds(1));
+  EXPECT_NEAR(half, 0.5, 1e-6);
+}
+
+TEST(FailureInjectorTest, ScheduledCrashAndRestart) {
+  ServicesFixture f;
+  FailureInjector injector(f.env.get(), 1);
+  injector.ScheduleCrash(2, Seconds(5), /*downtime=*/Seconds(10));
+  f.engine.RunUntil(Seconds(6));
+  EXPECT_FALSE(f.env->server(2).alive());
+  f.engine.RunUntil(Seconds(16));
+  EXPECT_TRUE(f.env->server(2).alive());
+}
+
+TEST(FailureInjectorTest, PoissonCrashCountMatchesRate) {
+  ServicesFixture f;
+  FailureInjector injector(f.env.get(), 7);
+  // MTTF = 1 hour, horizon = 10 hours, 4 nodes: expect ~40 crashes.
+  size_t n = injector.SchedulePoissonCrashes(Minutes(60), Minutes(600),
+                                             Seconds(1));
+  EXPECT_GT(n, 20u);
+  EXPECT_LT(n, 70u);
+}
+
+}  // namespace
+}  // namespace spongefiles::sponge
