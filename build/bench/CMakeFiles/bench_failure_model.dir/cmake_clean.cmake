@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_failure_model.dir/bench_failure_model.cc.o"
+  "CMakeFiles/bench_failure_model.dir/bench_failure_model.cc.o.d"
+  "bench_failure_model"
+  "bench_failure_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_failure_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

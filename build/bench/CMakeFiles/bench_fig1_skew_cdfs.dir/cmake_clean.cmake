@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_skew_cdfs.dir/bench_fig1_skew_cdfs.cc.o"
+  "CMakeFiles/bench_fig1_skew_cdfs.dir/bench_fig1_skew_cdfs.cc.o.d"
+  "bench_fig1_skew_cdfs"
+  "bench_fig1_skew_cdfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_skew_cdfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_no_contention.dir/bench_fig4_no_contention.cc.o"
+  "CMakeFiles/bench_fig4_no_contention.dir/bench_fig4_no_contention.cc.o.d"
+  "bench_fig4_no_contention"
+  "bench_fig4_no_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_no_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

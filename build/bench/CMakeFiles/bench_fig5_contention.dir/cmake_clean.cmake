@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_contention.dir/bench_fig5_contention.cc.o"
+  "CMakeFiles/bench_fig5_contention.dir/bench_fig5_contention.cc.o.d"
+  "bench_fig5_contention"
+  "bench_fig5_contention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_contention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_memory_configs.dir/bench_fig6_memory_configs.cc.o"
+  "CMakeFiles/bench_fig6_memory_configs.dir/bench_fig6_memory_configs.cc.o.d"
+  "bench_fig6_memory_configs"
+  "bench_fig6_memory_configs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_memory_configs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

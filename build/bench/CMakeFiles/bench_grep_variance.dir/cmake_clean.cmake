@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grep_variance.dir/bench_grep_variance.cc.o"
+  "CMakeFiles/bench_grep_variance.dir/bench_grep_variance.cc.o.d"
+  "bench_grep_variance"
+  "bench_grep_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grep_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

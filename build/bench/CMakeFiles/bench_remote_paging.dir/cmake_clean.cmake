@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_remote_paging.dir/bench_remote_paging.cc.o"
+  "CMakeFiles/bench_remote_paging.dir/bench_remote_paging.cc.o.d"
+  "bench_remote_paging"
+  "bench_remote_paging.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_remote_paging.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_remote_paging.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sponge_sizing.dir/bench_sponge_sizing.cc.o"
+  "CMakeFiles/bench_sponge_sizing.dir/bench_sponge_sizing.cc.o.d"
+  "bench_sponge_sizing"
+  "bench_sponge_sizing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sponge_sizing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frequent_anchortext.dir/frequent_anchortext.cpp.o"
+  "CMakeFiles/frequent_anchortext.dir/frequent_anchortext.cpp.o.d"
+  "frequent_anchortext"
+  "frequent_anchortext.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frequent_anchortext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

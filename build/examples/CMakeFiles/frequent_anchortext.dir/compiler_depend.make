@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for frequent_anchortext.
+# This may be replaced when dependencies are built.

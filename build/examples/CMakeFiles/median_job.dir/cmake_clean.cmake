@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/median_job.dir/median_job.cpp.o"
+  "CMakeFiles/median_job.dir/median_job.cpp.o.d"
+  "median_job"
+  "median_job.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/median_job.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/run_experiment.dir/run_experiment.cpp.o"
+  "CMakeFiles/run_experiment.dir/run_experiment.cpp.o.d"
+  "run_experiment"
+  "run_experiment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/run_experiment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spam_quantiles.dir/spam_quantiles.cpp.o"
+  "CMakeFiles/spam_quantiles.dir/spam_quantiles.cpp.o.d"
+  "spam_quantiles"
+  "spam_quantiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spam_quantiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for spam_quantiles.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for spam_quantiles.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/buffer_cache.cc" "src/cluster/CMakeFiles/sponge_cluster.dir/buffer_cache.cc.o" "gcc" "src/cluster/CMakeFiles/sponge_cluster.dir/buffer_cache.cc.o.d"
+  "/root/repo/src/cluster/cluster.cc" "src/cluster/CMakeFiles/sponge_cluster.dir/cluster.cc.o" "gcc" "src/cluster/CMakeFiles/sponge_cluster.dir/cluster.cc.o.d"
+  "/root/repo/src/cluster/dfs.cc" "src/cluster/CMakeFiles/sponge_cluster.dir/dfs.cc.o" "gcc" "src/cluster/CMakeFiles/sponge_cluster.dir/dfs.cc.o.d"
+  "/root/repo/src/cluster/disk.cc" "src/cluster/CMakeFiles/sponge_cluster.dir/disk.cc.o" "gcc" "src/cluster/CMakeFiles/sponge_cluster.dir/disk.cc.o.d"
+  "/root/repo/src/cluster/local_fs.cc" "src/cluster/CMakeFiles/sponge_cluster.dir/local_fs.cc.o" "gcc" "src/cluster/CMakeFiles/sponge_cluster.dir/local_fs.cc.o.d"
+  "/root/repo/src/cluster/network.cc" "src/cluster/CMakeFiles/sponge_cluster.dir/network.cc.o" "gcc" "src/cluster/CMakeFiles/sponge_cluster.dir/network.cc.o.d"
+  "/root/repo/src/cluster/node.cc" "src/cluster/CMakeFiles/sponge_cluster.dir/node.cc.o" "gcc" "src/cluster/CMakeFiles/sponge_cluster.dir/node.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/sponge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sponge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

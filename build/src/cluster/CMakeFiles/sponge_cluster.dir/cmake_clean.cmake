@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sponge_cluster.dir/buffer_cache.cc.o"
+  "CMakeFiles/sponge_cluster.dir/buffer_cache.cc.o.d"
+  "CMakeFiles/sponge_cluster.dir/cluster.cc.o"
+  "CMakeFiles/sponge_cluster.dir/cluster.cc.o.d"
+  "CMakeFiles/sponge_cluster.dir/dfs.cc.o"
+  "CMakeFiles/sponge_cluster.dir/dfs.cc.o.d"
+  "CMakeFiles/sponge_cluster.dir/disk.cc.o"
+  "CMakeFiles/sponge_cluster.dir/disk.cc.o.d"
+  "CMakeFiles/sponge_cluster.dir/local_fs.cc.o"
+  "CMakeFiles/sponge_cluster.dir/local_fs.cc.o.d"
+  "CMakeFiles/sponge_cluster.dir/network.cc.o"
+  "CMakeFiles/sponge_cluster.dir/network.cc.o.d"
+  "CMakeFiles/sponge_cluster.dir/node.cc.o"
+  "CMakeFiles/sponge_cluster.dir/node.cc.o.d"
+  "libsponge_cluster.a"
+  "libsponge_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sponge_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sponge_common.dir/byte_runs.cc.o"
+  "CMakeFiles/sponge_common.dir/byte_runs.cc.o.d"
+  "CMakeFiles/sponge_common.dir/crypto.cc.o"
+  "CMakeFiles/sponge_common.dir/crypto.cc.o.d"
+  "CMakeFiles/sponge_common.dir/logging.cc.o"
+  "CMakeFiles/sponge_common.dir/logging.cc.o.d"
+  "CMakeFiles/sponge_common.dir/random.cc.o"
+  "CMakeFiles/sponge_common.dir/random.cc.o.d"
+  "CMakeFiles/sponge_common.dir/stats.cc.o"
+  "CMakeFiles/sponge_common.dir/stats.cc.o.d"
+  "CMakeFiles/sponge_common.dir/status.cc.o"
+  "CMakeFiles/sponge_common.dir/status.cc.o.d"
+  "CMakeFiles/sponge_common.dir/table.cc.o"
+  "CMakeFiles/sponge_common.dir/table.cc.o.d"
+  "CMakeFiles/sponge_common.dir/units.cc.o"
+  "CMakeFiles/sponge_common.dir/units.cc.o.d"
+  "libsponge_common.a"
+  "libsponge_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sponge_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mapred/job.cc" "src/mapred/CMakeFiles/sponge_mapred.dir/job.cc.o" "gcc" "src/mapred/CMakeFiles/sponge_mapred.dir/job.cc.o.d"
+  "/root/repo/src/mapred/job_tracker.cc" "src/mapred/CMakeFiles/sponge_mapred.dir/job_tracker.cc.o" "gcc" "src/mapred/CMakeFiles/sponge_mapred.dir/job_tracker.cc.o.d"
+  "/root/repo/src/mapred/map_task.cc" "src/mapred/CMakeFiles/sponge_mapred.dir/map_task.cc.o" "gcc" "src/mapred/CMakeFiles/sponge_mapred.dir/map_task.cc.o.d"
+  "/root/repo/src/mapred/merger.cc" "src/mapred/CMakeFiles/sponge_mapred.dir/merger.cc.o" "gcc" "src/mapred/CMakeFiles/sponge_mapred.dir/merger.cc.o.d"
+  "/root/repo/src/mapred/record.cc" "src/mapred/CMakeFiles/sponge_mapred.dir/record.cc.o" "gcc" "src/mapred/CMakeFiles/sponge_mapred.dir/record.cc.o.d"
+  "/root/repo/src/mapred/reduce_task.cc" "src/mapred/CMakeFiles/sponge_mapred.dir/reduce_task.cc.o" "gcc" "src/mapred/CMakeFiles/sponge_mapred.dir/reduce_task.cc.o.d"
+  "/root/repo/src/mapred/spill.cc" "src/mapred/CMakeFiles/sponge_mapred.dir/spill.cc.o" "gcc" "src/mapred/CMakeFiles/sponge_mapred.dir/spill.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sponge/CMakeFiles/sponge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sponge_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sponge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sponge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

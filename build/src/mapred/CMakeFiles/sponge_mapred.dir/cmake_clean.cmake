@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sponge_mapred.dir/job.cc.o"
+  "CMakeFiles/sponge_mapred.dir/job.cc.o.d"
+  "CMakeFiles/sponge_mapred.dir/job_tracker.cc.o"
+  "CMakeFiles/sponge_mapred.dir/job_tracker.cc.o.d"
+  "CMakeFiles/sponge_mapred.dir/map_task.cc.o"
+  "CMakeFiles/sponge_mapred.dir/map_task.cc.o.d"
+  "CMakeFiles/sponge_mapred.dir/merger.cc.o"
+  "CMakeFiles/sponge_mapred.dir/merger.cc.o.d"
+  "CMakeFiles/sponge_mapred.dir/record.cc.o"
+  "CMakeFiles/sponge_mapred.dir/record.cc.o.d"
+  "CMakeFiles/sponge_mapred.dir/reduce_task.cc.o"
+  "CMakeFiles/sponge_mapred.dir/reduce_task.cc.o.d"
+  "CMakeFiles/sponge_mapred.dir/spill.cc.o"
+  "CMakeFiles/sponge_mapred.dir/spill.cc.o.d"
+  "libsponge_mapred.a"
+  "libsponge_mapred.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sponge_mapred.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for sponge_mapred.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for sponge_mapred.
+# This may be replaced when dependencies are built.

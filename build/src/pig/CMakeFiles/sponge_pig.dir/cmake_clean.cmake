@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sponge_pig.dir/data_bag.cc.o"
+  "CMakeFiles/sponge_pig.dir/data_bag.cc.o.d"
+  "CMakeFiles/sponge_pig.dir/memory_manager.cc.o"
+  "CMakeFiles/sponge_pig.dir/memory_manager.cc.o.d"
+  "CMakeFiles/sponge_pig.dir/query.cc.o"
+  "CMakeFiles/sponge_pig.dir/query.cc.o.d"
+  "CMakeFiles/sponge_pig.dir/udfs.cc.o"
+  "CMakeFiles/sponge_pig.dir/udfs.cc.o.d"
+  "libsponge_pig.a"
+  "libsponge_pig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sponge_pig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

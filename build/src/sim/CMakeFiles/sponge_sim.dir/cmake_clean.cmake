@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sponge_sim.dir/engine.cc.o"
+  "CMakeFiles/sponge_sim.dir/engine.cc.o.d"
+  "CMakeFiles/sponge_sim.dir/sync.cc.o"
+  "CMakeFiles/sponge_sim.dir/sync.cc.o.d"
+  "libsponge_sim.a"
+  "libsponge_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sponge_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sponge/chunk_pool.cc" "src/sponge/CMakeFiles/sponge_core.dir/chunk_pool.cc.o" "gcc" "src/sponge/CMakeFiles/sponge_core.dir/chunk_pool.cc.o.d"
+  "/root/repo/src/sponge/failure.cc" "src/sponge/CMakeFiles/sponge_core.dir/failure.cc.o" "gcc" "src/sponge/CMakeFiles/sponge_core.dir/failure.cc.o.d"
+  "/root/repo/src/sponge/memory_tracker.cc" "src/sponge/CMakeFiles/sponge_core.dir/memory_tracker.cc.o" "gcc" "src/sponge/CMakeFiles/sponge_core.dir/memory_tracker.cc.o.d"
+  "/root/repo/src/sponge/sponge_env.cc" "src/sponge/CMakeFiles/sponge_core.dir/sponge_env.cc.o" "gcc" "src/sponge/CMakeFiles/sponge_core.dir/sponge_env.cc.o.d"
+  "/root/repo/src/sponge/sponge_file.cc" "src/sponge/CMakeFiles/sponge_core.dir/sponge_file.cc.o" "gcc" "src/sponge/CMakeFiles/sponge_core.dir/sponge_file.cc.o.d"
+  "/root/repo/src/sponge/sponge_server.cc" "src/sponge/CMakeFiles/sponge_core.dir/sponge_server.cc.o" "gcc" "src/sponge/CMakeFiles/sponge_core.dir/sponge_server.cc.o.d"
+  "/root/repo/src/sponge/task_registry.cc" "src/sponge/CMakeFiles/sponge_core.dir/task_registry.cc.o" "gcc" "src/sponge/CMakeFiles/sponge_core.dir/task_registry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cluster/CMakeFiles/sponge_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sponge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sponge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

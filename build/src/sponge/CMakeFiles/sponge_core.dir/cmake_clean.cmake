@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sponge_core.dir/chunk_pool.cc.o"
+  "CMakeFiles/sponge_core.dir/chunk_pool.cc.o.d"
+  "CMakeFiles/sponge_core.dir/failure.cc.o"
+  "CMakeFiles/sponge_core.dir/failure.cc.o.d"
+  "CMakeFiles/sponge_core.dir/memory_tracker.cc.o"
+  "CMakeFiles/sponge_core.dir/memory_tracker.cc.o.d"
+  "CMakeFiles/sponge_core.dir/sponge_env.cc.o"
+  "CMakeFiles/sponge_core.dir/sponge_env.cc.o.d"
+  "CMakeFiles/sponge_core.dir/sponge_file.cc.o"
+  "CMakeFiles/sponge_core.dir/sponge_file.cc.o.d"
+  "CMakeFiles/sponge_core.dir/sponge_server.cc.o"
+  "CMakeFiles/sponge_core.dir/sponge_server.cc.o.d"
+  "CMakeFiles/sponge_core.dir/task_registry.cc.o"
+  "CMakeFiles/sponge_core.dir/task_registry.cc.o.d"
+  "libsponge_core.a"
+  "libsponge_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sponge_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

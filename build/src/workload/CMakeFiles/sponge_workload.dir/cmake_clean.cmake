@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sponge_workload.dir/jobs.cc.o"
+  "CMakeFiles/sponge_workload.dir/jobs.cc.o.d"
+  "CMakeFiles/sponge_workload.dir/testbed.cc.o"
+  "CMakeFiles/sponge_workload.dir/testbed.cc.o.d"
+  "CMakeFiles/sponge_workload.dir/trace.cc.o"
+  "CMakeFiles/sponge_workload.dir/trace.cc.o.d"
+  "CMakeFiles/sponge_workload.dir/webdata.cc.o"
+  "CMakeFiles/sponge_workload.dir/webdata.cc.o.d"
+  "libsponge_workload.a"
+  "libsponge_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sponge_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

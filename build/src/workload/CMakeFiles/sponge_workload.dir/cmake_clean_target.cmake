@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsponge_workload.a"
+)

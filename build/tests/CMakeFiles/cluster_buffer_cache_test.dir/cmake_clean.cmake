@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_buffer_cache_test.dir/cluster_buffer_cache_test.cc.o"
+  "CMakeFiles/cluster_buffer_cache_test.dir/cluster_buffer_cache_test.cc.o.d"
+  "cluster_buffer_cache_test"
+  "cluster_buffer_cache_test.pdb"
+  "cluster_buffer_cache_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_buffer_cache_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_disk_test.dir/cluster_disk_test.cc.o"
+  "CMakeFiles/cluster_disk_test.dir/cluster_disk_test.cc.o.d"
+  "cluster_disk_test"
+  "cluster_disk_test.pdb"
+  "cluster_disk_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_disk_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_fs_test.dir/cluster_fs_test.cc.o"
+  "CMakeFiles/cluster_fs_test.dir/cluster_fs_test.cc.o.d"
+  "cluster_fs_test"
+  "cluster_fs_test.pdb"
+  "cluster_fs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_fs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/common_byte_runs_test.dir/common_byte_runs_test.cc.o"
+  "CMakeFiles/common_byte_runs_test.dir/common_byte_runs_test.cc.o.d"
+  "common_byte_runs_test"
+  "common_byte_runs_test.pdb"
+  "common_byte_runs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/common_byte_runs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapred_job_test.dir/mapred_job_test.cc.o"
+  "CMakeFiles/mapred_job_test.dir/mapred_job_test.cc.o.d"
+  "mapred_job_test"
+  "mapred_job_test.pdb"
+  "mapred_job_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapred_job_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

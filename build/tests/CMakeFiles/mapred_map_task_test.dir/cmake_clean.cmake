@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapred_map_task_test.dir/mapred_map_task_test.cc.o"
+  "CMakeFiles/mapred_map_task_test.dir/mapred_map_task_test.cc.o.d"
+  "mapred_map_task_test"
+  "mapred_map_task_test.pdb"
+  "mapred_map_task_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapred_map_task_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

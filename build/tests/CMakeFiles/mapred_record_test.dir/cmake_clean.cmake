@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapred_record_test.dir/mapred_record_test.cc.o"
+  "CMakeFiles/mapred_record_test.dir/mapred_record_test.cc.o.d"
+  "mapred_record_test"
+  "mapred_record_test.pdb"
+  "mapred_record_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapred_record_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

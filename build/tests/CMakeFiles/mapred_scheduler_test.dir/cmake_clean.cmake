@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapred_scheduler_test.dir/mapred_scheduler_test.cc.o"
+  "CMakeFiles/mapred_scheduler_test.dir/mapred_scheduler_test.cc.o.d"
+  "mapred_scheduler_test"
+  "mapred_scheduler_test.pdb"
+  "mapred_scheduler_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapred_scheduler_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

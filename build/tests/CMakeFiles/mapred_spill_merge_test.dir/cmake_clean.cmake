@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapred_spill_merge_test.dir/mapred_spill_merge_test.cc.o"
+  "CMakeFiles/mapred_spill_merge_test.dir/mapred_spill_merge_test.cc.o.d"
+  "mapred_spill_merge_test"
+  "mapred_spill_merge_test.pdb"
+  "mapred_spill_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapred_spill_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

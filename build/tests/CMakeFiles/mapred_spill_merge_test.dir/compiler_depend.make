@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for mapred_spill_merge_test.
+# This may be replaced when dependencies are built.

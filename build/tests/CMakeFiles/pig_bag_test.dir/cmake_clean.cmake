@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pig_bag_test.dir/pig_bag_test.cc.o"
+  "CMakeFiles/pig_bag_test.dir/pig_bag_test.cc.o.d"
+  "pig_bag_test"
+  "pig_bag_test.pdb"
+  "pig_bag_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pig_bag_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pig_query_test.dir/pig_query_test.cc.o"
+  "CMakeFiles/pig_query_test.dir/pig_query_test.cc.o.d"
+  "pig_query_test"
+  "pig_query_test.pdb"
+  "pig_query_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pig_query_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_sync_test.dir/sim_sync_test.cc.o"
+  "CMakeFiles/sim_sync_test.dir/sim_sync_test.cc.o.d"
+  "sim_sync_test"
+  "sim_sync_test.pdb"
+  "sim_sync_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_sync_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sponge_extensions_test.dir/sponge_extensions_test.cc.o"
+  "CMakeFiles/sponge_extensions_test.dir/sponge_extensions_test.cc.o.d"
+  "sponge_extensions_test"
+  "sponge_extensions_test.pdb"
+  "sponge_extensions_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sponge_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

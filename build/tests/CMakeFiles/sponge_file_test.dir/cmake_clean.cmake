@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sponge_file_test.dir/sponge_file_test.cc.o"
+  "CMakeFiles/sponge_file_test.dir/sponge_file_test.cc.o.d"
+  "sponge_file_test"
+  "sponge_file_test.pdb"
+  "sponge_file_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sponge_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

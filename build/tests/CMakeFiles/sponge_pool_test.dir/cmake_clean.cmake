@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sponge_pool_test.dir/sponge_pool_test.cc.o"
+  "CMakeFiles/sponge_pool_test.dir/sponge_pool_test.cc.o.d"
+  "sponge_pool_test"
+  "sponge_pool_test.pdb"
+  "sponge_pool_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sponge_pool_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

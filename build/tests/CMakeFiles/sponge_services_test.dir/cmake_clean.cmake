@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sponge_services_test.dir/sponge_services_test.cc.o"
+  "CMakeFiles/sponge_services_test.dir/sponge_services_test.cc.o.d"
+  "sponge_services_test"
+  "sponge_services_test.pdb"
+  "sponge_services_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sponge_services_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_jobs_test.dir/workload_jobs_test.cc.o"
+  "CMakeFiles/workload_jobs_test.dir/workload_jobs_test.cc.o.d"
+  "workload_jobs_test"
+  "workload_jobs_test.pdb"
+  "workload_jobs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_jobs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

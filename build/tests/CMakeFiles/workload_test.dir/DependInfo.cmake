@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload_test.cc" "tests/CMakeFiles/workload_test.dir/workload_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/workload/CMakeFiles/sponge_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/pig/CMakeFiles/sponge_pig.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapred/CMakeFiles/sponge_mapred.dir/DependInfo.cmake"
+  "/root/repo/build/src/sponge/CMakeFiles/sponge_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/sponge_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/sponge_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/sponge_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_status_test[1]_include.cmake")
+include("/root/repo/build/tests/common_byte_runs_test[1]_include.cmake")
+include("/root/repo/build/tests/common_random_test[1]_include.cmake")
+include("/root/repo/build/tests/common_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_engine_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_sync_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_disk_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_buffer_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_network_test[1]_include.cmake")
+include("/root/repo/build/tests/cluster_fs_test[1]_include.cmake")
+include("/root/repo/build/tests/sponge_pool_test[1]_include.cmake")
+include("/root/repo/build/tests/sponge_file_test[1]_include.cmake")
+include("/root/repo/build/tests/sponge_services_test[1]_include.cmake")
+include("/root/repo/build/tests/mapred_record_test[1]_include.cmake")
+include("/root/repo/build/tests/mapred_spill_merge_test[1]_include.cmake")
+include("/root/repo/build/tests/mapred_job_test[1]_include.cmake")
+include("/root/repo/build/tests/pig_bag_test[1]_include.cmake")
+include("/root/repo/build/tests/pig_query_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/common_crypto_test[1]_include.cmake")
+include("/root/repo/build/tests/sponge_extensions_test[1]_include.cmake")
+include("/root/repo/build/tests/mapred_map_task_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_jobs_test[1]_include.cmake")
+include("/root/repo/build/tests/mapred_scheduler_test[1]_include.cmake")
