@@ -21,6 +21,8 @@
 #include "sponge/sponge_env.h"
 #include "sponge/sponge_file.h"
 
+#include "bench_util.h"
+
 using namespace spongefiles;
 
 namespace {
@@ -305,12 +307,14 @@ void RackRestrictionAblation() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto obs_options = spongefiles::bench::ParseObsFlags(argc, argv);
   std::printf("Ablations of SpongeFile design choices\n\n");
   ChunkSizeSweep();
   StalenessSweep();
   AffinityAblation();
   OverlapAblation();
   RackRestrictionAblation();
+  spongefiles::bench::WriteObsOutputs(obs_options);
   return 0;
 }

@@ -80,8 +80,10 @@ void InjectionExperiment() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto obs_options = spongefiles::bench::ParseObsFlags(argc, argv);
   ClosedForm();
   InjectionExperiment();
+  spongefiles::bench::WriteObsOutputs(obs_options);
   return 0;
 }

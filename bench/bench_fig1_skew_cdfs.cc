@@ -14,6 +14,8 @@
 #include "common/units.h"
 #include "workload/trace.h"
 
+#include "bench_util.h"
+
 using namespace spongefiles;
 using workload::TraceConfig;
 using workload::TraceSynthesizer;
@@ -35,7 +37,8 @@ void PrintCdf(const char* title, const std::vector<CdfPoint>& cdf,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto obs_options = spongefiles::bench::ParseObsFlags(argc, argv);
   TraceConfig config;
   TraceSynthesizer synth(config);
   auto fig = synth.BuildFigure1(/*cdf_points=*/24);
@@ -68,5 +71,6 @@ int main() {
       FormatBytes(static_cast<uint64_t>(max_task)).c_str(),
       std::log10(max_task) - std::log10(std::max(min_task, 1.0)),
       100.0 * beyond / std::max(eligible, 1));
+  spongefiles::bench::WriteObsOutputs(obs_options);
   return 0;
 }

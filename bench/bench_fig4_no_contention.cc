@@ -17,7 +17,8 @@
 using namespace spongefiles;
 using namespace spongefiles::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  auto obs_options = spongefiles::bench::ParseObsFlags(argc, argv);
   std::printf(
       "Figure 4: job runtimes, disk vs SpongeFile spilling, no contention\n"
       "(30 nodes, 1 GB heaps, 1 GB sponge/node; web data %s, median count "
@@ -46,5 +47,6 @@ int main() {
   std::printf(
       "\npaper: sponge wins up to ~55%%; disk competitive for the Pig jobs "
       "only when 16 GB of memory lets the buffer cache absorb spills.\n");
+  spongefiles::bench::WriteObsOutputs(obs_options);
   return 0;
 }

@@ -18,7 +18,8 @@
 using namespace spongefiles;
 using namespace spongefiles::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  auto obs_options = spongefiles::bench::ParseObsFlags(argc, argv);
   std::printf(
       "Figure 5: job runtimes under disk contention (background grep over "
       "%s)\n\n",
@@ -46,5 +47,6 @@ int main() {
   std::printf(
       "\npaper: SpongeFiles cut the median job by over 85%% under "
       "contention and memory pressure.\n");
+  spongefiles::bench::WriteObsOutputs(obs_options);
   return 0;
 }

@@ -54,7 +54,8 @@ std::vector<Config> MakeConfigs() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto obs_options = spongefiles::bench::ParseObsFlags(argc, argv);
   std::printf(
       "Figure 6: spilling schemes vs the no-spilling optimum (16 GB nodes, "
       "no contention)\n\n");
@@ -76,5 +77,6 @@ int main() {
       "only for Median (one merge round vs re-spilling), and remote "
       "spilling costs the Pig jobs slightly more than the cache-absorbed "
       "disk.\n");
+  spongefiles::bench::WriteObsOutputs(obs_options);
   return 0;
 }

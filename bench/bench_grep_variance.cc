@@ -54,7 +54,8 @@ GrepProfile Profile(mapred::SpillMode mode) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto obs_options = spongefiles::bench::ParseObsFlags(argc, argv);
   std::printf(
       "Effects of disk spilling on other jobs: grep task runtimes while "
       "the median job spills\n\n");
@@ -81,5 +82,6 @@ int main() {
       "close to the median (measured disk tail %.1fx vs sponge %.1fx).\n",
       39.0 / 16.0, disk.colocated_max_s / std::max(disk.median_s, 1e-9),
       sponge.colocated_max_s / std::max(sponge.median_s, 1e-9));
+  spongefiles::bench::WriteObsOutputs(obs_options);
   return 0;
 }

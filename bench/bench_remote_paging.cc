@@ -17,6 +17,8 @@
 #include "sponge/sponge_env.h"
 #include "sponge/sponge_file.h"
 
+#include "bench_util.h"
+
 using namespace spongefiles;
 
 namespace {
@@ -91,7 +93,8 @@ std::string Throughput(Duration d) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto obs_options = spongefiles::bench::ParseObsFlags(argc, argv);
   std::printf(
       "Remote paging vs SpongeFiles: move %s out and back over the same "
       "1 Gb network\n\n",
@@ -115,5 +118,6 @@ int main() {
       "1 MB sequential chunks amortize the latency and prefetch/async "
       "writes hide it — the paper's case for an application-level "
       "abstraction.\n");
+  spongefiles::bench::WriteObsOutputs(obs_options);
   return 0;
 }

@@ -19,6 +19,8 @@
 #include "common/units.h"
 #include "workload/trace.h"
 
+#include "bench_util.h"
+
 using namespace spongefiles;
 using workload::TraceConfig;
 using workload::TraceSynthesizer;
@@ -33,7 +35,8 @@ struct ClusterModel {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto obs_options = spongefiles::bench::ParseObsFlags(argc, argv);
   TraceConfig trace_config;
   trace_config.num_jobs = 20000;
   TraceSynthesizer synth(trace_config);
@@ -119,5 +122,6 @@ int main() {
       "memory can absorb the spills; and some reduce inputs (up to "
       "~105 GB) exceed any single node's memory, so remote sponge memory "
       "is necessary, not just convenient.\n");
+  spongefiles::bench::WriteObsOutputs(obs_options);
   return 0;
 }

@@ -29,6 +29,8 @@
 #include "sponge/sponge_env.h"
 #include "sponge/sponge_file.h"
 
+#include "bench_util.h"
+
 using namespace spongefiles;
 
 namespace {
@@ -137,7 +139,8 @@ double DiskSpillMs(int background_readers, uint64_t reader_request,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  auto obs_options = spongefiles::bench::ParseObsFlags(argc, argv);
   std::printf(
       "Table 1: spilling a 1 MB buffer to different media "
       "(%d iterations each)\n\n",
@@ -167,5 +170,6 @@ int main() {
       "\nshape check: memory media ~1-10 ms; disk 1 order slower; "
       "contention adds another order (%.0fx -> %.0fx solo disk).\n",
       disk_bg / disk_alone, disk_bg_pressure / disk_alone);
+  spongefiles::bench::WriteObsOutputs(obs_options);
   return 0;
 }

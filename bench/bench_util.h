@@ -13,9 +13,68 @@
 
 #include "common/table.h"
 #include "common/units.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/testbed.h"
 
 namespace spongefiles::bench {
+
+// Observability outputs every bench binary supports:
+//   --trace-out=PATH    write a Chrome trace_event JSON (open in Perfetto)
+//   --metrics-out=PATH  write the metrics registry snapshot as JSON
+struct ObsOptions {
+  std::string trace_out;
+  std::string metrics_out;
+};
+
+// Parses the observability flags (other arguments are ignored, so benches
+// can layer their own) and enables tracing when a trace path was given.
+inline ObsOptions ParseObsFlags(int argc, char** argv) {
+  ObsOptions options;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--trace-out=", 0) == 0) {
+      options.trace_out = arg.substr(12);
+    } else if (arg.rfind("--metrics-out=", 0) == 0) {
+      options.metrics_out = arg.substr(14);
+    }
+  }
+  if (!options.trace_out.empty()) {
+    obs::Tracer::Default().set_enabled(true);
+  }
+  return options;
+}
+
+// Writes whichever outputs were requested; call once, after the runs.
+// A failed artifact write exits nonzero: a bench invoked for its telemetry
+// must not report success while silently dropping it.
+inline void WriteObsOutputs(const ObsOptions& options) {
+  if (!options.trace_out.empty()) {
+    Status written = obs::Tracer::Default().WriteFile(options.trace_out);
+    if (written.ok()) {
+      std::printf("\ntrace written to %s (%zu events)\n",
+                  options.trace_out.c_str(),
+                  obs::Tracer::Default().event_count());
+    } else {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   written.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  if (!options.metrics_out.empty()) {
+    Status written =
+        obs::Registry::Default().WriteJsonFile(options.metrics_out);
+    if (written.ok()) {
+      std::printf("metrics written to %s (%zu instruments)\n",
+                  options.metrics_out.c_str(),
+                  obs::Registry::Default().size());
+    } else {
+      std::fprintf(stderr, "metrics write failed: %s\n",
+                   written.ToString().c_str());
+      std::exit(1);
+    }
+  }
+}
 
 // Full paper scale by default; SPONGE_BENCH_SCALE=N divides dataset sizes
 // by N for quick runs (shapes hold, absolute numbers shrink).
@@ -49,6 +108,9 @@ struct MacroRun {
   mapred::TaskStats straggler;
   bool correct = false;  // job-specific answer check
   std::vector<mapred::TaskStats> background_tasks;
+  // Spill accounting summed over every map and reduce task of the job
+  // (what the global metrics registry should agree with).
+  mapred::SpillStats total_spill;
 };
 
 struct MacroOptions {
@@ -117,6 +179,10 @@ inline MacroRun RunMacro(MacroJob job, mapred::SpillMode mode,
   }
   run.runtime = result->runtime;
   run.straggler = *result->straggler();
+  for (const auto& task : result->map_tasks) run.total_spill.Add(task.spill);
+  for (const auto& task : result->reduce_tasks) {
+    run.total_spill.Add(task.spill);
+  }
   switch (job) {
     case MacroJob::kMedian:
       run.correct = result->output.size() == 1 &&

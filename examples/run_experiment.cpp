@@ -6,12 +6,15 @@
 //                  [--spill disk|sponge]
 //                  [--memory-gb N] [--sponge-gb N]
 //                  [--background-grep] [--scale N] [--seed N]
+//                  [--trace-out FILE] [--metrics-out FILE]
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 
 #include "common/units.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "workload/testbed.h"
 
 using namespace spongefiles;
@@ -26,6 +29,8 @@ struct Options {
   bool background_grep = false;
   uint64_t scale = 10;  // datasets = paper size / scale
   uint64_t seed = 2014;
+  std::string trace_out;
+  std::string metrics_out;
 };
 
 bool Parse(int argc, char** argv, Options* options) {
@@ -66,6 +71,14 @@ bool Parse(int argc, char** argv, Options* options) {
       const char* v = next();
       if (v == nullptr) return false;
       options->seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--trace-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->trace_out = v;
+    } else if (arg == "--metrics-out") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->metrics_out = v;
     } else {
       return false;
     }
@@ -83,9 +96,12 @@ int main(int argc, char** argv) {
         stderr,
         "usage: %s [--job median|anchortext|quantiles] [--spill "
         "disk|sponge] [--memory-gb N] [--sponge-gb N] [--background-grep] "
-        "[--scale N] [--seed N]\n",
+        "[--scale N] [--seed N] [--trace-out FILE] [--metrics-out FILE]\n",
         argv[0]);
     return 2;
+  }
+  if (!options.trace_out.empty()) {
+    obs::Tracer::Default().set_enabled(true);
   }
 
   workload::TestbedConfig bed_config;
@@ -158,6 +174,25 @@ int main(int argc, char** argv) {
     std::printf("output[%zu]           : %s %s %.3f\n", i, row.key.c_str(),
                 row.fields.empty() ? "" : row.fields[0].c_str(),
                 row.number);
+  }
+  if (!options.trace_out.empty()) {
+    Status written = obs::Tracer::Default().WriteFile(options.trace_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace write failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("trace written       : %s\n", options.trace_out.c_str());
+  }
+  if (!options.metrics_out.empty()) {
+    Status written =
+        obs::Registry::Default().WriteJsonFile(options.metrics_out);
+    if (!written.ok()) {
+      std::fprintf(stderr, "metrics write failed: %s\n",
+                   written.ToString().c_str());
+      return 1;
+    }
+    std::printf("metrics written     : %s\n", options.metrics_out.c_str());
   }
   return 0;
 }

@@ -3,7 +3,28 @@
 #include <algorithm>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace spongefiles::cluster {
+
+namespace {
+
+struct CacheCounters {
+  obs::Counter* hits;
+  obs::Counter* misses;
+  obs::Counter* absorbed_bytes;
+};
+
+const CacheCounters& Counters() {
+  static const CacheCounters counters = {
+      obs::Registry::Default().counter("cluster.cache.hits"),
+      obs::Registry::Default().counter("cluster.cache.misses"),
+      obs::Registry::Default().counter("cluster.cache.absorbed_bytes"),
+  };
+  return counters;
+}
+
+}  // namespace
 
 BufferCache::Block* BufferCache::Find(const BlockKey& key) {
   auto it = blocks_.find(key);
@@ -34,6 +55,7 @@ sim::Task<> BufferCache::Write(uint64_t file, uint64_t offset,
     co_await Touch(BlockKey{file, b}, /*mark_dirty=*/true);
   }
   bytes_absorbed_ += bytes;
+  Counters().absorbed_bytes->Increment(bytes);
   co_await FlushDirtyIfThrottled();
 }
 
@@ -61,6 +83,7 @@ sim::Task<> BufferCache::Read(uint64_t file, uint64_t offset,
     co_await disk_->Read(file, miss_start * config_.block_size,
                          miss_blocks * config_.block_size);
     misses_ += miss_blocks;
+    Counters().misses->Increment(miss_blocks);
     miss_blocks = 0;
   };
   for (uint64_t b = first; b <= last; ++b) {
@@ -69,6 +92,7 @@ sim::Task<> BufferCache::Read(uint64_t file, uint64_t offset,
       co_await flush_miss_range();
       ++hit_blocks;
       ++hits_;
+      Counters().hits->Increment();
       co_await Touch(key, /*mark_dirty=*/false);
     } else {
       if (miss_blocks == 0) miss_start = b;

@@ -2,9 +2,21 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace spongefiles::cluster {
 
 namespace {
+
+obs::Counter* DfsBytesCounter(bool is_write) {
+  static obs::Counter* const read = obs::Registry::Default().counter(
+      "cluster.dfs.bytes", {{"op", "read"}});
+  static obs::Counter* const write = obs::Registry::Default().counter(
+      "cluster.dfs.bytes", {{"op", "write"}});
+  return is_write ? write : read;
+}
+
 uint64_t NameHash(const std::string& name) {
   uint64_t h = 14695981039346656037ull;
   for (char c : name) {
@@ -52,6 +64,10 @@ sim::Task<Status> Dfs::AppendBlock(const std::string& name, size_t writer,
   if (bytes > kBlockSize) {
     co_return InvalidArgument("block larger than DFS block size");
   }
+  obs::SpanGuard span(&obs::Tracer::Default(), cluster_->engine(), writer, 0,
+                      "dfs", "dfs.append");
+  span.Arg("bytes", bytes);
+  DfsBytesCounter(/*is_write=*/true)->Increment(bytes);
   File& file = files_[name];  // creates on first append
   // Hadoop writes the first replica locally when the writer is a datanode
   // with space; otherwise the namenode picks a node that can hold the
@@ -87,6 +103,10 @@ sim::Task<Status> Dfs::Read(const std::string& name, size_t reader,
   if (it == files_.end()) co_return NotFound("no DFS file: " + name);
   const File& file = it->second;
   if (offset + bytes > file.size) co_return OutOfRange("DFS read past EOF");
+  obs::SpanGuard span(&obs::Tracer::Default(), cluster_->engine(), reader, 0,
+                      "dfs", "dfs.read");
+  span.Arg("bytes", bytes);
+  DfsBytesCounter(/*is_write=*/false)->Increment(bytes);
 
   uint64_t pos = 0;
   for (const Block& block : file.blocks) {

@@ -28,8 +28,9 @@ struct DiskConfig {
 // into random IO, which is the effect Table 1 and Figures 4-6 hinge on.
 class Disk {
  public:
-  Disk(sim::Engine* engine, const DiskConfig& config)
-      : engine_(engine), config_(config), queue_(engine, 1) {}
+  // `node` is the owning node's id, used only to label trace spans.
+  Disk(sim::Engine* engine, const DiskConfig& config, size_t node = 0)
+      : engine_(engine), config_(config), node_(node), queue_(engine, 1) {}
 
   Disk(const Disk&) = delete;
   Disk& operator=(const Disk&) = delete;
@@ -59,6 +60,7 @@ class Disk {
  private:
   sim::Engine* engine_;
   DiskConfig config_;
+  size_t node_;
   sim::Semaphore queue_;
 
   // Head position: the stream and offset a request can continue without

@@ -3,8 +3,26 @@
 #include <algorithm>
 
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace spongefiles::cluster {
+
+namespace {
+
+obs::Counter* NetBytesCounter(const char* path) {
+  static obs::Registry& registry = obs::Registry::Default();
+  static obs::Counter* const ipc =
+      registry.counter("cluster.net.bytes", {{"path", "ipc"}});
+  static obs::Counter* const rack =
+      registry.counter("cluster.net.bytes", {{"path", "rack"}});
+  static obs::Counter* const cross =
+      registry.counter("cluster.net.bytes", {{"path", "cross-rack"}});
+  if (path[0] == 'i') return ipc;
+  return path[0] == 'r' ? rack : cross;
+}
+
+}  // namespace
 
 Network::Network(sim::Engine* engine, size_t num_nodes,
                  const NetworkConfig& config, std::vector<size_t> racks)
@@ -30,12 +48,21 @@ sim::Task<> Network::Transfer(size_t src, size_t dst, uint64_t bytes) {
   bytes_transferred_ += bytes;
   if (src == dst) {
     // Local socket: copies through the kernel, no NIC involvement.
+    NetBytesCounter("ipc")->Increment(bytes);
     co_await engine_->Delay(config_.ipc_overhead +
                             TransferTime(bytes, config_.ipc_bandwidth));
     co_return;
   }
   const bool cross_rack = racks_[src] != racks_[dst];
   const bool metered_core = cross_rack && config_.cross_rack_bandwidth > 0;
+  NetBytesCounter(cross_rack ? "cross-rack" : "rack")->Increment(bytes);
+
+  // The span covers pipe acquisition (queueing on the NIC and, for a
+  // metered core, the shared rack uplink/downlink) plus the wire time.
+  obs::SpanGuard span(&obs::Tracer::Default(), engine_, src, 0, "net",
+                      "net.transfer");
+  span.Arg("dst", static_cast<uint64_t>(dst));
+  span.Arg("bytes", bytes);
 
   // Hold the sender's transmit pipe, then the receiver's receive pipe,
   // then (for a metered core) the racks' shared uplink and downlink.

@@ -5,7 +5,7 @@ namespace spongefiles::cluster {
 Node::Node(sim::Engine* engine, size_t id, size_t rack,
            const NodeConfig& config)
     : id_(id), rack_(rack), config_(config) {
-  disk_ = std::make_unique<Disk>(engine, config.disk);
+  disk_ = std::make_unique<Disk>(engine, config.disk, id);
   BufferCacheConfig cache_config = config.cache;
   cache_config.capacity = cache_capacity();
   cache_ = std::make_unique<BufferCache>(engine, disk_.get(), cache_config);

@@ -76,15 +76,4 @@ std::vector<CdfPoint> EmpiricalCdf(std::vector<double> xs,
   return out;
 }
 
-void Accumulator::Add(double x) {
-  if (count_ == 0) {
-    min_ = max_ = x;
-  } else {
-    min_ = std::min(min_, x);
-    max_ = std::max(max_, x);
-  }
-  sum_ += x;
-  ++count_;
-}
-
 }  // namespace spongefiles

@@ -36,23 +36,8 @@ struct CdfPoint {
 std::vector<CdfPoint> EmpiricalCdf(std::vector<double> xs,
                                    size_t max_points = 64);
 
-// Streaming min/max/mean/count accumulator.
-class Accumulator {
- public:
-  void Add(double x);
-
-  size_t count() const { return count_; }
-  double min() const { return min_; }
-  double max() const { return max_; }
-  double mean() const { return count_ == 0 ? 0 : sum_ / count_; }
-  double sum() const { return sum_; }
-
- private:
-  size_t count_ = 0;
-  double sum_ = 0;
-  double min_ = 0;
-  double max_ = 0;
-};
+// For streaming min/max/mean/count accumulation use obs::Summary
+// (obs/metrics.h) — the single summary implementation in the tree.
 
 }  // namespace spongefiles
 

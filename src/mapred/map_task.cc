@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace spongefiles::mapred {
 
 namespace {
@@ -42,6 +45,9 @@ size_t MapTask::PartitionOf(const Record& record) const {
 }
 
 sim::Task<Status> MapTask::SortAndSpill() {
+  obs::SpanGuard span(&obs::Tracer::Default(), env_->engine(), node_,
+                      task_id_, "mapred", "map.sort_spill");
+  span.Arg("bytes", buffer_bytes_);
   ++spill_count_;
   for (size_t p = 0; p < buffer_.size(); ++p) {
     if (buffer_[p].empty()) continue;
@@ -61,11 +67,18 @@ sim::Task<Status> MapTask::SortAndSpill() {
 }
 
 sim::Task<Status> MapTask::Run(MapOutput* output, TaskStats* stats) {
+  static obs::Counter* const tasks_counter = obs::Registry::Default().counter(
+      "mapred.tasks", {{"kind", "map"}});
+  tasks_counter->Increment();
   sim::Engine* engine = env_->engine();
   CpuMeter cpu(engine);
   sponge::TaskContext task = env_->StartTask(node_);
+  task_id_ = task.task_id;
   stats->node = node_;
   SimTime start = engine->now();
+  obs::SpanGuard span(&obs::Tracer::Default(), engine, node_, task.task_id,
+                      "mapred", "map.task");
+  span.Arg("split_bytes", split_->bytes);
 
   // Stream the split off the DFS, charging scan CPU as we go.
   for (uint64_t off = 0; off < split_->bytes; off += kScanUnit) {

@@ -49,6 +49,7 @@ class MapTask {
   const InputSplit* split_;
   size_t node_;
   int task_index_;
+  uint64_t task_id_ = 0;  // process id while running (trace span labels)
 
   // Sort buffer: records per partition plus total logical bytes.
   std::vector<std::vector<Record>> buffer_;

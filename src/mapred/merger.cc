@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace spongefiles::mapred {
 
 sim::Task<Result<bool>> SpillFileSource::Next(Record* out) {
@@ -105,6 +107,12 @@ sim::Task<Result<std::unique_ptr<SpillFile>>> WriteSortedRun(
   }
   Status closed = co_await file->Close();
   if (!closed.ok()) co_return closed;
+  static obs::Counter* const runs_counter =
+      obs::Registry::Default().counter("mapred.merge.runs_written");
+  static obs::Histogram* const run_bytes_histogram =
+      obs::Registry::Default().histogram("mapred.merge.run_bytes");
+  runs_counter->Increment();
+  run_bytes_histogram->Record(file->size());
   co_return file;
 }
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace spongefiles::mapred {
 
 ReduceTask::ReduceTask(sponge::SpongeEnv* env, const JobConfig* config,
@@ -31,6 +34,10 @@ std::unique_ptr<Spiller> ReduceTask::MakeSpiller() {
 
 sim::Task<Status> ReduceTask::SpillMemorySegments() {
   if (memory_segments_.empty()) co_return Status::OK();
+  obs::SpanGuard span(&obs::Tracer::Default(), env_->engine(), node_,
+                      task_.task_id, "mapred", "reduce.spill");
+  span.Arg("bytes", memory_bytes_);
+  span.Arg("segments", static_cast<uint64_t>(memory_segments_.size()));
   std::unique_ptr<SpillFile> run;
   if (memory_segments_.size() == 1) {
     // A single segment is already a sorted run; stream it out directly.
@@ -62,6 +69,10 @@ sim::Task<Status> ReduceTask::SpillMemorySegments() {
 sim::Task<Status> ReduceTask::FetchSegment(MapOutput* output) {
   SpillFile* source = output->partitions[partition_].get();
   if (source == nullptr || source->size() == 0) co_return Status::OK();
+  obs::SpanGuard span(&obs::Tracer::Default(), env_->engine(), node_,
+                      task_.task_id, "mapred", "reduce.fetch_segment");
+  span.Arg("from", static_cast<uint64_t>(output->node));
+  span.Arg("bytes", source->size());
 
   uint64_t heap = ReduceHeap();
   uint64_t shuffle_buffer = static_cast<uint64_t>(
@@ -93,6 +104,9 @@ sim::Task<Status> ReduceTask::FetchSegment(MapOutput* output) {
 sim::Task<Status> ReduceTask::IntermediateMergeRounds() {
   size_t factor = spiller_->merge_factor();
   while (spilled_segments_.size() > factor) {
+    obs::SpanGuard span(&obs::Tracer::Default(), env_->engine(), node_,
+                        task_.task_id, "mapred", "reduce.merge_round");
+    span.Arg("segments", static_cast<uint64_t>(spilled_segments_.size()));
     // Merge the `factor` smallest segments (Hadoop's polyphase heuristic)
     // into a new run.
     std::sort(spilled_segments_.begin(), spilled_segments_.end(),
@@ -121,6 +135,8 @@ sim::Task<Status> ReduceTask::IntermediateMergeRounds() {
 sim::Task<Status> ReduceTask::DriveReducer(RecordSource* stream,
                                            std::vector<Record>* job_output,
                                            TaskStats* stats) {
+  obs::SpanGuard span(&obs::Tracer::Default(), env_->engine(), node_,
+                      task_.task_id, "mapred", "reduce.reduce");
   CpuMeter cpu(env_->engine());
   ReduceContext ctx;
   ctx.engine = env_->engine();
@@ -158,12 +174,18 @@ sim::Task<Status> ReduceTask::DriveReducer(RecordSource* stream,
 
 sim::Task<Status> ReduceTask::Run(std::vector<Record>* job_output,
                                   TaskStats* stats) {
+  static obs::Counter* const tasks_counter = obs::Registry::Default().counter(
+      "mapred.tasks", {{"kind", "reduce"}});
+  tasks_counter->Increment();
   sim::Engine* engine = env_->engine();
   SimTime start = engine->now();
   task_ = env_->StartTask(node_);
   stats->node = node_;
   spiller_ = MakeSpiller();
   reducer_ = config_->reducer_factory();
+  obs::SpanGuard span(&obs::Tracer::Default(), engine, node_, task_.task_id,
+                      "mapred", "reduce.task");
+  span.Arg("partition", static_cast<uint64_t>(partition_));
 
   auto finish = [&](Status status) {
     stats->spill = spiller_->stats();
@@ -173,13 +195,17 @@ sim::Task<Status> ReduceTask::Run(std::vector<Record>* job_output,
   };
 
   // 1. Shuffle.
-  for (MapOutput& output : *map_outputs_) {
-    if (config_->cancel && *config_->cancel) {
-      stats->completed = false;
-      co_return finish(Aborted("job cancelled"));
+  {
+    obs::SpanGuard shuffle_span(&obs::Tracer::Default(), engine, node_,
+                                task_.task_id, "mapred", "reduce.shuffle");
+    for (MapOutput& output : *map_outputs_) {
+      if (config_->cancel && *config_->cancel) {
+        stats->completed = false;
+        co_return finish(Aborted("job cancelled"));
+      }
+      Status fetched = co_await FetchSegment(&output);
+      if (!fetched.ok()) co_return finish(fetched);
     }
-    Status fetched = co_await FetchSegment(&output);
-    if (!fetched.ok()) co_return finish(fetched);
   }
 
   // 2. Nothing is retained in memory for the merge by default

@@ -2,7 +2,21 @@
 
 #include <limits>
 
+#include "obs/metrics.h"
+
 namespace spongefiles::mapred {
+
+namespace {
+
+obs::Counter* SpillModeCounter(SpillMode mode) {
+  static obs::Counter* const disk = obs::Registry::Default().counter(
+      "mapred.spill.bytes", {{"mode", "disk"}});
+  static obs::Counter* const sponge = obs::Registry::Default().counter(
+      "mapred.spill.bytes", {{"mode", "sponge"}});
+  return mode == SpillMode::kDisk ? disk : sponge;
+}
+
+}  // namespace
 
 void SpillStats::Add(const SpillStats& other) {
   bytes_spilled += other.bytes_spilled;
@@ -12,6 +26,10 @@ void SpillStats::Add(const SpillStats& other) {
   sponge_chunks_remote += other.sponge_chunks_remote;
   sponge_chunks_disk += other.sponge_chunks_disk;
   sponge_chunks_dfs += other.sponge_chunks_dfs;
+  sponge_bytes_local += other.sponge_bytes_local;
+  sponge_bytes_remote += other.sponge_bytes_remote;
+  sponge_bytes_disk += other.sponge_bytes_disk;
+  sponge_bytes_dfs += other.sponge_bytes_dfs;
   fragmentation_bytes += other.fragmentation_bytes;
   stale_list_retries += other.stale_list_retries;
 }
@@ -35,6 +53,7 @@ class DiskSpillFile : public SpillFile {
     content_.Append(data);
     size_ += n;
     stats_->bytes_spilled += n;
+    SpillModeCounter(SpillMode::kDisk)->Increment(n);
     co_return co_await fs_->Append(file_id_, n);
   }
 
@@ -91,7 +110,10 @@ class SpongeSpillFile : public SpillFile {
   sim::Task<Status> Append(ByteRuns data) override {
     uint64_t n = data.size();
     Status status = co_await file_.Append(std::move(data));
-    if (status.ok()) stats_->bytes_spilled += n;
+    if (status.ok()) {
+      stats_->bytes_spilled += n;
+      SpillModeCounter(SpillMode::kSponge)->Increment(n);
+    }
     co_return status;
   }
 
@@ -105,6 +127,10 @@ class SpongeSpillFile : public SpillFile {
       stats_->sponge_chunks_remote += s.chunks_remote_memory;
       stats_->sponge_chunks_disk += s.chunks_local_disk;
       stats_->sponge_chunks_dfs += s.chunks_dfs;
+      stats_->sponge_bytes_local += s.bytes_local_memory;
+      stats_->sponge_bytes_remote += s.bytes_remote_memory;
+      stats_->sponge_bytes_disk += s.bytes_local_disk;
+      stats_->sponge_bytes_dfs += s.bytes_dfs;
       stats_->fragmentation_bytes += s.fragmentation_bytes;
       stats_->stale_list_retries += s.stale_list_retries;
     }

@@ -57,6 +57,12 @@ struct SpillStats {
   uint64_t sponge_chunks_remote = 0;
   uint64_t sponge_chunks_disk = 0;
   uint64_t sponge_chunks_dfs = 0;
+  // Logical bytes the sponge cascade placed on each medium (sums to
+  // bytes_spilled for a pure-sponge task).
+  uint64_t sponge_bytes_local = 0;
+  uint64_t sponge_bytes_remote = 0;
+  uint64_t sponge_bytes_disk = 0;
+  uint64_t sponge_bytes_dfs = 0;
   uint64_t fragmentation_bytes = 0;
   uint64_t stale_list_retries = 0;
 

@@ -2,7 +2,30 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+
 namespace spongefiles::sponge {
+
+namespace {
+
+struct PoolMetrics {
+  obs::Counter* allocs;
+  obs::Counter* alloc_failures;
+  obs::Counter* frees;
+  obs::Gauge* used_chunks;
+};
+
+const PoolMetrics& Metrics() {
+  static const PoolMetrics metrics = {
+      obs::Registry::Default().counter("sponge.pool.allocs"),
+      obs::Registry::Default().counter("sponge.pool.alloc_failures"),
+      obs::Registry::Default().counter("sponge.pool.frees"),
+      obs::Registry::Default().gauge("sponge.pool.used_chunks"),
+  };
+  return metrics;
+}
+
+}  // namespace
 
 ChunkPool::ChunkPool(const ChunkPoolConfig& config) : config_(config) {
   uint64_t chunks_total = config.pool_size / config.chunk_size;
@@ -33,8 +56,11 @@ Result<ChunkHandle> ChunkPool::Allocate(const ChunkOwner& owner) {
     segment.free_list.pop_back();
     segment.slots[index].owner = owner;
     --free_chunks_;
+    Metrics().allocs->Increment();
+    Metrics().used_chunks->Add(1);
     return ChunkHandle{s, index};
   }
+  Metrics().alloc_failures->Increment();
   return ResourceExhausted("sponge pool full");
 }
 
@@ -65,6 +91,8 @@ Status ChunkPool::ForceFree(ChunkHandle handle) {
   slot.data.Clear();
   segments_[handle.segment].free_list.push_back(handle.index);
   ++free_chunks_;
+  Metrics().frees->Increment();
+  Metrics().used_chunks->Sub(1);
   return Status::OK();
 }
 
@@ -97,6 +125,8 @@ std::vector<std::pair<ChunkHandle, ChunkOwner>> ChunkPool::AllocatedChunks()
 }
 
 void ChunkPool::Reset() {
+  Metrics().used_chunks->Sub(
+      static_cast<int64_t>(total_chunks_ - free_chunks_));
   for (Segment& segment : segments_) {
     segment.free_list.clear();
     for (uint64_t i = segment.slots.size(); i-- > 0;) {

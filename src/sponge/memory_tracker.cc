@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace spongefiles::sponge {
 
 MemoryTracker::MemoryTracker(sim::Engine* engine, cluster::Network* network,
@@ -29,6 +32,10 @@ sim::Task<> MemoryTracker::PollLoop() {
 }
 
 sim::Task<> MemoryTracker::PollOnce() {
+  static obs::Counter* const polls_counter =
+      obs::Registry::Default().counter("sponge.tracker.polls");
+  obs::SpanGuard span(&obs::Tracer::Default(), engine_, home_node_, 0,
+                      "tracker", "tracker.poll");
   std::vector<FreeSpaceEntry> fresh;
   for (SpongeServer* server : *servers_) {
     if (!server->alive()) continue;
@@ -49,10 +56,17 @@ sim::Task<> MemoryTracker::PollOnce() {
             });
   free_list_ = std::move(fresh);
   ++polls_completed_;
+  polls_counter->Increment();
+  span.Arg("entries", static_cast<uint64_t>(free_list_.size()));
 }
 
 sim::Task<std::vector<FreeSpaceEntry>> MemoryTracker::Query(
     size_t from_node) {
+  static obs::Counter* const queries_counter =
+      obs::Registry::Default().counter("sponge.tracker.queries");
+  queries_counter->Increment();
+  obs::SpanGuard span(&obs::Tracer::Default(), engine_, from_node, 0,
+                      "tracker", "tracker.query");
   if (from_node != home_node_) {
     co_await network_->Rpc(from_node, home_node_, config_.rpc_message_bytes,
                            config_.rpc_message_bytes * 4);

@@ -4,8 +4,69 @@
 
 #include "common/crypto.h"
 #include "common/logging.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 
 namespace spongefiles::sponge {
+
+namespace {
+
+// Per-medium spill accounting. These are the counters the benches check
+// against the SpillStats the tasks report: both are incremented on the same
+// code path, once per stored chunk.
+struct MediumMetrics {
+  obs::Counter* bytes;
+  obs::Counter* chunks;
+};
+
+const MediumMetrics& MediumMetricsFor(ChunkLocation location) {
+  static obs::Registry& registry = obs::Registry::Default();
+  static const MediumMetrics metrics[] = {
+      {registry.counter("sponge.spill.bytes", {{"medium", "local-memory"}}),
+       registry.counter("sponge.spill.chunks", {{"medium", "local-memory"}})},
+      {registry.counter("sponge.spill.bytes", {{"medium", "remote-memory"}}),
+       registry.counter("sponge.spill.chunks",
+                        {{"medium", "remote-memory"}})},
+      {registry.counter("sponge.spill.bytes", {{"medium", "local-disk"}}),
+       registry.counter("sponge.spill.chunks", {{"medium", "local-disk"}})},
+      {registry.counter("sponge.spill.bytes", {{"medium", "dfs"}}),
+       registry.counter("sponge.spill.chunks", {{"medium", "dfs"}})},
+  };
+  return metrics[static_cast<size_t>(location)];
+}
+
+obs::Counter* DecisionCounter(const char* reason) {
+  static obs::Registry& registry = obs::Registry::Default();
+  static obs::Counter* const pool_full =
+      registry.counter("sponge.alloc.decisions", {{"reason", "pool-full"}});
+  static obs::Counter* const tracker_stale = registry.counter(
+      "sponge.alloc.decisions", {{"reason", "tracker-stale"}});
+  static obs::Counter* const rack_restricted = registry.counter(
+      "sponge.alloc.decisions", {{"reason", "rack-restricted"}});
+  static obs::Counter* const affinity_hit = registry.counter(
+      "sponge.alloc.decisions", {{"reason", "affinity-hit"}});
+  switch (reason[0]) {
+    case 'p': return pool_full;
+    case 't': return tracker_stale;
+    case 'r': return rack_restricted;
+    default: return affinity_hit;
+  }
+}
+
+// Records why the allocation cascade moved past (or preferred) a placement:
+// a counter bump plus, when tracing, an instant event at the task's lane.
+void SpillDecision(SpongeEnv* env, const TaskContext* task,
+                   const char* reason) {
+  DecisionCounter(reason)->Increment();
+  obs::Tracer& tracer = obs::Tracer::Default();
+  if (tracer.enabled()) {
+    tracer.InstantEvent(env->engine()->now(), task->node, task->task_id,
+                        "sponge", "spill.decision",
+                        {obs::TraceArg::Str("reason", reason)});
+  }
+}
+
+}  // namespace
 
 const char* ChunkLocationName(ChunkLocation location) {
   switch (location) {
@@ -99,6 +160,12 @@ sim::Task<Status> SpongeFile::StoreIntoRecord(size_t index, ByteRuns chunk) {
   ChunkOwner owner{task_->task_id, task_->node};
   SpongeServer& local = env_->server(task_->node);
 
+  // One span per stored chunk, covering the whole allocate->write cascade;
+  // the medium arg is attached where placement is decided.
+  obs::SpanGuard span(&obs::Tracer::Default(), env_->engine(), task_->node,
+                      task_->task_id, "sponge", "chunk.store");
+  span.Arg("bytes", record.size);
+
   if (config.encrypt) {
     // Transform before the chunk leaves the task (section 3.1.4).
     XteaCtr cipher(XteaCtr::DeriveKey(config.encryption_passphrase));
@@ -125,9 +192,15 @@ sim::Task<Status> SpongeFile::StoreIntoRecord(size_t index, ByteRuns chunk) {
       if (!stored.ok()) co_return stored;
     }
     ++stats_.chunks_local_memory;
+    stats_.bytes_local_memory += record.size;
     stats_.fragmentation_bytes += config.chunk_size - record.size;
+    MediumMetricsFor(ChunkLocation::kLocalMemory).bytes->Increment(
+        record.size);
+    MediumMetricsFor(ChunkLocation::kLocalMemory).chunks->Increment();
+    span.Arg("medium", std::string("local-memory"));
     co_return Status::OK();
   }
+  SpillDecision(env_, task_, "pool-full");
 
   // 2. Remote sponge memory on the same rack.
   if (config.allow_remote_memory) {
@@ -145,7 +218,13 @@ sim::Task<Status> SpongeFile::StoreIntoRecord(size_t index, ByteRuns chunk) {
         task_->sponge_affinity.push_back(target);
       }
       ++stats_.chunks_remote_memory;
+      stats_.bytes_remote_memory += record.size;
       stats_.fragmentation_bytes += config.chunk_size - record.size;
+      MediumMetricsFor(ChunkLocation::kRemoteMemory).bytes->Increment(
+          record.size);
+      MediumMetricsFor(ChunkLocation::kRemoteMemory).chunks->Increment();
+      span.Arg("medium", std::string("remote-memory"));
+      span.Arg("node", static_cast<uint64_t>(target));
       co_return Status::OK();
     }
   }
@@ -168,6 +247,11 @@ sim::Task<Status> SpongeFile::StoreIntoRecord(size_t index, ByteRuns chunk) {
       record.offset = prev.offset + prev.size;
       record.data = std::move(chunk);
       ++stats_.chunks_local_disk;
+      stats_.bytes_local_disk += record.size;
+      MediumMetricsFor(ChunkLocation::kLocalDisk).bytes->Increment(
+          record.size);
+      MediumMetricsFor(ChunkLocation::kLocalDisk).chunks->Increment();
+      span.Arg("medium", std::string("local-disk"));
       co_return Status::OK();
     }
   } else {
@@ -181,6 +265,11 @@ sim::Task<Status> SpongeFile::StoreIntoRecord(size_t index, ByteRuns chunk) {
         record.data = std::move(chunk);
         ++stats_.chunks_local_disk;
         ++stats_.disk_files;
+        stats_.bytes_local_disk += record.size;
+        MediumMetricsFor(ChunkLocation::kLocalDisk).bytes->Increment(
+            record.size);
+        MediumMetricsFor(ChunkLocation::kLocalDisk).chunks->Increment();
+        span.Arg("medium", std::string("local-disk"));
         co_return Status::OK();
       }
       (void)fs.Delete(*file);
@@ -196,6 +285,10 @@ sim::Task<Status> SpongeFile::StoreIntoRecord(size_t index, ByteRuns chunk) {
   record.location = ChunkLocation::kDfs;
   record.data = std::move(chunk);
   ++stats_.chunks_dfs;
+  stats_.bytes_dfs += record.size;
+  MediumMetricsFor(ChunkLocation::kDfs).bytes->Increment(record.size);
+  MediumMetricsFor(ChunkLocation::kDfs).chunks->Increment();
+  span.Arg("medium", std::string("dfs"));
   co_return Status::OK();
 }
 
@@ -211,6 +304,7 @@ SpongeFile::AllocateRemote() {
     if (node == task_->node) return false;
     if (config.restrict_to_rack &&
         !env_->cluster()->SameRack(node, task_->node)) {
+      SpillDecision(env_, task_, "rack-restricted");
       return false;
     }
     return true;
@@ -253,12 +347,22 @@ SpongeFile::AllocateRemote() {
       if (estimate != nullptr && estimate->free_bytes >= config.chunk_size) {
         estimate->free_bytes -= config.chunk_size;
       }
+      if (config.affinity &&
+          std::find(task_->sponge_affinity.begin(),
+                    task_->sponge_affinity.end(),
+                    node) != task_->sponge_affinity.end()) {
+        SpillDecision(env_, task_, "affinity-hit");
+      }
       co_return std::make_pair(node, *handle);
     }
     // Stale list entry (or dead/quota-limited server): remember it is
     // unusable and move on — the paper's "try the rest of the servers in
     // the free list one at a time".
+    static obs::Counter* const stale_retries_counter =
+        obs::Registry::Default().counter("sponge.alloc.stale_retries");
     ++stats_.stale_list_retries;
+    stale_retries_counter->Increment();
+    SpillDecision(env_, task_, "tracker-stale");
     if (estimate != nullptr) estimate->free_bytes = 0;
     bounced_nodes_.push_back(node);
   }
@@ -307,6 +411,10 @@ sim::Task<Result<ByteRuns>> SpongeFile::FetchChunkRaw(size_t index) {
   ChunkRecord& record = chunks_[index];
   const SpongeConfig& config = env_->config();
   ChunkOwner owner{task_->task_id, task_->node};
+  obs::SpanGuard span(&obs::Tracer::Default(), env_->engine(), task_->node,
+                      task_->task_id, "sponge", "chunk.read");
+  span.Arg("medium", std::string(ChunkLocationName(record.location)));
+  span.Arg("bytes", record.size);
   switch (record.location) {
     case ChunkLocation::kLocalMemory: {
       SpongeServer& server = env_->server(record.node);
@@ -389,6 +497,9 @@ sim::Task<Result<ByteRuns>> SpongeFile::ReadNext() {
 
 sim::Task<> SpongeFile::Delete() {
   if (state_ == State::kDeleted) co_return;
+  obs::SpanGuard span(&obs::Tracer::Default(), env_->engine(), task_->node,
+                      task_->task_id, "sponge", "file.delete");
+  span.Arg("chunks", static_cast<uint64_t>(chunks_.size()));
   (void)co_await WaitForPendingStore();
   if (prefetch_active_) {
     co_await prefetch_done_->Wait();

@@ -43,6 +43,12 @@ class SpongeFile {
     uint64_t chunks_remote_memory = 0;
     uint64_t chunks_local_disk = 0;   // coalesced count: appends, not files
     uint64_t chunks_dfs = 0;
+    // Logical bytes stored on each medium; the sum equals bytes_written
+    // once the file is closed.
+    uint64_t bytes_local_memory = 0;
+    uint64_t bytes_remote_memory = 0;
+    uint64_t bytes_local_disk = 0;
+    uint64_t bytes_dfs = 0;
     uint64_t disk_files = 0;
     uint64_t stale_list_retries = 0;  // allocation attempts that bounced
     // Memory occupied by in-memory chunk slots beyond the logical bytes

@@ -2,7 +2,35 @@
 
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
 namespace spongefiles::sponge {
+
+namespace {
+
+obs::Counter* RpcCounter(const char* op) {
+  static obs::Registry& registry = obs::Registry::Default();
+  static obs::Counter* const alloc =
+      registry.counter("sponge.server.rpcs", {{"op", "alloc"}});
+  static obs::Counter* const write =
+      registry.counter("sponge.server.rpcs", {{"op", "write"}});
+  static obs::Counter* const read =
+      registry.counter("sponge.server.rpcs", {{"op", "read"}});
+  static obs::Counter* const free =
+      registry.counter("sponge.server.rpcs", {{"op", "free"}});
+  static obs::Counter* const liveness =
+      registry.counter("sponge.server.rpcs", {{"op", "liveness"}});
+  switch (op[0]) {
+    case 'a': return alloc;
+    case 'w': return write;
+    case 'r': return read;
+    case 'f': return free;
+    default: return liveness;
+  }
+}
+
+}  // namespace
 
 SpongeServer::SpongeServer(sim::Engine* engine, cluster::Network* network,
                            TaskRegistry* registry, size_t node_id,
@@ -26,6 +54,10 @@ bool SpongeServer::QuotaAllows(const ChunkOwner& owner) const {
 
 sim::Task<Result<ChunkHandle>> SpongeServer::RemoteAllocate(
     size_t from, const ChunkOwner& owner) {
+  RpcCounter("alloc")->Increment();
+  obs::SpanGuard span(&obs::Tracer::Default(), engine_, node_id_,
+                      owner.task_id, "rpc", "rpc.alloc");
+  span.Arg("from", static_cast<uint64_t>(from));
   co_await network_->Rpc(from, node_id_, config_.rpc_message_bytes,
                          config_.rpc_message_bytes);
   if (!alive_) co_return Unavailable("sponge server down");
@@ -45,6 +77,11 @@ sim::Task<Result<ChunkHandle>> SpongeServer::RemoteAllocate(
 sim::Task<Status> SpongeServer::RemoteWrite(size_t from, ChunkHandle handle,
                                             const ChunkOwner& owner,
                                             ByteRuns data) {
+  RpcCounter("write")->Increment();
+  obs::SpanGuard span(&obs::Tracer::Default(), engine_, node_id_,
+                      owner.task_id, "rpc", "rpc.write");
+  span.Arg("from", static_cast<uint64_t>(from));
+  span.Arg("bytes", data.size());
   // The chunk payload travels over the network, then the server copies it
   // into the pool.
   co_await network_->Transfer(from, node_id_, data.size());
@@ -62,6 +99,10 @@ sim::Task<Status> SpongeServer::RemoteWrite(size_t from, ChunkHandle handle,
 sim::Task<Result<ByteRuns>> SpongeServer::RemoteRead(size_t from,
                                                      ChunkHandle handle,
                                                      const ChunkOwner& owner) {
+  RpcCounter("read")->Increment();
+  obs::SpanGuard span(&obs::Tracer::Default(), engine_, node_id_,
+                      owner.task_id, "rpc", "rpc.read");
+  span.Arg("from", static_cast<uint64_t>(from));
   // Request message to the server.
   co_await network_->Transfer(from, node_id_, config_.rpc_message_bytes);
   if (!alive_) co_return Unavailable("sponge server down");
@@ -79,6 +120,10 @@ sim::Task<Result<ByteRuns>> SpongeServer::RemoteRead(size_t from,
 
 sim::Task<Status> SpongeServer::RemoteFree(size_t from, ChunkHandle handle,
                                            const ChunkOwner& owner) {
+  RpcCounter("free")->Increment();
+  obs::SpanGuard span(&obs::Tracer::Default(), engine_, node_id_,
+                      owner.task_id, "rpc", "rpc.free");
+  span.Arg("from", static_cast<uint64_t>(from));
   co_await network_->Rpc(from, node_id_, config_.rpc_message_bytes,
                          config_.rpc_message_bytes);
   if (!alive_) co_return Unavailable("sponge server down");
@@ -87,6 +132,10 @@ sim::Task<Status> SpongeServer::RemoteFree(size_t from, ChunkHandle handle,
 
 sim::Task<bool> SpongeServer::RemoteIsTaskAlive(size_t from,
                                                 uint64_t task_id) {
+  RpcCounter("liveness")->Increment();
+  obs::SpanGuard span(&obs::Tracer::Default(), engine_, node_id_, task_id,
+                      "rpc", "rpc.is_task_alive");
+  span.Arg("from", static_cast<uint64_t>(from));
   co_await network_->Rpc(from, node_id_, config_.rpc_message_bytes,
                          config_.rpc_message_bytes);
   if (!alive_) co_return false;
@@ -111,6 +160,10 @@ sim::Task<> SpongeServer::GcLoop(std::vector<SpongeServer*>* peers) {
 }
 
 sim::Task<uint64_t> SpongeServer::GcSweep() {
+  static obs::Counter* const gc_reclaimed_counter =
+      obs::Registry::Default().counter("sponge.server.gc_reclaimed");
+  obs::SpanGuard span(&obs::Tracer::Default(), engine_, node_id_, 0, "gc",
+                      "gc.sweep");
   uint64_t reclaimed = 0;
   // Cache liveness verdicts per owner so a task holding many chunks costs
   // one probe, not one per chunk.
@@ -146,6 +199,8 @@ sim::Task<uint64_t> SpongeServer::GcSweep() {
     }
   }
   gc_reclaimed_ += reclaimed;
+  gc_reclaimed_counter->Increment(reclaimed);
+  span.Arg("reclaimed", reclaimed);
   co_return reclaimed;
 }
 

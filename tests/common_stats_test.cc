@@ -89,17 +89,6 @@ TEST(StatsTest, EmpiricalCdfUniformIsLinear) {
   }
 }
 
-TEST(StatsTest, AccumulatorTracksMinMaxMean) {
-  Accumulator acc;
-  acc.Add(5);
-  acc.Add(-1);
-  acc.Add(2);
-  EXPECT_EQ(acc.count(), 3u);
-  EXPECT_EQ(acc.min(), -1);
-  EXPECT_EQ(acc.max(), 5);
-  EXPECT_DOUBLE_EQ(acc.mean(), 2.0);
-}
-
 TEST(UnitsTest, ByteFormatting) {
   EXPECT_EQ(FormatBytes(512), "512 B");
   EXPECT_EQ(FormatBytes(MiB(10)), "10.0 MB");
