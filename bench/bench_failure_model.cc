@@ -78,12 +78,96 @@ void InjectionExperiment() {
       "section 3.1's recovery story)\n");
 }
 
+struct HungRunOutcome {
+  Duration runtime = 0;
+  bool correct = false;
+};
+
+HungRunOutcome RunMedianWithOptionalHang(bool hang) {
+  workload::TestbedConfig bed_config;
+  bed_config.sponge_memory = MiB(256);
+  workload::Testbed bed(bed_config);
+  workload::NumbersDatasetConfig data;
+  data.count = MedianCount() / 4;
+  workload::NumbersDataset numbers(&bed.dfs(), "numbers", data);
+  sponge::FailureInjector injector(&bed.env(), 1);
+  if (hang) {
+    // A rack peer of the straggling reduce stops answering mid-spill,
+    // then comes back while the job is still running.
+    injector.ScheduleHang(/*node=*/1, /*at=*/Seconds(10),
+                          /*duration=*/Seconds(20));
+  }
+  auto result = bed.RunJob(
+      workload::MakeMedianJob(&numbers, mapred::SpillMode::kSponge));
+  HungRunOutcome out;
+  if (!result.ok()) return out;
+  out.runtime = result->runtime;
+  out.correct = result->output.size() == 1 &&
+                result->output[0].number == numbers.expected_median();
+  return out;
+}
+
+void HungServerExperiment() {
+  std::printf(
+      "gray failure: a sponge server hangs (no answers, machine alive) "
+      "mid-job\n");
+  obs::Registry& registry = obs::Registry::Default();
+  obs::Counter* timeouts = registry.counter("sponge.rpc.timeouts");
+  obs::Counter* retries = registry.counter("sponge.rpc.retries");
+  obs::Counter* trips =
+      registry.counter("sponge.rpc.breaker", {{"event", "trip"}});
+  obs::Counter* recoveries =
+      registry.counter("sponge.rpc.breaker", {{"event", "recover"}});
+
+  HungRunOutcome baseline = RunMedianWithOptionalHang(false);
+  uint64_t timeouts0 = timeouts->value();
+  uint64_t retries0 = retries->value();
+  uint64_t trips0 = trips->value();
+  uint64_t recoveries0 = recoveries->value();
+  HungRunOutcome hung = RunMedianWithOptionalHang(true);
+  uint64_t d_timeouts = timeouts->value() - timeouts0;
+  uint64_t d_retries = retries->value() - retries0;
+  uint64_t d_trips = trips->value() - trips0;
+  uint64_t d_recoveries = recoveries->value() - recoveries0;
+
+  if (baseline.runtime == 0 || hung.runtime == 0) {
+    std::printf("  a run failed permanently; see above\n");
+    return;
+  }
+  double slowdown =
+      static_cast<double>(hung.runtime) / static_cast<double>(baseline.runtime);
+  std::printf(
+      "  fault-free: %s, hung-server: %s (%.2fx), median %s\n",
+      FormatDuration(baseline.runtime).c_str(),
+      FormatDuration(hung.runtime).c_str(), slowdown,
+      hung.correct ? "EXACT" : "WRONG");
+  std::printf(
+      "  client hardening: %llu rpc timeouts, %llu retries, breaker "
+      "trips=%llu recoveries=%llu\n",
+      static_cast<unsigned long long>(d_timeouts),
+      static_cast<unsigned long long>(d_retries),
+      static_cast<unsigned long long>(d_trips),
+      static_cast<unsigned long long>(d_recoveries));
+  bool ejected = d_trips >= 1;
+  bool rejoined = d_recoveries >= 1;
+  bool bounded = slowdown < 3.0;
+  std::printf(
+      "  breaker ejected the sick server: %s; rejoined after half-open "
+      "probe: %s; slowdown bounded (<3x): %s\n",
+      ejected ? "YES" : "NO", rejoined ? "YES" : "NO",
+      bounded ? "YES" : "NO");
+  std::printf(
+      "  (deadlines un-stick the spill cascade; the hung peer is ejected "
+      "and spills fall to other servers or disk until it recovers)\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   auto obs_options = spongefiles::bench::ParseObsFlags(argc, argv);
   ClosedForm();
   InjectionExperiment();
+  HungServerExperiment();
   spongefiles::bench::WriteObsOutputs(obs_options);
   return 0;
 }

@@ -43,6 +43,10 @@ sim::Task<> Disk::Access(uint64_t stream, uint64_t offset, uint64_t bytes,
     span.Arg("seek", uint64_t{1});
   }
   cost += TransferTime(bytes, config_.sequential_bandwidth);
+  if (slowdown_ > 1.0) {
+    cost = static_cast<Duration>(static_cast<double>(cost) * slowdown_);
+    span.Arg("slowdown", static_cast<uint64_t>(slowdown_));
+  }
   ++requests_;
   requests_counter->Increment();
   DiskBytesCounter(is_write)->Increment(bytes);

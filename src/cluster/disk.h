@@ -50,6 +50,15 @@ class Disk {
   // Pending + in-service request count (for load-aware callers and tests).
   size_t queue_depth() const { return queue_.waiters() + busy_; }
 
+  // Gray-failure injection: multiplies every request's service time
+  // (seek + rotation + transfer) by `factor` >= 1 — a sick spindle,
+  // firmware-level retries, or a congested controller. 1.0 restores
+  // nominal speed. Takes effect for requests entering service afterwards.
+  void SetSlowdown(double factor) {
+    slowdown_ = factor < 1.0 ? 1.0 : factor;
+  }
+  double slowdown() const { return slowdown_; }
+
   // --- statistics ---
   uint64_t seeks() const { return seeks_; }
   uint64_t requests() const { return requests_; }
@@ -62,6 +71,7 @@ class Disk {
   DiskConfig config_;
   size_t node_;
   sim::Semaphore queue_;
+  double slowdown_ = 1.0;
 
   // Head position: the stream and offset a request can continue without
   // seeking from.

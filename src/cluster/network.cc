@@ -35,6 +35,8 @@ Network::Network(sim::Engine* engine, size_t num_nodes,
     tx_.push_back(std::make_unique<sim::Semaphore>(engine, 1));
     rx_.push_back(std::make_unique<sim::Semaphore>(engine, 1));
   }
+  link_factor_.assign(num_nodes, 1.0);
+  link_extra_latency_.assign(num_nodes, 0);
   size_t num_racks =
       1 + *std::max_element(racks_.begin(), racks_.end());
   for (size_t r = 0; r < num_racks; ++r) {
@@ -70,8 +72,12 @@ sim::Task<> Network::Transfer(size_t src, size_t dst, uint64_t bytes) {
   // resource families, so this cannot deadlock.
   co_await tx_[src]->Acquire();
   co_await rx_[dst]->Acquire();
-  double rate = config_.bandwidth;
-  Duration latency = config_.latency;
+  // A degraded endpoint caps the whole path: the wire clocks at the
+  // slower NIC and pays both ends' extra latency.
+  double degrade = std::min(link_factor_[src], link_factor_[dst]);
+  double rate = config_.bandwidth * degrade;
+  Duration latency = config_.latency + link_extra_latency_[src] +
+                     link_extra_latency_[dst];
   if (metered_core) {
     co_await uplink_[racks_[src]]->Acquire();
     co_await downlink_[racks_[dst]]->Acquire();
@@ -92,6 +98,21 @@ sim::Task<> Network::Rpc(size_t src, size_t dst, uint64_t request_bytes,
                          uint64_t response_bytes) {
   co_await Transfer(src, dst, request_bytes);
   co_await Transfer(dst, src, response_bytes);
+}
+
+void Network::DegradeLink(size_t node, double bandwidth_factor,
+                          Duration extra_latency) {
+  SPONGE_CHECK(node < link_factor_.size());
+  SPONGE_CHECK(bandwidth_factor > 0 && bandwidth_factor <= 1.0)
+      << "bandwidth_factor must be in (0, 1]: " << bandwidth_factor;
+  link_factor_[node] = bandwidth_factor;
+  link_extra_latency_[node] = extra_latency < 0 ? 0 : extra_latency;
+}
+
+void Network::RestoreLink(size_t node) {
+  SPONGE_CHECK(node < link_factor_.size());
+  link_factor_[node] = 1.0;
+  link_extra_latency_[node] = 0;
 }
 
 }  // namespace spongefiles::cluster

@@ -51,6 +51,15 @@ class Network {
   sim::Task<> Rpc(size_t src, size_t dst, uint64_t request_bytes,
                   uint64_t response_bytes);
 
+  // Gray-failure injection: degrades `node`'s NIC. Transfers touching the
+  // node run at `bandwidth_factor` of nominal rate (0 < factor <= 1) with
+  // `extra_latency` added per message — a flapping link, or loss forcing
+  // retransmits, seen as lower goodput and fatter tails. IPC traffic is
+  // unaffected (it never leaves the host).
+  void DegradeLink(size_t node, double bandwidth_factor,
+                   Duration extra_latency);
+  void RestoreLink(size_t node);
+
   const NetworkConfig& config() const { return config_; }
 
   uint64_t bytes_transferred() const { return bytes_transferred_; }
@@ -64,6 +73,9 @@ class Network {
   // Per-rack shared uplink (outbound) and downlink (inbound) pipes.
   std::vector<std::unique_ptr<sim::Semaphore>> uplink_;
   std::vector<std::unique_ptr<sim::Semaphore>> downlink_;
+  // Per-node NIC degradation (gray failures); 1.0 / 0 means healthy.
+  std::vector<double> link_factor_;
+  std::vector<Duration> link_extra_latency_;
   uint64_t bytes_transferred_ = 0;
   uint64_t cross_rack_bytes_ = 0;
 

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstring>
 
+#include "common/checksum.h"
+
 namespace spongefiles {
 
 namespace {
@@ -159,6 +161,59 @@ void ByteRuns::TransformLiterals(
       fn(offset, run.bytes.data(), run.length);
     }
     offset += run.length;
+  }
+}
+
+uint64_t ByteRuns::Checksum64() const {
+  Checksum checksum;
+  for (const Run& run : runs_) {
+    if (run.is_literal()) {
+      checksum.Update(Slice(run.bytes));
+    } else {
+      checksum.UpdateZeros(run.length);
+    }
+  }
+  return checksum.digest();
+}
+
+void ByteRuns::CorruptByte(uint64_t offset) {
+  assert(offset < size_);
+  uint64_t run_start = 0;
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    Run& run = runs_[i];
+    if (offset >= run_start + run.length) {
+      run_start += run.length;
+      continue;
+    }
+    uint64_t in_run = offset - run_start;
+    if (run.is_literal()) {
+      run.bytes[in_run] ^= 0xFF;
+      return;
+    }
+    // Split the zero run around a one-byte literal 0xFF.
+    uint64_t before = in_run;
+    uint64_t after = run.length - in_run - 1;
+    std::vector<Run> patched;
+    if (before > 0) {
+      Run pre;
+      pre.length = before;
+      patched.push_back(std::move(pre));
+    }
+    Run flip;
+    flip.bytes.assign(1, 0xFF);
+    flip.length = 1;
+    patched.push_back(std::move(flip));
+    if (after > 0) {
+      Run post;
+      post.length = after;
+      patched.push_back(std::move(post));
+    }
+    runs_.erase(runs_.begin() + static_cast<long>(i));
+    runs_.insert(runs_.begin() + static_cast<long>(i),
+                 std::make_move_iterator(patched.begin()),
+                 std::make_move_iterator(patched.end()));
+    physical_size_ += 1;
+    return;
   }
 }
 

@@ -56,6 +56,17 @@ class ByteRuns {
   void TransformLiterals(
       const std::function<void(uint64_t, uint8_t*, uint64_t)>& fn);
 
+  // FNV-1a 64 over the logical content. Zero runs are folded in O(log n)
+  // per run, so checksumming an unmaterialized multi-gigabyte payload is
+  // cheap; the digest still equals Checksum::Of over ToBytes().
+  uint64_t Checksum64() const;
+
+  // Fault injection (bit rot): flips the byte at logical `offset`. A
+  // literal byte is xor-flipped in place; a zero run is split around a new
+  // one-byte literal. Requires offset < size(). The logical size is
+  // unchanged, the content — and hence Checksum64() — is not.
+  void CorruptByte(uint64_t offset);
+
   void Clear();
 
   // Logical size in bytes.

@@ -4,22 +4,40 @@
 
 namespace spongefiles::sim {
 
-namespace {
-
 // Wraps a detached task so the frame marks itself detached before running.
 // (The wrapper frame is what Spawn schedules; it awaits the real task.)
-Task<> RunDetached(Task<> task) { co_await task; }
-
-}  // namespace
+// On completion the wrapper removes itself from the engine's live-frame
+// registry *before* final_suspend destroys the frame, so the registry only
+// ever holds destroyable frames.
+Task<> RunDetachedWrapper(Engine* engine, uint64_t id, Task<> task) {
+  co_await task;
+  engine->detached_.erase(id);
+}
 
 void Engine::Spawn(Task<> task) { SpawnAt(now_, std::move(task)); }
 
 void Engine::SpawnAt(SimTime at, Task<> task) {
   SPONGE_CHECK(at >= now_) << "SpawnAt in the past: " << at << " < " << now_;
-  Task<> wrapper = RunDetached(std::move(task));
+  uint64_t id = next_detached_id_++;
+  Task<> wrapper = RunDetachedWrapper(this, id, std::move(task));
   auto handle = wrapper.Release();
   handle.promise().detached = true;
+  detached_.emplace(id, handle);
   ScheduleHandle(at, handle);
+}
+
+size_t Engine::DrainDetached() {
+  // Discard pending events first: they reference frames about to be
+  // destroyed (and destroying a parent already reclaims any suspended
+  // child a queued handle might point into).
+  queue_ = {};
+  // Move the registry out so the loop is immune to destructor side effects
+  // (a frame-local destructor must not spawn, but be defensive).
+  std::unordered_map<uint64_t, std::coroutine_handle<>> frames =
+      std::move(detached_);
+  detached_.clear();
+  for (auto& [id, handle] : frames) handle.destroy();
+  return frames.size();
 }
 
 void Engine::ScheduleHandle(SimTime at, std::coroutine_handle<> h) {

@@ -4,6 +4,7 @@
 #include <coroutine>
 #include <cstdint>
 #include <queue>
+#include <unordered_map>
 #include <vector>
 
 #include "common/units.h"
@@ -22,6 +23,7 @@ class Engine {
   Engine() = default;
   Engine(const Engine&) = delete;
   Engine& operator=(const Engine&) = delete;
+  ~Engine() { DrainDetached(); }
 
   SimTime now() const { return now_; }
 
@@ -46,6 +48,21 @@ class Engine {
   // Schedules `h` to resume at absolute simulated time `at` (>= now()).
   // This is the primitive all awaitables build on.
   void ScheduleHandle(SimTime at, std::coroutine_handle<> h);
+
+  // Teardown pass: destroys every still-live detached coroutine (service
+  // loops parked on their next period, RPCs abandoned on a hung server,
+  // ...) after discarding the pending event queue, so no frame leaks when
+  // the simulation ends mid-flight. Destroying a spawn wrapper cascades
+  // down its await chain, reclaiming the whole suspended stack. Frames may
+  // hold locals whose destructors touch the engine or process-wide
+  // telemetry, so callers owning both the engine and the simulated
+  // components (e.g. a testbed) should drain before destroying the
+  // components; the engine's own destructor drains as a backstop. Returns
+  // the number of top-level frames destroyed.
+  size_t DrainDetached();
+
+  // Detached frames currently live (diagnostics and tests).
+  size_t detached_live() const { return detached_.size(); }
 
   // Awaitable: suspends the caller for `d` simulated microseconds
   // (d >= 0; a zero delay still yields through the event queue).
@@ -78,10 +95,16 @@ class Engine {
     }
   };
 
+  friend Task<> RunDetachedWrapper(Engine* engine, uint64_t id, Task<> task);
+
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
+  uint64_t next_detached_id_ = 0;
   uint64_t events_processed_ = 0;
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
+  // Spawn wrappers still in flight, keyed by a spawn id. A wrapper removes
+  // itself on completion; whatever remains is reclaimed by DrainDetached.
+  std::unordered_map<uint64_t, std::coroutine_handle<>> detached_;
 };
 
 }  // namespace spongefiles::sim

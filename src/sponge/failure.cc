@@ -1,6 +1,7 @@
 #include "sponge/failure.h"
 
 #include <cmath>
+#include <utility>
 
 #include "sim/task.h"
 
@@ -15,6 +16,20 @@ double TaskFailureProbability(int num_machines, Duration task_runtime,
   return 1.0 - std::exp(exponent);
 }
 
+const char* FaultKindName(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kCrash: return "crash";
+    case FaultKind::kHang: return "hang";
+    case FaultKind::kRpcDelay: return "rpc-delay";
+    case FaultKind::kDiskSlowdown: return "disk-slowdown";
+    case FaultKind::kLinkDegradation: return "link-degradation";
+    case FaultKind::kTrackerOutage: return "tracker-outage";
+    case FaultKind::kTrackerStale: return "tracker-stale";
+    case FaultKind::kBitRot: return "bit-rot";
+  }
+  return "?";
+}
+
 namespace {
 
 sim::Task<> CrashAt(SpongeEnv* env, size_t node, Duration downtime) {
@@ -26,12 +41,193 @@ sim::Task<> CrashAt(SpongeEnv* env, size_t node, Duration downtime) {
   co_return;
 }
 
+sim::Task<> HangFor(SpongeEnv* env, size_t node, Duration duration) {
+  env->server(node).SetHung(true);
+  co_await env->engine()->Delay(duration);
+  env->server(node).SetHung(false);
+}
+
+sim::Task<> SlowRpcsFor(SpongeEnv* env, size_t node, Duration extra,
+                        Duration duration) {
+  env->server(node).set_rpc_extra_delay(extra);
+  co_await env->engine()->Delay(duration);
+  env->server(node).set_rpc_extra_delay(0);
+}
+
+sim::Task<> SlowDiskFor(SpongeEnv* env, size_t node, double factor,
+                        Duration duration) {
+  env->cluster()->node(node).disk().SetSlowdown(factor);
+  co_await env->engine()->Delay(duration);
+  env->cluster()->node(node).disk().SetSlowdown(1.0);
+}
+
+sim::Task<> DegradeLinkFor(SpongeEnv* env, size_t node,
+                           double bandwidth_factor, Duration extra_latency,
+                           Duration duration) {
+  env->cluster()->network().DegradeLink(node, bandwidth_factor,
+                                        extra_latency);
+  co_await env->engine()->Delay(duration);
+  env->cluster()->network().RestoreLink(node);
+}
+
+sim::Task<> TrackerOutageFor(SpongeEnv* env, Duration duration) {
+  env->tracker().SetDown(true);
+  co_await env->engine()->Delay(duration);
+  env->tracker().SetDown(false);
+}
+
+sim::Task<> TrackerStaleFor(SpongeEnv* env, Duration duration) {
+  env->tracker().SetPollPaused(true);
+  co_await env->engine()->Delay(duration);
+  env->tracker().SetPollPaused(false);
+}
+
+// `slot_pick` / `byte_pick` were drawn at schedule time; reducing them
+// modulo the live pool state at fire time keeps the schedule itself (and
+// hence every Rng draw) independent of workload timing.
+sim::Task<> BitRotAt(SpongeEnv* env, size_t node, uint64_t slot_pick,
+                     uint64_t byte_pick) {
+  SpongeServer& server = env->server(node);
+  if (server.alive()) {
+    auto allocated = server.pool().AllocatedChunks();
+    if (!allocated.empty()) {
+      ChunkHandle victim = allocated[slot_pick % allocated.size()].first;
+      ByteRuns* data = server.pool().chunk_data(victim);
+      if (data != nullptr && data->size() > 0) {
+        data->CorruptByte(byte_pick % data->size());
+      }
+    }
+  }
+  co_return;
+}
+
 }  // namespace
+
+void FailureInjector::Record(FaultKind kind, size_t node, SimTime at,
+                             Duration duration, double severity) {
+  schedule_.push_back({kind, node, at, duration, severity});
+}
 
 void FailureInjector::ScheduleCrash(size_t node, SimTime at,
                                     Duration downtime) {
   ++crashes_;
+  Record(FaultKind::kCrash, node, at, downtime);
   env_->engine()->SpawnAt(at, CrashAt(env_, node, downtime));
+}
+
+void FailureInjector::ScheduleHang(size_t node, SimTime at,
+                                   Duration duration) {
+  Record(FaultKind::kHang, node, at, duration);
+  env_->engine()->SpawnAt(at, HangFor(env_, node, duration));
+}
+
+void FailureInjector::ScheduleRpcDelay(size_t node, SimTime at,
+                                       Duration extra, Duration duration) {
+  Record(FaultKind::kRpcDelay, node, at, duration,
+         static_cast<double>(extra));
+  env_->engine()->SpawnAt(at, SlowRpcsFor(env_, node, extra, duration));
+}
+
+void FailureInjector::ScheduleDiskSlowdown(size_t node, SimTime at,
+                                           double factor,
+                                           Duration duration) {
+  Record(FaultKind::kDiskSlowdown, node, at, duration, factor);
+  env_->engine()->SpawnAt(at, SlowDiskFor(env_, node, factor, duration));
+}
+
+void FailureInjector::ScheduleLinkDegradation(size_t node, SimTime at,
+                                              double bandwidth_factor,
+                                              Duration extra_latency,
+                                              Duration duration) {
+  Record(FaultKind::kLinkDegradation, node, at, duration, bandwidth_factor);
+  env_->engine()->SpawnAt(
+      at, DegradeLinkFor(env_, node, bandwidth_factor, extra_latency,
+                         duration));
+}
+
+void FailureInjector::ScheduleTrackerOutage(SimTime at, Duration duration) {
+  Record(FaultKind::kTrackerOutage, 0, at, duration);
+  env_->engine()->SpawnAt(at, TrackerOutageFor(env_, duration));
+}
+
+void FailureInjector::ScheduleTrackerStale(SimTime at, Duration duration) {
+  Record(FaultKind::kTrackerStale, 0, at, duration);
+  env_->engine()->SpawnAt(at, TrackerStaleFor(env_, duration));
+}
+
+void FailureInjector::ScheduleBitRot(size_t node, SimTime at) {
+  uint64_t slot_pick = rng_.Next();
+  uint64_t byte_pick = rng_.Next();
+  Record(FaultKind::kBitRot, node, at, 0);
+  env_->engine()->SpawnAt(at, BitRotAt(env_, node, slot_pick, byte_pick));
+}
+
+size_t FailureInjector::ScheduleChaos(const ChaosOptions& options) {
+  std::vector<FaultKind> kinds;
+  if (options.crashes) kinds.push_back(FaultKind::kCrash);
+  if (options.hangs) kinds.push_back(FaultKind::kHang);
+  if (options.rpc_delays) kinds.push_back(FaultKind::kRpcDelay);
+  if (options.disk_slowdowns) kinds.push_back(FaultKind::kDiskSlowdown);
+  if (options.link_degradations) {
+    kinds.push_back(FaultKind::kLinkDegradation);
+  }
+  if (options.tracker_outages) {
+    kinds.push_back(FaultKind::kTrackerOutage);
+    kinds.push_back(FaultKind::kTrackerStale);
+  }
+  if (options.bit_rot) kinds.push_back(FaultKind::kBitRot);
+  if (kinds.empty() || options.horizon <= options.start) return 0;
+
+  size_t num_nodes = env_->cluster()->size();
+  size_t scheduled = 0;
+  for (size_t i = 0; i < options.num_faults; ++i) {
+    FaultKind kind = kinds[rng_.Uniform(kinds.size())];
+    size_t node = rng_.Uniform(num_nodes);
+    SimTime at = options.start +
+                 static_cast<SimTime>(rng_.Uniform(static_cast<uint64_t>(
+                     options.horizon - options.start)));
+    Duration span = options.max_duration > options.min_duration
+                        ? options.min_duration +
+                              static_cast<Duration>(rng_.Uniform(
+                                  static_cast<uint64_t>(options.max_duration -
+                                                        options.min_duration)))
+                        : options.min_duration;
+    switch (kind) {
+      case FaultKind::kCrash:
+        ScheduleCrash(node, at, /*downtime=*/span);
+        break;
+      case FaultKind::kHang:
+        ScheduleHang(node, at, span);
+        break;
+      case FaultKind::kRpcDelay:
+        // Delay drawn between 10% and 110% of the span: sometimes under,
+        // sometimes over a typical client deadline.
+        ScheduleRpcDelay(node, at,
+                         static_cast<Duration>(
+                             static_cast<double>(span) *
+                             (0.1 + rng_.NextDouble())),
+                         span);
+        break;
+      case FaultKind::kDiskSlowdown:
+        ScheduleDiskSlowdown(node, at, 2.0 + 8.0 * rng_.NextDouble(), span);
+        break;
+      case FaultKind::kLinkDegradation:
+        ScheduleLinkDegradation(node, at, 0.05 + 0.45 * rng_.NextDouble(),
+                                Micros(100), span);
+        break;
+      case FaultKind::kTrackerOutage:
+        ScheduleTrackerOutage(at, span);
+        break;
+      case FaultKind::kTrackerStale:
+        ScheduleTrackerStale(at, span);
+        break;
+      case FaultKind::kBitRot:
+        ScheduleBitRot(node, at);
+        break;
+    }
+    ++scheduled;
+  }
+  return scheduled;
 }
 
 size_t FailureInjector::SchedulePoissonCrashes(Duration mttf, SimTime horizon,

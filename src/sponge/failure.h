@@ -17,11 +17,63 @@ namespace spongefiles::sponge {
 double TaskFailureProbability(int num_machines, Duration task_runtime,
                               Duration mttf);
 
+// The fault vocabulary the injector speaks. Crashes are the paper's
+// fail-stop model; the rest are gray failures — the machine stays up but
+// misbehaves — which is what the client-side hardening (rpc_client.h)
+// exists to survive.
+enum class FaultKind {
+  kCrash,            // fail-stop: pool contents lost, RPCs UNAVAILABLE
+  kHang,             // RPCs park unanswered until the hang clears
+  kRpcDelay,         // every RPC gains server-side processing delay
+  kDiskSlowdown,     // disk accesses take `severity` times longer
+  kLinkDegradation,  // NIC at `severity` of nominal bandwidth + latency
+  kTrackerOutage,    // tracker queries fail, polling stops
+  kTrackerStale,     // polling pauses; queries serve an aging list
+  kBitRot,           // one random in-pool chunk byte flips
+};
+
+const char* FaultKindName(FaultKind kind);
+
+// One scheduled fault, recorded so tests can assert determinism and logs
+// can explain a run. `severity` is the slowdown factor (kDiskSlowdown),
+// the bandwidth fraction (kLinkDegradation), or unused.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kCrash;
+  size_t node = 0;
+  SimTime at = 0;
+  Duration duration = 0;  // downtime / hang length / degradation window
+  double severity = 0.0;
+
+  bool operator==(const FaultEvent& other) const {
+    return kind == other.kind && node == other.node && at == other.at &&
+           duration == other.duration && severity == other.severity;
+  }
+};
+
+// Knobs for ScheduleChaos: a randomized fault schedule drawn from the
+// injector's seeded Rng, uniformly over [start, horizon] and over the
+// enabled fault kinds.
+struct ChaosOptions {
+  SimTime start = 0;
+  SimTime horizon = 0;
+  size_t num_faults = 8;
+  Duration min_duration = Millis(200);
+  Duration max_duration = Seconds(5);
+  bool crashes = true;
+  bool hangs = true;
+  bool rpc_delays = true;
+  bool disk_slowdowns = true;
+  bool link_degradations = true;
+  bool tracker_outages = true;
+  bool bit_rot = true;
+};
+
 // Injects machine failures into a SpongeEnv: either scheduled
-// deterministically (tests) or drawn from the Poisson process (the failure
-// experiment). A crashed node loses its sponge-pool contents; tasks reading
-// chunks from it observe UNAVAILABLE and must be restarted by the
-// framework.
+// deterministically (tests) or drawn from the seeded Rng (the failure
+// experiment and the chaos test). All randomness is consumed at schedule
+// time, never at fire time, so two injectors with the same seed and the
+// same schedule calls produce identical fault timelines regardless of
+// what the workload does in between.
 class FailureInjector {
  public:
   FailureInjector(SpongeEnv* env, uint64_t seed)
@@ -32,6 +84,41 @@ class FailureInjector {
   // stateless).
   void ScheduleCrash(size_t node, SimTime at, Duration downtime = 0);
 
+  // Hangs `node`'s sponge server at `at` for `duration`: requests park
+  // unanswered (clients' deadlines fire); the machine itself stays alive.
+  void ScheduleHang(size_t node, SimTime at, Duration duration);
+
+  // Adds `extra` of server-side delay to every RPC on `node` during the
+  // window (an overloaded host or GC-pausing process).
+  void ScheduleRpcDelay(size_t node, SimTime at, Duration extra,
+                        Duration duration);
+
+  // Multiplies `node`'s disk access times by `factor` during the window.
+  void ScheduleDiskSlowdown(size_t node, SimTime at, double factor,
+                            Duration duration);
+
+  // Degrades `node`'s NIC to `bandwidth_factor` of nominal and adds
+  // `extra_latency` per transfer during the window.
+  void ScheduleLinkDegradation(size_t node, SimTime at,
+                               double bandwidth_factor,
+                               Duration extra_latency, Duration duration);
+
+  // Tracker outage: queries fail UNAVAILABLE and polling stops.
+  void ScheduleTrackerOutage(SimTime at, Duration duration);
+
+  // Staleness spike: polling pauses; queries keep serving the aging list.
+  void ScheduleTrackerStale(SimTime at, Duration duration);
+
+  // Flips one byte of one allocated chunk in `node`'s pool at `at` (both
+  // picks pre-drawn from the seeded Rng; no-op on an empty pool). Reads of
+  // the victim chunk fail their checksum and report the chunk lost.
+  void ScheduleBitRot(size_t node, SimTime at);
+
+  // Draws a randomized schedule of `options.num_faults` faults over the
+  // enabled kinds, uniformly over nodes and [start, horizon]. Returns the
+  // number scheduled.
+  size_t ScheduleChaos(const ChaosOptions& options);
+
   // Draws exponential inter-failure times per node with the given MTTF and
   // schedules crashes up to `horizon`. Returns the number scheduled.
   size_t SchedulePoissonCrashes(Duration mttf, SimTime horizon,
@@ -39,10 +126,17 @@ class FailureInjector {
 
   size_t crashes_injected() const { return crashes_; }
 
+  // Every fault scheduled so far, in schedule-call order (not fire order).
+  const std::vector<FaultEvent>& schedule() const { return schedule_; }
+
  private:
+  void Record(FaultKind kind, size_t node, SimTime at, Duration duration,
+              double severity = 0.0);
+
   SpongeEnv* env_;
   Rng rng_;
   size_t crashes_ = 0;
+  std::vector<FaultEvent> schedule_;
 };
 
 }  // namespace spongefiles::sponge

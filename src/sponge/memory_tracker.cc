@@ -25,7 +25,7 @@ void MemoryTracker::Start() {
 
 sim::Task<> MemoryTracker::PollLoop() {
   while (!stopping_) {
-    co_await PollOnce();
+    if (!down_ && !poll_paused_) co_await PollOnce();
     co_await engine_->Delay(config_.poll_period);
   }
   running_ = false;
@@ -60,7 +60,7 @@ sim::Task<> MemoryTracker::PollOnce() {
   span.Arg("entries", static_cast<uint64_t>(free_list_.size()));
 }
 
-sim::Task<std::vector<FreeSpaceEntry>> MemoryTracker::Query(
+sim::Task<Result<std::vector<FreeSpaceEntry>>> MemoryTracker::Query(
     size_t from_node) {
   static obs::Counter* const queries_counter =
       obs::Registry::Default().counter("sponge.tracker.queries");
@@ -70,6 +70,11 @@ sim::Task<std::vector<FreeSpaceEntry>> MemoryTracker::Query(
   if (from_node != home_node_) {
     co_await network_->Rpc(from_node, home_node_, config_.rpc_message_bytes,
                            config_.rpc_message_bytes * 4);
+  }
+  if (down_) {
+    // The caller paid the round trip only to find nobody home (in real
+    // life a connection refusal / timeout).
+    co_return Unavailable("memory tracker down");
   }
   co_return free_list_;
 }

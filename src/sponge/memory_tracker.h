@@ -49,13 +49,27 @@ class MemoryTracker {
 
   // Client query from `from_node`: returns the current (possibly stale)
   // list of servers with free memory, most free space first. Charges the
-  // query RPC.
-  sim::Task<std::vector<FreeSpaceEntry>> Query(size_t from_node);
+  // query RPC. UNAVAILABLE while the tracker is down — clients degrade to
+  // an empty free list (all spills fall through to disk) rather than
+  // blocking, because the tracker is an optimization, not a dependency.
+  sim::Task<Result<std::vector<FreeSpaceEntry>>> Query(size_t from_node);
 
   // Snapshot without RPC cost (tests and diagnostics).
   const std::vector<FreeSpaceEntry>& snapshot() const { return free_list_; }
 
   uint64_t polls_completed() const { return polls_completed_; }
+
+  // --- gray failures ---
+
+  // Tracker outage: queries fail UNAVAILABLE and polling stops (the
+  // published list is rebuilt one poll round after recovery — the
+  // stateless-restart story the paper tells).
+  void SetDown(bool down) { down_ = down; }
+  bool down() const { return down_; }
+
+  // Staleness spike: polling pauses but queries still answer with the
+  // last published list (a wedged poller, or servers too slow to answer).
+  void SetPollPaused(bool paused) { poll_paused_ = paused; }
 
  private:
   sim::Task<> PollLoop();
@@ -69,6 +83,8 @@ class MemoryTracker {
   std::vector<FreeSpaceEntry> free_list_;
   bool stopping_ = false;
   bool running_ = false;
+  bool down_ = false;
+  bool poll_paused_ = false;
   uint64_t polls_completed_ = 0;
 };
 

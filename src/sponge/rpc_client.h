@@ -1,0 +1,228 @@
+#ifndef SPONGEFILES_SPONGE_RPC_CLIENT_H_
+#define SPONGEFILES_SPONGE_RPC_CLIENT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/random.h"
+#include "common/status.h"
+#include "common/units.h"
+#include "sim/engine.h"
+#include "sim/sync.h"
+#include "sim/task.h"
+
+namespace spongefiles::sponge {
+
+// Client-side hardening for remote sponge operations. The paper's cascade
+// degrades gracefully only if a sick server cannot stall the client: a
+// clean crash already surfaces as UNAVAILABLE, but a hung or slow server
+// would park the spilling task forever. Every remote call therefore runs
+// under a deadline with bounded retries, exponential backoff, and seeded
+// jitter; a per-server health scoreboard acts as a circuit breaker that
+// ejects servers from allocation and reads until a half-open probe
+// succeeds, so SpongeFile falls down the cascade (local pool -> remote ->
+// disk -> DFS) instead of hanging.
+struct RpcPolicy {
+  // Per-attempt deadline on a remote sponge operation. Generous next to
+  // the ~10 ms a healthy chunk write takes, tight next to task runtimes.
+  Duration deadline = Millis(500);
+  // Attempts per logical call (1 original + retries).
+  int max_attempts = 3;
+  // Exponential backoff between attempts, with deterministic jitter drawn
+  // from the environment's seeded Rng.
+  Duration backoff_base = Millis(10);
+  double backoff_multiplier = 2.0;
+  Duration backoff_max = Seconds(2);
+  double jitter_fraction = 0.5;
+  // Circuit breaker: this many consecutive failures open the breaker for
+  // `breaker_cooldown`, after which a single half-open probe is let
+  // through; success closes the breaker, failure re-arms the cooldown.
+  int breaker_threshold = 3;
+  Duration breaker_cooldown = Seconds(5);
+};
+
+// Per-server health scoreboard shared by every SpongeFile in an
+// environment (like a client library's shared channel state). States per
+// server: closed (healthy), open (ejected until cooldown expires), and
+// half-open (one probe in flight).
+class HealthBoard {
+ public:
+  HealthBoard(sim::Engine* engine, const RpcPolicy* policy)
+      : engine_(engine), policy_(policy) {}
+
+  HealthBoard(const HealthBoard&) = delete;
+  HealthBoard& operator=(const HealthBoard&) = delete;
+
+  // Gate before issuing a request to `node`. Closed: true. Open: false
+  // until the cooldown elapses, then true exactly once (the half-open
+  // probe) — every true MUST be followed by RecordSuccess or
+  // RecordFailure for that node, or the probe slot stays taken.
+  bool AllowRequest(size_t node);
+
+  // Any definitive response from the server (including "pool full"): the
+  // server is alive. Closes the breaker and resets the failure streak.
+  void RecordSuccess(size_t node);
+
+  // A timeout or UNAVAILABLE. Trips the breaker at breaker_threshold
+  // consecutive failures; a failed half-open probe re-arms the cooldown.
+  void RecordFailure(size_t node);
+
+  // Open or half-open (no probe budget available without AllowRequest).
+  bool IsOpen(size_t node) const;
+
+  uint64_t trips() const { return trips_; }
+  uint64_t recoveries() const { return recoveries_; }
+
+ private:
+  struct ServerHealth {
+    int consecutive_failures = 0;
+    bool open = false;
+    bool probing = false;
+    SimTime open_until = 0;
+  };
+
+  ServerHealth& StateFor(size_t node);
+
+  sim::Engine* engine_;
+  const RpcPolicy* policy_;
+  std::vector<ServerHealth> health_;
+  uint64_t trips_ = 0;
+  uint64_t recoveries_ = 0;
+};
+
+// The message CallWithDeadline stamps on a deadline-expired status;
+// IsRpcTimeout distinguishes a timeout from other UNAVAILABLE causes
+// (telemetry and spill-decision labeling only — retry behaviour treats
+// them identically).
+inline constexpr const char kRpcDeadlineMessage[] = "rpc deadline exceeded";
+
+inline bool IsRpcTimeout(const Status& status) {
+  return status.code() == StatusCode::kUnavailable &&
+         status.message() == kRpcDeadlineMessage;
+}
+
+namespace internal_rpc {
+
+// Uniform view over the two remote-call return shapes (Status and
+// Result<T>): extract the status, construct the deadline-expired value.
+template <typename T>
+struct CallTraits;
+
+template <>
+struct CallTraits<Status> {
+  static Status Timeout() { return Unavailable(kRpcDeadlineMessage); }
+  static const Status& StatusOf(const Status& value) { return value; }
+};
+
+template <typename T>
+struct CallTraits<Result<T>> {
+  static Result<T> Timeout() {
+    return Status(StatusCode::kUnavailable, kRpcDeadlineMessage);
+  }
+  static const Status& StatusOf(const Result<T>& value) {
+    return value.status();
+  }
+};
+
+// Telemetry hooks (defined in rpc_client.cc so the counters are created
+// once, not per template instantiation).
+void CountTimeout();
+void CountRetry();
+void CountBackoff(Duration slept);
+
+}  // namespace internal_rpc
+
+// Runs `op` against a wall-clock budget of `deadline`. If the deadline
+// fires first, returns UNAVAILABLE ("rpc deadline exceeded") and sets
+// *timed_out; the operation itself keeps running detached — the simulated
+// server cannot tell its client gave up — and its eventual result is
+// discarded. The engine's teardown pass reclaims ops that never finish
+// (e.g. parked on a hung server).
+template <typename T>
+sim::Task<T> CallWithDeadline(sim::Engine* engine, Duration deadline,
+                              sim::Task<T> op, bool* timed_out = nullptr) {
+  struct Shared {
+    explicit Shared(sim::Engine* e) : done(e) {}
+    sim::Event done;
+    std::optional<T> result;
+  };
+  auto shared = std::make_shared<Shared>(engine);
+  auto runner = [](std::shared_ptr<Shared> state,
+                   sim::Task<T> call) -> sim::Task<> {
+    T value = co_await call;
+    if (!state->result.has_value()) state->result = std::move(value);
+    state->done.Set();
+  };
+  auto timer = [](std::shared_ptr<Shared> state, sim::Engine* eng,
+                  Duration budget) -> sim::Task<> {
+    co_await eng->Delay(budget);
+    state->done.Set();
+  };
+  engine->Spawn(runner(shared, std::move(op)));
+  engine->Spawn(timer(shared, engine, deadline));
+  co_await shared->done.Wait();
+  if (shared->result.has_value()) {
+    if (timed_out != nullptr) *timed_out = false;
+    co_return std::move(*shared->result);
+  }
+  if (timed_out != nullptr) *timed_out = true;
+  internal_rpc::CountTimeout();
+  co_return internal_rpc::CallTraits<T>::Timeout();
+}
+
+// A remote call with the full client-side hardening: per-attempt deadline,
+// bounded retries with exponential backoff and seeded jitter, and health
+// accounting on `board`. `make_op` creates a fresh operation Task per
+// attempt (an abandoned attempt keeps running detached and cannot be
+// re-awaited). Only transport-class failures (timeout, UNAVAILABLE) are
+// retried; a definitive server answer — success, pool full, ownership
+// mismatch — returns immediately and counts as proof of health. Callers
+// gate the *first* attempt with board->AllowRequest; retries stop early if
+// the breaker opens mid-call.
+//
+// TOOLCHAIN CONSTRAINT: a factory passed as a temporary lambda must capture
+// only trivially-destructible state (pointers, references, handles). GCC 12
+// miscompiles non-trivially-destructible temporaries that are arguments
+// inside a co_await full-expression — their cleanup funclet runs on a
+// corrupted copy. Hoist the lambda into a named local if it must own a
+// string, Status, or container.
+template <typename T, typename Factory>
+sim::Task<T> HardenedCall(sim::Engine* engine, HealthBoard* board,
+                          const RpcPolicy& policy, Rng* rng, size_t node,
+                          Factory make_op) {
+  Duration backoff = policy.backoff_base;
+  int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;
+  for (int attempt = 1;; ++attempt) {
+    bool timed_out = false;
+    // Named local (not a temporary argument) — see the constraint above;
+    // Task's destructor is non-trivial.
+    sim::Task<T> op = make_op();
+    T value = co_await CallWithDeadline<T>(engine, policy.deadline,
+                                           std::move(op), &timed_out);
+    const Status& status = internal_rpc::CallTraits<T>::StatusOf(value);
+    if (!timed_out && status.code() != StatusCode::kUnavailable) {
+      board->RecordSuccess(node);
+      co_return value;
+    }
+    board->RecordFailure(node);
+    if (attempt >= max_attempts || board->IsOpen(node)) co_return value;
+    internal_rpc::CountRetry();
+    double jitter = policy.jitter_fraction * rng->NextDouble();
+    Duration sleep = static_cast<Duration>(
+        static_cast<double>(backoff) * (1.0 + jitter));
+    internal_rpc::CountBackoff(sleep);
+    co_await engine->Delay(sleep);
+    backoff = std::min<Duration>(
+        static_cast<Duration>(static_cast<double>(backoff) *
+                              policy.backoff_multiplier),
+        policy.backoff_max);
+  }
+}
+
+}  // namespace spongefiles::sponge
+
+#endif  // SPONGEFILES_SPONGE_RPC_CLIENT_H_

@@ -7,7 +7,11 @@ SpongeEnv::SpongeEnv(cluster::Cluster* cluster, cluster::Dfs* dfs,
                      const ChunkPoolConfig& pool_config,
                      const SpongeServerConfig& server_config,
                      const MemoryTrackerConfig& tracker_config)
-    : cluster_(cluster), dfs_(dfs), config_(config) {
+    : cluster_(cluster),
+      dfs_(dfs),
+      config_(config),
+      rpc_rng_(config.rpc_jitter_seed) {
+  health_ = std::make_unique<HealthBoard>(cluster->engine(), &config_.rpc);
   servers_.reserve(cluster->size());
   for (size_t i = 0; i < cluster->size(); ++i) {
     ChunkPoolConfig node_pool = pool_config;

@@ -8,8 +8,10 @@
 
 #include "cluster/cluster.h"
 #include "cluster/dfs.h"
+#include "common/random.h"
 #include "common/units.h"
 #include "sponge/memory_tracker.h"
+#include "sponge/rpc_client.h"
 #include "sponge/sponge_server.h"
 #include "sponge/task_registry.h"
 
@@ -46,6 +48,16 @@ struct SpongeConfig {
   bool encrypt = false;
   std::string encryption_passphrase = "spongefiles";
   double cipher_bandwidth = 500.0 * 1024 * 1024;
+  // Verify each chunk's stored checksum on read; a mismatch is treated as
+  // a lost chunk (UNAVAILABLE) and recovered by the framework's task
+  // retry. The hash rides along with the memcpy in a real implementation,
+  // so no simulated time is charged.
+  bool verify_checksums = true;
+  // Client-side hardening of remote sponge operations (deadlines,
+  // retries, circuit breaker); see rpc_client.h.
+  RpcPolicy rpc;
+  // Seeds the deterministic backoff jitter.
+  uint64_t rpc_jitter_seed = 0x5f0a9e;
 };
 
 // The per-task view a SpongeFile needs: identity for chunk ownership and
@@ -90,6 +102,10 @@ class SpongeEnv {
   SpongeServer& server(size_t node) { return *servers_[node]; }
   std::vector<SpongeServer*>* servers() { return &server_ptrs_; }
   const SpongeConfig& config() const { return config_; }
+  // Shared per-server circuit-breaker state for every SpongeFile client in
+  // this environment, and the seeded Rng their backoff jitter draws from.
+  HealthBoard& health() { return *health_; }
+  Rng& rpc_rng() { return rpc_rng_; }
 
   // Registers a task with the registry and hands out its context.
   TaskContext StartTask(size_t node);
@@ -107,6 +123,8 @@ class SpongeEnv {
   std::vector<std::unique_ptr<SpongeServer>> servers_;
   std::vector<SpongeServer*> server_ptrs_;
   std::unique_ptr<MemoryTracker> tracker_;
+  std::unique_ptr<HealthBoard> health_;
+  Rng rpc_rng_;
 };
 
 }  // namespace spongefiles::sponge

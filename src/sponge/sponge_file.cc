@@ -1,6 +1,7 @@
 #include "sponge/sponge_file.h"
 
 #include <algorithm>
+#include <string_view>
 
 #include "common/crypto.h"
 #include "common/logging.h"
@@ -35,22 +36,29 @@ const MediumMetrics& MediumMetricsFor(ChunkLocation location) {
   return metrics[static_cast<size_t>(location)];
 }
 
-obs::Counter* DecisionCounter(const char* reason) {
+obs::Counter* DecisionCounter(std::string_view reason) {
   static obs::Registry& registry = obs::Registry::Default();
   static obs::Counter* const pool_full =
       registry.counter("sponge.alloc.decisions", {{"reason", "pool-full"}});
   static obs::Counter* const tracker_stale = registry.counter(
       "sponge.alloc.decisions", {{"reason", "tracker-stale"}});
+  static obs::Counter* const tracker_down = registry.counter(
+      "sponge.alloc.decisions", {{"reason", "tracker-down"}});
   static obs::Counter* const rack_restricted = registry.counter(
       "sponge.alloc.decisions", {{"reason", "rack-restricted"}});
+  static obs::Counter* const server_sick = registry.counter(
+      "sponge.alloc.decisions", {{"reason", "server-sick"}});
+  static obs::Counter* const rpc_timeout = registry.counter(
+      "sponge.alloc.decisions", {{"reason", "rpc-timeout"}});
   static obs::Counter* const affinity_hit = registry.counter(
       "sponge.alloc.decisions", {{"reason", "affinity-hit"}});
-  switch (reason[0]) {
-    case 'p': return pool_full;
-    case 't': return tracker_stale;
-    case 'r': return rack_restricted;
-    default: return affinity_hit;
-  }
+  if (reason == "pool-full") return pool_full;
+  if (reason == "tracker-stale") return tracker_stale;
+  if (reason == "tracker-down") return tracker_down;
+  if (reason == "rack-restricted") return rack_restricted;
+  if (reason == "server-sick") return server_sick;
+  if (reason == "rpc-timeout") return rpc_timeout;
+  return affinity_hit;
 }
 
 // Records why the allocation cascade moved past (or preferred) a placement:
@@ -173,13 +181,15 @@ sim::Task<Status> SpongeFile::StoreIntoRecord(size_t index, ByteRuns chunk) {
     co_await env_->engine()->Delay(
         TransferTime(chunk.size(), config.cipher_bandwidth));
   }
+  // Checksum the stored representation (post-encryption) so every read —
+  // from any medium — can detect corruption. The hash rides along with the
+  // copy, so no simulated time is charged.
+  record.checksum = chunk.Checksum64();
 
   // 1. Local sponge memory.
   Result<ChunkHandle> handle = local.LocalAllocate(owner);
   if (handle.ok()) {
-    record.location = ChunkLocation::kLocalMemory;
-    record.node = task_->node;
-    record.handle = *handle;
+    bool stored_locally = true;
     if (config.direct_local_access) {
       // Mapped shared memory: a raw copy into the pool.
       co_await env_->engine()->Delay(
@@ -187,32 +197,68 @@ sim::Task<Status> SpongeFile::StoreIntoRecord(size_t index, ByteRuns chunk) {
       *local.pool().chunk_data(*handle) = std::move(chunk);
     } else {
       // Through the local sponge server over a socket (Table 1 column 2).
-      Status stored = co_await local.RemoteWrite(task_->node, *handle, owner,
-                                                 std::move(chunk));
-      if (!stored.ok()) co_return stored;
+      // Hardened like a remote write: a hung local server must not park
+      // the task; on failure, release the slot and fall down the cascade.
+      // (`slot`, not `handle`: factory captures must be trivially
+      // destructible — see rpc_client.h.)
+      ChunkHandle slot = *handle;
+      Status stored = co_await HardenedCall<Status>(
+          env_->engine(), &env_->health(), config.rpc, &env_->rpc_rng(),
+          task_->node, [this, &local, &owner, slot, &chunk] {
+            return local.RemoteWrite(task_->node, slot, owner, chunk);
+          });
+      if (!stored.ok()) {
+        stored_locally = false;
+        (void)local.LocalFree(*handle, owner);
+        SpillDecision(env_, task_,
+                      IsRpcTimeout(stored) ? "rpc-timeout" : "server-sick");
+      }
     }
-    ++stats_.chunks_local_memory;
-    stats_.bytes_local_memory += record.size;
-    stats_.fragmentation_bytes += config.chunk_size - record.size;
-    MediumMetricsFor(ChunkLocation::kLocalMemory).bytes->Increment(
-        record.size);
-    MediumMetricsFor(ChunkLocation::kLocalMemory).chunks->Increment();
-    span.Arg("medium", std::string("local-memory"));
-    co_return Status::OK();
+    if (stored_locally) {
+      record.location = ChunkLocation::kLocalMemory;
+      record.node = task_->node;
+      record.handle = *handle;
+      ++stats_.chunks_local_memory;
+      stats_.bytes_local_memory += record.size;
+      stats_.fragmentation_bytes += config.chunk_size - record.size;
+      MediumMetricsFor(ChunkLocation::kLocalMemory).bytes->Increment(
+          record.size);
+      MediumMetricsFor(ChunkLocation::kLocalMemory).chunks->Increment();
+      span.Arg("medium", std::string("local-memory"));
+      co_return Status::OK();
+    }
+  } else {
+    SpillDecision(env_, task_, "pool-full");
   }
-  SpillDecision(env_, task_, "pool-full");
 
-  // 2. Remote sponge memory on the same rack.
+  // 2. Remote sponge memory on the same rack. Each iteration allocates a
+  // slot somewhere and tries the (hardened) write; a server that accepts
+  // the allocation but then fails the write is bounced and the next
+  // candidate tried, until the free list runs dry and we fall to disk.
   if (config.allow_remote_memory) {
-    auto allocated = co_await AllocateRemote();
-    if (allocated.ok()) {
+    while (true) {
+      auto allocated = co_await AllocateRemote();
+      if (!allocated.ok()) break;
       auto [target, remote_handle] = *allocated;
+      Status stored = co_await HardenedCall<Status>(
+          env_->engine(), &env_->health(), config.rpc, &env_->rpc_rng(),
+          target, [this, target, remote_handle, &owner, &chunk] {
+            return env_->server(target).RemoteWrite(task_->node,
+                                                    remote_handle, owner,
+                                                    chunk);
+          });
+      if (!stored.ok()) {
+        SpillDecision(env_, task_,
+                      IsRpcTimeout(stored) ? "rpc-timeout" : "server-sick");
+        if (std::find(bounced_nodes_.begin(), bounced_nodes_.end(), target) ==
+            bounced_nodes_.end()) {
+          bounced_nodes_.push_back(target);
+        }
+        continue;
+      }
       record.location = ChunkLocation::kRemoteMemory;
       record.node = target;
       record.handle = remote_handle;
-      Status stored = co_await env_->server(target).RemoteWrite(
-          task_->node, remote_handle, owner, std::move(chunk));
-      if (!stored.ok()) co_return stored;
       if (std::find(task_->sponge_affinity.begin(), task_->sponge_affinity.end(),
                     target) == task_->sponge_affinity.end()) {
         task_->sponge_affinity.push_back(target);
@@ -296,7 +342,16 @@ sim::Task<Result<std::pair<size_t, ChunkHandle>>>
 SpongeFile::AllocateRemote() {
   const SpongeConfig& config = env_->config();
   if (!free_list_loaded_) {
-    free_list_ = co_await env_->tracker().Query(task_->node);
+    Result<std::vector<FreeSpaceEntry>> list =
+        co_await env_->tracker().Query(task_->node);
+    if (list.ok()) {
+      free_list_ = std::move(*list);
+    } else {
+      // The tracker is an optimization, not a dependency: with no free
+      // list we can still try affinity nodes, and otherwise fall to disk.
+      SpillDecision(env_, task_, "tracker-down");
+      free_list_.clear();
+    }
     free_list_loaded_ = true;
   }
 
@@ -341,8 +396,19 @@ SpongeFile::AllocateRemote() {
     }
     FreeSpaceEntry* estimate = estimate_of(node);
     if (estimate != nullptr && estimate->free_bytes == 0) continue;
-    Result<ChunkHandle> handle =
-        co_await env_->server(node).RemoteAllocate(task_->node, owner);
+    // Circuit breaker: a server with an open breaker is skipped (but not
+    // permanently bounced — it may recover and later chunks can use it).
+    // An AllowRequest "true" on an open breaker is the half-open probe;
+    // the HardenedCall below always settles it via RecordSuccess/Failure.
+    if (!env_->health().AllowRequest(node)) {
+      SpillDecision(env_, task_, "server-sick");
+      continue;
+    }
+    Result<ChunkHandle> handle = co_await HardenedCall<Result<ChunkHandle>>(
+        env_->engine(), &env_->health(), config.rpc, &env_->rpc_rng(), node,
+        [this, node, &owner] {
+          return env_->server(node).RemoteAllocate(task_->node, owner);
+        });
     if (handle.ok()) {
       if (estimate != nullptr && estimate->free_bytes >= config.chunk_size) {
         estimate->free_bytes -= config.chunk_size;
@@ -355,14 +421,22 @@ SpongeFile::AllocateRemote() {
       }
       co_return std::make_pair(node, *handle);
     }
-    // Stale list entry (or dead/quota-limited server): remember it is
-    // unusable and move on — the paper's "try the rest of the servers in
-    // the free list one at a time".
+    // Stale list entry (dead/quota-limited server) or a sick one that
+    // timed out through its retries: remember it is unusable and move on —
+    // the paper's "try the rest of the servers in the free list one at a
+    // time".
     static obs::Counter* const stale_retries_counter =
         obs::Registry::Default().counter("sponge.alloc.stale_retries");
     ++stats_.stale_list_retries;
     stale_retries_counter->Increment();
-    SpillDecision(env_, task_, "tracker-stale");
+    const Status& why = handle.status();
+    if (IsRpcTimeout(why)) {
+      SpillDecision(env_, task_, "rpc-timeout");
+    } else if (why.code() == StatusCode::kUnavailable) {
+      SpillDecision(env_, task_, "server-sick");
+    } else {
+      SpillDecision(env_, task_, "tracker-stale");
+    }
     if (estimate != nullptr) estimate->free_bytes = 0;
     bounced_nodes_.push_back(node);
   }
@@ -389,6 +463,16 @@ sim::Task<Result<ByteRuns>> SpongeFile::FetchChunk(size_t index) {
   Result<ByteRuns> fetched = co_await FetchChunkRaw(index);
   if (!fetched.ok()) co_return fetched;
   const SpongeConfig& config = env_->config();
+  if (config.verify_checksums &&
+      fetched->Checksum64() != chunks_[index].checksum) {
+    // Bit rot, a stolen pool slot, a buggy server — whatever happened,
+    // the chunk is gone. Surface it as lost (UNAVAILABLE) so the
+    // framework's task retry regenerates it; never return bad bytes.
+    static obs::Counter* const corruption_counter =
+        obs::Registry::Default().counter("sponge.chunk.corruptions");
+    corruption_counter->Increment();
+    co_return Unavailable("chunk checksum mismatch");
+  }
   if (config.encrypt) {
     XteaCtr cipher(XteaCtr::DeriveKey(config.encryption_passphrase));
     cipher.ApplyToLiterals(ChunkNonce(index), &*fetched);
@@ -427,16 +511,37 @@ sim::Task<Result<ByteRuns>> SpongeFile::FetchChunkRaw(size_t index) {
             TransferTime(record.size, config.shared_memory_bandwidth));
         co_return *data;
       }
-      co_return co_await server.RemoteRead(task_->node, record.handle,
-                                           owner);
+      co_return co_await HardenedCall<Result<ByteRuns>>(
+          env_->engine(), &env_->health(), config.rpc, &env_->rpc_rng(),
+          record.node, [this, &server, &record, &owner] {
+            return server.RemoteRead(task_->node, record.handle, owner);
+          });
     }
     case ChunkLocation::kRemoteMemory: {
       SpongeServer& server = env_->server(record.node);
       if (!server.alive()) {
         co_return Unavailable("remote sponge server down");
       }
-      co_return co_await server.RemoteRead(task_->node, record.handle,
-                                           owner);
+      // Breaker gate: a known-sick server is not worth the deadline wait —
+      // report the chunk lost so the framework's retry kicks in.
+      if (!env_->health().AllowRequest(record.node)) {
+        SpillDecision(env_, task_, "server-sick");
+        co_return Unavailable("sponge server circuit open");
+      }
+      Result<ByteRuns> fetched = co_await HardenedCall<Result<ByteRuns>>(
+          env_->engine(), &env_->health(), config.rpc, &env_->rpc_rng(),
+          record.node, [this, &server, &record, &owner] {
+            return server.RemoteRead(task_->node, record.handle, owner);
+          });
+      if (!fetched.ok() &&
+          fetched.status().code() != StatusCode::kUnavailable) {
+        // FAILED_PRECONDITION / NOT_FOUND from the server means our slot
+        // is gone (e.g. a crash-restart cycle); to the reader that is the
+        // same lost chunk.
+        co_return Unavailable("remote chunk lost: " +
+                              fetched.status().message());
+      }
+      co_return fetched;
     }
     case ChunkLocation::kLocalDisk: {
       cluster::LocalFs& fs = env_->cluster()->node(task_->node).fs();
@@ -514,9 +619,17 @@ sim::Task<> SpongeFile::Delete() {
         (void)env_->server(record.node).LocalFree(record.handle, owner);
         break;
       case ChunkLocation::kRemoteMemory:
-        if (env_->server(record.node).alive()) {
-          (void)co_await env_->server(record.node)
+        // Best effort, one attempt under deadline, and none at all for
+        // dead or breaker-open servers: the GC sweep is the backstop for
+        // anything a free misses.
+        if (env_->server(record.node).alive() &&
+            !env_->health().IsOpen(record.node)) {
+          // Named local, not a temporary argument (see rpc_client.h).
+          sim::Task<Status> free_op = env_->server(record.node)
               .RemoteFree(task_->node, record.handle, owner);
+          (void)co_await CallWithDeadline<Status>(
+              env_->engine(), env_->config().rpc.deadline,
+              std::move(free_op));
         }
         break;
       case ChunkLocation::kLocalDisk: {

@@ -104,7 +104,9 @@ class SpongeFile {
   enum class State { kWriting, kClosed, kDeleted };
 
   struct ChunkRecord {
-    ChunkLocation location;
+    // Defaulted so a record whose store failed entirely is still safe for
+    // Delete() to walk (an empty dfs_name delete is a no-op).
+    ChunkLocation location = ChunkLocation::kDfs;
     size_t node = 0;          // memory chunks: owning server
     ChunkHandle handle;       // memory chunks: pool slot
     uint64_t fs_file = 0;     // local-disk chunks: LocalFs id
@@ -112,6 +114,9 @@ class SpongeFile {
     uint64_t offset = 0;      // within the (coalesced) disk file
     uint64_t size = 0;
     ByteRuns data;            // content for disk/DFS chunks
+    // Checksum of the stored representation (post-encryption), verified
+    // on every read; a mismatch means the chunk is lost.
+    uint64_t checksum = 0;
   };
 
   // Decides placement for one full buffer and stores it (possibly

@@ -43,6 +43,28 @@ SpongeServer::SpongeServer(sim::Engine* engine, cluster::Network* network,
       config_(config),
       pool_(std::make_unique<ChunkPool>(pool_config)) {}
 
+sim::Task<> SpongeServer::FaultPoint() {
+  if (rpc_extra_delay_ > 0) co_await engine_->Delay(rpc_extra_delay_);
+  // Loop: the server may be re-hung between this frame's wake-up being
+  // scheduled and it actually running.
+  while (hung_) {
+    co_await hang_cleared_->Wait();
+  }
+}
+
+void SpongeServer::SetHung(bool hung) {
+  if (hung == hung_) return;
+  hung_ = hung;
+  if (hung) {
+    if (hang_cleared_ != nullptr) {
+      retired_hang_events_.push_back(std::move(hang_cleared_));
+    }
+    hang_cleared_ = std::make_unique<sim::Event>(engine_);
+  } else if (hang_cleared_ != nullptr) {
+    hang_cleared_->Set();
+  }
+}
+
 bool SpongeServer::QuotaAllows(const ChunkOwner& owner) const {
   if (config_.quota_chunks_per_task == 0) return true;
   uint64_t held = 0;
@@ -53,13 +75,14 @@ bool SpongeServer::QuotaAllows(const ChunkOwner& owner) const {
 }
 
 sim::Task<Result<ChunkHandle>> SpongeServer::RemoteAllocate(
-    size_t from, const ChunkOwner& owner) {
+    size_t from, ChunkOwner owner) {
   RpcCounter("alloc")->Increment();
   obs::SpanGuard span(&obs::Tracer::Default(), engine_, node_id_,
                       owner.task_id, "rpc", "rpc.alloc");
   span.Arg("from", static_cast<uint64_t>(from));
   co_await network_->Rpc(from, node_id_, config_.rpc_message_bytes,
                          config_.rpc_message_bytes);
+  co_await FaultPoint();
   if (!alive_) co_return Unavailable("sponge server down");
   if (!QuotaAllows(owner)) {
     ++failed_allocations_;
@@ -75,7 +98,7 @@ sim::Task<Result<ChunkHandle>> SpongeServer::RemoteAllocate(
 }
 
 sim::Task<Status> SpongeServer::RemoteWrite(size_t from, ChunkHandle handle,
-                                            const ChunkOwner& owner,
+                                            ChunkOwner owner,
                                             ByteRuns data) {
   RpcCounter("write")->Increment();
   obs::SpanGuard span(&obs::Tracer::Default(), engine_, node_id_,
@@ -85,6 +108,7 @@ sim::Task<Status> SpongeServer::RemoteWrite(size_t from, ChunkHandle handle,
   // The chunk payload travels over the network, then the server copies it
   // into the pool.
   co_await network_->Transfer(from, node_id_, data.size());
+  co_await FaultPoint();
   if (!alive_) co_return Unavailable("sponge server down");
   auto holder = pool_->OwnerOf(handle);
   if (!holder.ok() || !(*holder == owner)) {
@@ -98,13 +122,14 @@ sim::Task<Status> SpongeServer::RemoteWrite(size_t from, ChunkHandle handle,
 
 sim::Task<Result<ByteRuns>> SpongeServer::RemoteRead(size_t from,
                                                      ChunkHandle handle,
-                                                     const ChunkOwner& owner) {
+                                                     ChunkOwner owner) {
   RpcCounter("read")->Increment();
   obs::SpanGuard span(&obs::Tracer::Default(), engine_, node_id_,
                       owner.task_id, "rpc", "rpc.read");
   span.Arg("from", static_cast<uint64_t>(from));
   // Request message to the server.
   co_await network_->Transfer(from, node_id_, config_.rpc_message_bytes);
+  co_await FaultPoint();
   if (!alive_) co_return Unavailable("sponge server down");
   auto holder = pool_->OwnerOf(handle);
   if (!holder.ok() || !(*holder == owner)) {
@@ -119,13 +144,14 @@ sim::Task<Result<ByteRuns>> SpongeServer::RemoteRead(size_t from,
 }
 
 sim::Task<Status> SpongeServer::RemoteFree(size_t from, ChunkHandle handle,
-                                           const ChunkOwner& owner) {
+                                           ChunkOwner owner) {
   RpcCounter("free")->Increment();
   obs::SpanGuard span(&obs::Tracer::Default(), engine_, node_id_,
                       owner.task_id, "rpc", "rpc.free");
   span.Arg("from", static_cast<uint64_t>(from));
   co_await network_->Rpc(from, node_id_, config_.rpc_message_bytes,
                          config_.rpc_message_bytes);
+  co_await FaultPoint();
   if (!alive_) co_return Unavailable("sponge server down");
   co_return pool_->Free(handle, owner);
 }
@@ -138,6 +164,7 @@ sim::Task<bool> SpongeServer::RemoteIsTaskAlive(size_t from,
   span.Arg("from", static_cast<uint64_t>(from));
   co_await network_->Rpc(from, node_id_, config_.rpc_message_bytes,
                          config_.rpc_message_bytes);
+  co_await FaultPoint();
   if (!alive_) co_return false;
   co_return registry_->IsAliveOn(task_id, node_id_);
 }

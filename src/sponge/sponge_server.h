@@ -9,6 +9,7 @@
 #include "common/status.h"
 #include "common/units.h"
 #include "sim/engine.h"
+#include "sim/sync.h"
 #include "sim/task.h"
 #include "sponge/chunk_pool.h"
 #include "sponge/task_registry.h"
@@ -52,22 +53,27 @@ class SpongeServer {
 
   // --- remote operations (called by tasks on other nodes; `from` is the
   // --- caller's node, used to charge network time) ---
+  //
+  // All parameters are taken BY VALUE: a caller running under
+  // CallWithDeadline may abandon the operation and destroy its own frame
+  // while the op is still parked on this (possibly hung) server, so the
+  // op must own every piece of state it touches after resuming.
 
   // Allocates one chunk for `owner`; RESOURCE_EXHAUSTED when full — the
   // caller then tries the next server on its (possibly stale) free list.
   sim::Task<Result<ChunkHandle>> RemoteAllocate(size_t from,
-                                                const ChunkOwner& owner);
+                                                ChunkOwner owner);
 
   // Ships `data` from node `from` into chunk `handle`.
   sim::Task<Status> RemoteWrite(size_t from, ChunkHandle handle,
-                                const ChunkOwner& owner, ByteRuns data);
+                                ChunkOwner owner, ByteRuns data);
 
   // Reads chunk `handle` back to node `from`.
   sim::Task<Result<ByteRuns>> RemoteRead(size_t from, ChunkHandle handle,
-                                         const ChunkOwner& owner);
+                                         ChunkOwner owner);
 
   sim::Task<Status> RemoteFree(size_t from, ChunkHandle handle,
-                               const ChunkOwner& owner);
+                               ChunkOwner owner);
 
   // Liveness probe used by peer servers' GC: is `task_id` alive on this
   // node? `from` pays for the RPC.
@@ -117,6 +123,22 @@ class SpongeServer {
   // The server restarts empty (it is stateless).
   void Restart();
 
+  // --- gray failures ---
+
+  // Hung server: the process is alive (liveness at the machine level still
+  // passes) but every RPC parks after its request arrives and answers
+  // nothing until the hang clears — the failure mode that motivates
+  // client-side deadlines. Clearing the hang releases parked requests,
+  // which then complete normally (their clients have typically given up).
+  void SetHung(bool hung);
+  bool hung() const { return hung_; }
+
+  // Slow server: adds `delay` of server-side processing to every RPC
+  // (GC-pausing JVM, an overloaded host). 0 restores nominal speed.
+  void set_rpc_extra_delay(Duration delay) {
+    rpc_extra_delay_ = delay < 0 ? 0 : delay;
+  }
+
   void Shutdown() { stopping_ = true; }
 
   // --- statistics ---
@@ -126,6 +148,12 @@ class SpongeServer {
 
  private:
   bool QuotaAllows(const ChunkOwner& owner) const;
+
+  // Awaited by every remote operation after its request reaches the
+  // server (deliberately after the network hop, so an abandoned request
+  // never wedges a NIC pipe): pays the injected slow-server delay and
+  // parks while the server is hung.
+  sim::Task<> FaultPoint();
 
   sim::Task<> GcLoop(std::vector<SpongeServer*>* peers);
 
@@ -140,6 +168,14 @@ class SpongeServer {
   bool alive_ = true;
   bool stopping_ = false;
   bool gc_running_ = false;
+
+  bool hung_ = false;
+  Duration rpc_extra_delay_ = 0;
+  // Requests park on this event while hung. Cleared events are retired,
+  // not destroyed: handles scheduled by Set() may still be in the engine
+  // queue when a new hang begins.
+  std::unique_ptr<sim::Event> hang_cleared_;
+  std::vector<std::unique_ptr<sim::Event>> retired_hang_events_;
 
   uint64_t remote_allocations_ = 0;
   uint64_t failed_allocations_ = 0;

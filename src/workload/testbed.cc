@@ -26,6 +26,13 @@ Testbed::Testbed(const TestbedConfig& config) {
   engine_.RunUntil(engine_.now() + Millis(10));
 }
 
+Testbed::~Testbed() {
+  // Reclaim the service loops (tracker polls, GC sweeps) and any frames
+  // parked on hung servers while the cluster objects they reference are
+  // still alive; the engine member itself is destroyed last.
+  engine_.DrainDetached();
+}
+
 Result<mapred::JobResult> Testbed::RunJob(
     mapred::JobConfig config, std::optional<mapred::JobConfig> background,
     std::vector<mapred::TaskStats>* background_tasks) {

@@ -31,6 +31,7 @@ struct TestbedConfig {
 class Testbed {
  public:
   explicit Testbed(const TestbedConfig& config = {});
+  ~Testbed();
 
   Testbed(const Testbed&) = delete;
   Testbed& operator=(const Testbed&) = delete;

@@ -145,6 +145,36 @@ TEST(EngineTest, TasksCanSpawnTasks) {
   EXPECT_EQ(log, std::vector<int>({1, 2, 3}));
 }
 
+struct DrainProbe {
+  bool* destroyed;
+  ~DrainProbe() { *destroyed = true; }
+};
+
+Task<> ParkForever(Engine* engine, bool* destroyed) {
+  DrainProbe probe{destroyed};
+  // Parks a century out; only DrainDetached can reclaim the frame (and
+  // must run this local's destructor when it does).
+  co_await engine->Delay(Minutes(100.0 * 365 * 24 * 60));
+}
+
+TEST(EngineTest, DrainDetachedReclaimsParkedCoroutines) {
+  Engine engine;
+  bool destroyed = false;
+  std::vector<int> log;
+  engine.Spawn(ParkForever(&engine, &destroyed));
+  engine.Spawn(Sleeper(&engine, Millis(1), &log, 1));
+  engine.RunUntil(Millis(10));
+  // The sleeper finished and removed itself; the parked frame is live.
+  EXPECT_EQ(log, std::vector<int>({1}));
+  EXPECT_EQ(engine.detached_live(), 1u);
+  EXPECT_FALSE(destroyed);
+  EXPECT_EQ(engine.DrainDetached(), 1u);
+  EXPECT_TRUE(destroyed);
+  EXPECT_EQ(engine.detached_live(), 0u);
+  // Idempotent: nothing left to reclaim.
+  EXPECT_EQ(engine.DrainDetached(), 0u);
+}
+
 TEST(EngineTest, ManyTasksComplete) {
   Engine engine;
   std::vector<int> log;

@@ -1,0 +1,148 @@
+// Chaos integration test (the robustness tentpole's end-to-end check):
+// randomized gray-failure schedules — hangs, slow RPCs, slow disks, sick
+// links, tracker outages, bit rot, crashes — are injected into a small
+// testbed while a skewed median job runs. Under every seed the job must
+// produce output byte-identical to a fault-free run (checksums catch
+// corruption, task retries and the spill cascade recover everything), no
+// chunk may leak once the GC has swept, the whole run must stay
+// deterministic for a fixed seed, and a hung server must never deadlock
+// the job (the client-side deadlines un-stick it).
+//
+// The number of chaos seeds defaults low so plain ctest stays fast;
+// tools/check.sh raises it via SPONGE_CHAOS_SEEDS for the sanitizer run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "mapred/job.h"
+#include "sponge/failure.h"
+#include "workload/testbed.h"
+
+namespace spongefiles {
+namespace {
+
+int ChaosSeeds() {
+  const char* env = std::getenv("SPONGE_CHAOS_SEEDS");
+  if (env == nullptr) return 4;
+  int n = std::atoi(env);
+  return n < 1 ? 1 : n;
+}
+
+struct ChaosRun {
+  Duration runtime = 0;
+  std::vector<mapred::Record> output;
+  std::vector<sponge::FaultEvent> schedule;
+  uint64_t leaked_chunks = 0;
+};
+
+constexpr SimTime kFaultHorizon = Seconds(90);
+
+// Runs the skewed median job on a small testbed (tiny sponge pools force
+// the remote path, so the fault surface actually gets exercised), with a
+// seeded chaos schedule when `inject` is set. After the job finishes the
+// clock is advanced past every fault window, each server is GC-swept, and
+// the surviving chunk count is recorded.
+ChaosRun RunChaosJob(uint64_t seed, bool inject) {
+  workload::TestbedConfig bed_config;
+  bed_config.num_nodes = 8;
+  bed_config.sponge_memory = MiB(64);
+  workload::Testbed bed(bed_config);
+  workload::NumbersDatasetConfig data;
+  data.count = 50001;
+  workload::NumbersDataset numbers(&bed.dfs(), "nums", data);
+
+  sponge::FailureInjector injector(&bed.env(), seed);
+  if (inject) {
+    sponge::ChaosOptions options;
+    options.start = Seconds(2);
+    options.horizon = kFaultHorizon;
+    options.num_faults = 10;
+    injector.ScheduleChaos(options);
+  }
+
+  ChaosRun run;
+  auto result = bed.RunJob(
+      workload::MakeMedianJob(&numbers, mapred::SpillMode::kSponge));
+  EXPECT_TRUE(result.ok()) << "seed " << seed << ": "
+                           << result.status().ToString();
+  if (!result.ok()) return run;
+  run.runtime = result->runtime;
+  run.output = result->output;
+  run.schedule = injector.schedule();
+
+  // Let every scheduled fault fire and clear (crash restarts, hang ends)
+  // before judging leaks: a sweep against a still-hung or down server
+  // would not prove anything.
+  SimTime settle = std::max(bed.engine().now(), kFaultHorizon) + Seconds(10);
+  bed.engine().RunUntil(settle);
+
+  bool swept = false;
+  auto sweep = [](workload::Testbed* bed, ChaosRun* run,
+                  bool* done) -> sim::Task<> {
+    for (size_t n = 0; n < bed->cluster().size(); ++n) {
+      (void)co_await bed->env().server(n).GcSweep();
+      run->leaked_chunks +=
+          bed->env().server(n).pool().AllocatedChunks().size();
+    }
+    *done = true;
+  };
+  bed.engine().Spawn(sweep(&bed, &run, &swept));
+  bed.engine().RunUntil(bed.engine().now() + Seconds(10));
+  EXPECT_TRUE(swept) << "seed " << seed << ": GC sweep did not finish";
+  return run;
+}
+
+TEST(SpongeChaosTest, OutputMatchesFaultFreeRunAndNothingLeaks) {
+  ChaosRun baseline = RunChaosJob(0, /*inject=*/false);
+  ASSERT_FALSE(baseline.output.empty());
+  EXPECT_EQ(baseline.leaked_chunks, 0u);
+  int seeds = ChaosSeeds();
+  for (int seed = 1; seed <= seeds; ++seed) {
+    SCOPED_TRACE("chaos seed " + std::to_string(seed));
+    ChaosRun chaotic = RunChaosJob(static_cast<uint64_t>(seed),
+                                   /*inject=*/true);
+    EXPECT_FALSE(chaotic.schedule.empty());
+    // Byte-identical output: same records in the same order. Faults may
+    // slow the job down but must never change what it computes.
+    EXPECT_EQ(chaotic.output, baseline.output);
+    EXPECT_EQ(chaotic.leaked_chunks, 0u);
+  }
+}
+
+TEST(SpongeChaosTest, FixedSeedIsDeterministic) {
+  ChaosRun first = RunChaosJob(42, /*inject=*/true);
+  ChaosRun second = RunChaosJob(42, /*inject=*/true);
+  EXPECT_EQ(first.schedule, second.schedule);
+  EXPECT_EQ(first.runtime, second.runtime);
+  EXPECT_EQ(first.output, second.output);
+}
+
+TEST(SpongeChaosTest, HungServerDoesNotDeadlockJob) {
+  // One rack peer hangs for most of the job: every RPC parked on it must
+  // be timed out by the client, the breaker must eject the server, and
+  // the job must still finish correctly (Testbed's internal one-day
+  // deadline is the deadlock detector).
+  workload::TestbedConfig bed_config;
+  bed_config.num_nodes = 8;
+  bed_config.sponge_memory = MiB(64);
+  workload::Testbed bed(bed_config);
+  workload::NumbersDatasetConfig data;
+  data.count = 50001;
+  workload::NumbersDataset numbers(&bed.dfs(), "nums", data);
+  sponge::FailureInjector injector(&bed.env(), 1);
+  injector.ScheduleHang(/*node=*/1, /*at=*/Seconds(5),
+                        /*duration=*/Minutes(10));
+  auto result = bed.RunJob(
+      workload::MakeMedianJob(&numbers, mapred::SpillMode::kSponge));
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->output.size(), 1u);
+  EXPECT_EQ(result->output[0].number, numbers.expected_median());
+}
+
+}  // namespace
+}  // namespace spongefiles

@@ -1,13 +1,17 @@
 #include <gtest/gtest.h>
 
 #include <memory>
+#include <string>
 
 #include "cluster/cluster.h"
 #include "cluster/dfs.h"
+#include "common/checksum.h"
+#include "common/random.h"
 #include "common/units.h"
 #include "sim/engine.h"
 #include "sponge/failure.h"
 #include "sponge/memory_tracker.h"
+#include "sponge/rpc_client.h"
 #include "sponge/sponge_env.h"
 #include "sponge/sponge_file.h"
 #include "sponge/sponge_server.h"
@@ -291,6 +295,185 @@ TEST(FailureInjectorTest, PoissonCrashCountMatchesRate) {
                                              Seconds(1));
   EXPECT_GT(n, 20u);
   EXPECT_LT(n, 70u);
+}
+
+TEST(FailureInjectorTest, PoissonScheduleIsDeterministicPerSeed) {
+  // All randomness is consumed at schedule time, so two injectors with the
+  // same seed produce identical fault timelines — the property the chaos
+  // test's determinism check rests on.
+  ServicesFixture f;
+  FailureInjector a(f.env.get(), 99);
+  FailureInjector b(f.env.get(), 99);
+  FailureInjector other(f.env.get(), 100);
+  size_t na = a.SchedulePoissonCrashes(Minutes(60), Minutes(600), Seconds(1));
+  size_t nb = b.SchedulePoissonCrashes(Minutes(60), Minutes(600), Seconds(1));
+  size_t nc =
+      other.SchedulePoissonCrashes(Minutes(60), Minutes(600), Seconds(1));
+  EXPECT_EQ(na, nb);
+  ASSERT_FALSE(a.schedule().empty());
+  EXPECT_TRUE(a.schedule() == b.schedule());
+  EXPECT_FALSE(nc == na && other.schedule() == a.schedule());
+}
+
+TEST(FailureInjectorTest, ChaosScheduleIsDeterministicPerSeed) {
+  ServicesFixture f;
+  FailureInjector a(f.env.get(), 5);
+  FailureInjector b(f.env.get(), 5);
+  ChaosOptions options;
+  options.horizon = Seconds(60);
+  options.num_faults = 16;
+  EXPECT_EQ(a.ScheduleChaos(options), 16u);
+  EXPECT_EQ(b.ScheduleChaos(options), 16u);
+  EXPECT_TRUE(a.schedule() == b.schedule());
+  // The schedule spans more than one fault kind.
+  bool mixed = false;
+  for (const FaultEvent& event : a.schedule()) {
+    if (event.kind != a.schedule()[0].kind) mixed = true;
+    EXPECT_GE(event.at, options.start);
+    EXPECT_LE(event.at, options.horizon);
+    EXPECT_LT(event.node, 4u);
+  }
+  EXPECT_TRUE(mixed);
+}
+
+TEST(FailureInjectorTest, CrashMidAsyncRemoteWriteFallsDownCascade) {
+  // A file spills asynchronously; every remote peer crashes while those
+  // writes are still in flight. The hardened client turns the lost
+  // servers into bounced candidates, the cascade falls through to disk,
+  // and Close() still commits every byte.
+  sim::Engine engine;
+  cluster::ClusterConfig cc;
+  cc.num_nodes = 4;
+  cc.node.sponge_memory = MiB(4);
+  // A slow NIC keeps the remote writes on the wire (a ~1 s transfer per
+  // chunk) while the local-socket appends finish in milliseconds, so the
+  // crashes below are guaranteed to land before any remote commit.
+  cc.network.bandwidth = 1.0 * 1024 * 1024;
+  cluster::Cluster cluster(&engine, cc);
+  cluster::Dfs dfs(&cluster);
+  SpongeConfig config;
+  config.async_write = true;
+  SpongeEnv env(&cluster, &dfs, config);
+  auto prime = [&]() -> sim::Task<> { co_await env.tracker().PollOnce(); };
+  engine.Spawn(prime());
+  engine.Run();
+
+  TaskContext task = env.StartTask(0);
+  SpongeFile file(&env, &task, "survivor");
+  Rng rng(3);
+  Checksum written;
+  Checksum read_back;
+  uint64_t read_bytes = 0;
+  Status status;
+  auto run = [&]() -> sim::Task<> {
+    ByteRuns data;
+    for (int i = 0; i < 7; ++i) {
+      std::string block(MiB(1), '\0');
+      for (auto& c : block) c = static_cast<char>(rng.Uniform(256));
+      written.Update(Slice(block));
+      data.AppendLiteral(Slice(block));
+    }
+    status = co_await file.Append(std::move(data));
+    if (!status.ok()) co_return;
+    // No simulated time passes between Append returning and the crashes:
+    // every in-flight remote write is now doomed.
+    env.CrashNode(1);
+    env.CrashNode(2);
+    env.CrashNode(3);
+    status = co_await file.Close();
+    if (!status.ok()) co_return;
+    while (true) {
+      auto chunk = co_await file.ReadNext();
+      if (!chunk.ok()) {
+        status = chunk.status();
+        co_return;
+      }
+      if (chunk->empty()) break;
+      auto bytes = chunk->ToBytes();
+      read_back.Update(Slice(bytes));
+      read_bytes += bytes.size();
+    }
+    co_await file.Delete();
+  };
+  engine.Spawn(run());
+  engine.Run();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(read_bytes, MiB(7));
+  EXPECT_EQ(read_back.digest(), written.digest());
+  EXPECT_TRUE(env.server(0).pool().AllocatedChunks().empty());
+}
+
+TEST(RpcHardeningTest, HungServerTripsBreakerThenRecovers) {
+  // A hung server answers nothing: each attempt times out, the breaker
+  // trips after the configured streak, and once the hang clears a
+  // half-open probe readmits the server.
+  ServicesFixture f;
+  FailureInjector injector(f.env.get(), 1);
+  injector.ScheduleHang(/*node=*/1, /*at=*/Millis(1),
+                        /*duration=*/Seconds(30));
+  ChunkOwner owner{91, 0};
+  auto run = [&]() -> sim::Task<> {
+    co_await f.engine.Delay(Millis(10));  // the hang is now active
+    auto first = co_await HardenedCall<Result<ChunkHandle>>(
+        &f.engine, &f.env->health(), f.env->config().rpc,
+        &f.env->rpc_rng(), 1,
+        [&]() { return f.env->server(1).RemoteAllocate(0, owner); });
+    EXPECT_FALSE(first.ok());
+    EXPECT_TRUE(IsRpcTimeout(first.status())) << first.status().ToString();
+    EXPECT_TRUE(f.env->health().IsOpen(1));
+    EXPECT_EQ(f.env->health().trips(), 1u);
+    // Mid-cooldown the breaker sheds requests without touching the wire.
+    EXPECT_FALSE(f.env->health().AllowRequest(1));
+    co_await f.engine.Delay(Seconds(40));  // hang cleared, cooldown over
+    EXPECT_TRUE(f.env->health().AllowRequest(1));  // the half-open probe
+    auto probe = co_await HardenedCall<Result<ChunkHandle>>(
+        &f.engine, &f.env->health(), f.env->config().rpc,
+        &f.env->rpc_rng(), 1,
+        [&]() { return f.env->server(1).RemoteAllocate(0, owner); });
+    EXPECT_TRUE(probe.ok()) << probe.status().ToString();
+    EXPECT_FALSE(f.env->health().IsOpen(1));
+    EXPECT_EQ(f.env->health().recoveries(), 1u);
+  };
+  f.engine.Spawn(run());
+  f.engine.Run();
+}
+
+TEST(BitRotTest, CorruptedChunkReadsAsUnavailable) {
+  // Bit rot flips one stored byte; the read-side checksum catches it and
+  // reports the chunk lost instead of returning silently wrong data.
+  ServicesFixture f;
+  auto prime = [&]() -> sim::Task<> { co_await f.env->tracker().PollOnce(); };
+  f.engine.Spawn(prime());
+  f.engine.Run();
+  TaskContext task = f.env->StartTask(0);
+  SpongeFile file(f.env.get(), &task, "rotted");
+  FailureInjector injector(f.env.get(), 8);
+  Status status;
+  Status read_status;
+  auto run = [&]() -> sim::Task<> {
+    ByteRuns data;
+    data.AppendZeros(MiB(2));
+    status = co_await file.Append(std::move(data));
+    if (!status.ok()) co_return;
+    status = co_await file.Close();
+    if (!status.ok()) co_return;
+    injector.ScheduleBitRot(/*node=*/0, f.engine.now() + Millis(1));
+    co_await f.engine.Delay(Millis(2));
+    while (true) {
+      auto chunk = co_await file.ReadNext();
+      if (!chunk.ok()) {
+        read_status = chunk.status();
+        co_return;
+      }
+      if (chunk->empty()) break;
+    }
+  };
+  f.engine.Spawn(run());
+  f.engine.Run();
+  ASSERT_TRUE(status.ok()) << status.ToString();
+  EXPECT_EQ(read_status.code(), StatusCode::kUnavailable);
+  EXPECT_NE(read_status.message().find("checksum"), std::string::npos)
+      << read_status.ToString();
 }
 
 }  // namespace
