@@ -100,6 +100,7 @@ sim::Task<> BackgroundReader(sim::Engine* engine, cluster::Disk* disk,
                              const bool* stop) {
   uint64_t offset = 0;
   while (!*stop) {
+    // lint: status-ok(Disk::Read returns Task<>; the index name-collides with DfsClient::Read)
     co_await disk->Read(stream, offset, request_bytes);
     offset += request_bytes;
     co_await engine->Delay(Micros(100));  // brief compute between reads

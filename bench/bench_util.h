@@ -79,6 +79,7 @@ inline void WriteObsOutputs(const ObsOptions& options) {
 // Full paper scale by default; SPONGE_BENCH_SCALE=N divides dataset sizes
 // by N for quick runs (shapes hold, absolute numbers shrink).
 inline uint64_t ScaleDivisor() {
+  // lint: det-ok(bench scale knob, read once at startup before any simulated activity)
   const char* env = std::getenv("SPONGE_BENCH_SCALE");
   if (env == nullptr) return 1;
   uint64_t n = std::strtoull(env, nullptr, 10);

@@ -109,7 +109,7 @@ sim::Task<> BufferCache::Read(uint64_t file, uint64_t offset,
   }
 }
 
-sim::Task<> BufferCache::Touch(const BlockKey& key, bool mark_dirty) {
+sim::Task<> BufferCache::Touch(BlockKey key, bool mark_dirty) {
   Block* block = Find(key);
   if (block != nullptr) {
     if (block->active) {
@@ -193,6 +193,7 @@ sim::Task<> BufferCache::FlushDirtyIfThrottled() {
 sim::Task<> BufferCache::Flush(uint64_t file) {
   // Collect this file's dirty blocks, then write them in index order.
   std::vector<uint64_t> dirty;
+  // lint: iter-ok(collects dirty block indexes only; sorted before any IO below)
   for (auto& [key, block] : blocks_) {
     if (key.file == file && block.dirty) dirty.push_back(key.index);
   }

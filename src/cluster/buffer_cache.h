@@ -101,8 +101,9 @@ class BufferCache {
 
   // Inserts or touches a block; handles promotion and eviction. Any dirty
   // blocks that must be evicted are flushed via the returned awaitable
-  // chain, so callers co_await the returned task.
-  sim::Task<> Touch(const BlockKey& key, bool mark_dirty);
+  // chain, so callers co_await the returned task. `key` is by value: a
+  // coroutine must not hold references into its caller's frame.
+  sim::Task<> Touch(BlockKey key, bool mark_dirty);
 
   // Evicts from the given list until the cache fits; flushes dirty victims.
   sim::Task<> EvictIfNeeded();

@@ -59,7 +59,7 @@ Status Dfs::CreateFile(const std::string& name, uint64_t size) {
   return Status::OK();
 }
 
-sim::Task<Status> Dfs::AppendBlock(const std::string& name, size_t writer,
+sim::Task<Status> Dfs::AppendBlock(std::string name, size_t writer,
                                    uint64_t bytes) {
   if (bytes > kBlockSize) {
     co_return InvalidArgument("block larger than DFS block size");
@@ -97,7 +97,7 @@ sim::Task<Status> Dfs::AppendBlock(const std::string& name, size_t writer,
   co_return appended;
 }
 
-sim::Task<Status> Dfs::Read(const std::string& name, size_t reader,
+sim::Task<Status> Dfs::Read(std::string name, size_t reader,
                             uint64_t offset, uint64_t bytes) {
   auto it = files_.find(name);
   if (it == files_.end()) co_return NotFound("no DFS file: " + name);
@@ -114,12 +114,12 @@ sim::Task<Status> Dfs::Read(const std::string& name, size_t reader,
     if (block_end > offset && pos < offset + bytes) {
       uint64_t lo = std::max(pos, offset);
       uint64_t hi = std::min(block_end, offset + bytes);
-      uint64_t span = hi - lo;
+      uint64_t chunk = hi - lo;
       LocalFs& fs = cluster_->node(block.node).fs();
-      Status read = co_await fs.Read(block.local_file_id, lo - pos, span);
+      Status read = co_await fs.Read(block.local_file_id, lo - pos, chunk);
       if (!read.ok()) co_return read;
       if (block.node != reader) {
-        co_await cluster_->network().Transfer(block.node, reader, span);
+        co_await cluster_->network().Transfer(block.node, reader, chunk);
       }
     }
     pos = block_end;

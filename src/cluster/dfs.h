@@ -37,12 +37,12 @@ class Dfs {
   // creating the file when needed. Used by the spill path; charges a
   // network transfer when the chosen storage node is remote, plus the
   // storage node's write path.
-  sim::Task<Status> AppendBlock(const std::string& name, size_t writer,
+  sim::Task<Status> AppendBlock(std::string name, size_t writer,
                                 uint64_t bytes);
 
   // Reads `bytes` at `offset` of `name` into `reader`'s memory, charging
   // disk IO at each owning node and network transfer for non-local blocks.
-  sim::Task<Status> Read(const std::string& name, size_t reader,
+  sim::Task<Status> Read(std::string name, size_t reader,
                          uint64_t offset, uint64_t bytes);
 
   // Deletes the file, releasing space on every owning node.

@@ -32,6 +32,7 @@ sim::Task<Status> LocalFs::Read(uint64_t file_id, uint64_t offset,
   if (offset + bytes > it->second.size) {
     co_return OutOfRange("read past end of file");
   }
+  // lint: status-ok(BufferCache::Read returns Task<>; the index name-collides with DfsClient::Read)
   co_await cache_->Read(file_id, offset, bytes);
   co_return Status::OK();
 }

@@ -23,11 +23,14 @@ enum class StatusCode {
 };
 
 // Returns a stable human-readable name for `code` ("OK", "NOT_FOUND", ...).
-const char* StatusCodeName(StatusCode code);
+[[nodiscard]] const char* StatusCodeName(StatusCode code);
 
 // A lightweight error-or-success value. The library does not use exceptions;
-// every fallible operation returns Status or Result<T>.
-class Status {
+// every fallible operation returns Status or Result<T>. The class-level
+// [[nodiscard]] makes the compiler flag any call site that drops an error
+// on the floor — the same contract spongelint's unchecked-status check
+// enforces without needing a compile.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -51,35 +54,35 @@ class Status {
   std::string message_;
 };
 
-inline Status InvalidArgument(std::string msg) {
+[[nodiscard]] inline Status InvalidArgument(std::string msg) {
   return Status(StatusCode::kInvalidArgument, std::move(msg));
 }
-inline Status NotFound(std::string msg) {
+[[nodiscard]] inline Status NotFound(std::string msg) {
   return Status(StatusCode::kNotFound, std::move(msg));
 }
-inline Status ResourceExhausted(std::string msg) {
+[[nodiscard]] inline Status ResourceExhausted(std::string msg) {
   return Status(StatusCode::kResourceExhausted, std::move(msg));
 }
-inline Status FailedPrecondition(std::string msg) {
+[[nodiscard]] inline Status FailedPrecondition(std::string msg) {
   return Status(StatusCode::kFailedPrecondition, std::move(msg));
 }
-inline Status Unavailable(std::string msg) {
+[[nodiscard]] inline Status Unavailable(std::string msg) {
   return Status(StatusCode::kUnavailable, std::move(msg));
 }
-inline Status Aborted(std::string msg) {
+[[nodiscard]] inline Status Aborted(std::string msg) {
   return Status(StatusCode::kAborted, std::move(msg));
 }
-inline Status OutOfRange(std::string msg) {
+[[nodiscard]] inline Status OutOfRange(std::string msg) {
   return Status(StatusCode::kOutOfRange, std::move(msg));
 }
-inline Status Internal(std::string msg) {
+[[nodiscard]] inline Status Internal(std::string msg) {
   return Status(StatusCode::kInternal, std::move(msg));
 }
 
 // A value of type T or an error Status. Accessing the value of a failed
 // Result aborts in debug builds.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : value_(std::move(value)) {}  // NOLINT: implicit by design
   Result(Status status) : status_(std::move(status)) {  // NOLINT

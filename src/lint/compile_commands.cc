@@ -1,0 +1,213 @@
+#include "lint/compile_commands.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace spongefiles::lint {
+namespace {
+
+// Decodes one JSON string starting at the opening quote `pos`; advances
+// `pos` past the closing quote.
+std::string ReadJsonString(std::string_view json, size_t* pos) {
+  std::string out;
+  ++*pos;  // opening quote
+  while (*pos < json.size() && json[*pos] != '"') {
+    char c = json[*pos];
+    if (c == '\\' && *pos + 1 < json.size()) {
+      ++*pos;
+      char esc = json[*pos];
+      switch (esc) {
+        case 'n': out += '\n'; break;
+        case 't': out += '\t'; break;
+        case 'r': out += '\r'; break;
+        case 'u':
+          // CMake never emits \u escapes for paths; keep the raw text.
+          out += "\\u";
+          break;
+        default: out += esc; break;
+      }
+    } else {
+      out += c;
+    }
+    ++*pos;
+  }
+  ++*pos;  // closing quote
+  return out;
+}
+
+// Splits a shell-ish command string into arguments (whitespace separated,
+// honoring double and single quotes and backslash escapes).
+std::vector<std::string> SplitCommand(const std::string& command) {
+  std::vector<std::string> args;
+  std::string cur;
+  bool in_double = false, in_single = false, any = false;
+  for (size_t i = 0; i < command.size(); ++i) {
+    char c = command[i];
+    if (c == '\\' && i + 1 < command.size() && !in_single) {
+      cur += command[++i];
+      any = true;
+      continue;
+    }
+    if (c == '"' && !in_single) {
+      in_double = !in_double;
+      any = true;
+      continue;
+    }
+    if (c == '\'' && !in_double) {
+      in_single = !in_single;
+      any = true;
+      continue;
+    }
+    if ((c == ' ' || c == '\t') && !in_double && !in_single) {
+      if (any) args.push_back(cur);
+      cur.clear();
+      any = false;
+      continue;
+    }
+    cur += c;
+    any = true;
+  }
+  if (any) args.push_back(cur);
+  return args;
+}
+
+std::string Absolutize(const std::string& path, const std::string& dir) {
+  if (path.empty() || path.front() == '/') return path;
+  if (dir.empty()) return path;
+  return dir.back() == '/' ? dir + path : dir + "/" + path;
+}
+
+void ExtractIncludeDirs(const std::vector<std::string>& args,
+                        const std::string& dir, CompileEntry* entry) {
+  for (size_t i = 0; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    std::string inc;
+    if (a == "-I" || a == "-isystem") {
+      if (i + 1 < args.size()) inc = args[++i];
+    } else if (a.rfind("-I", 0) == 0) {
+      inc = a.substr(2);
+    } else if (a.rfind("-isystem", 0) == 0 && a.size() > 8) {
+      inc = a.substr(8);
+    }
+    if (!inc.empty()) entry->include_dirs.push_back(Absolutize(inc, dir));
+  }
+}
+
+}  // namespace
+
+Result<CompileCommands> CompileCommands::Parse(std::string_view json) {
+  CompileCommands db;
+  size_t pos = 0;
+  auto skip_ws = [&] {
+    while (pos < json.size() &&
+           (json[pos] == ' ' || json[pos] == '\n' || json[pos] == '\t' ||
+            json[pos] == '\r' || json[pos] == ',')) {
+      ++pos;
+    }
+  };
+  skip_ws();
+  if (pos >= json.size() || json[pos] != '[') {
+    return InvalidArgument("compile_commands: expected a JSON array");
+  }
+  ++pos;
+  while (true) {
+    skip_ws();
+    if (pos >= json.size()) {
+      return InvalidArgument("compile_commands: unterminated array");
+    }
+    if (json[pos] == ']') break;
+    if (json[pos] != '{') {
+      return InvalidArgument("compile_commands: expected an object");
+    }
+    ++pos;
+    CompileEntry entry;
+    std::string command;
+    std::vector<std::string> arguments;
+    while (true) {
+      skip_ws();
+      if (pos >= json.size()) {
+        return InvalidArgument("compile_commands: unterminated object");
+      }
+      if (json[pos] == '}') {
+        ++pos;
+        break;
+      }
+      if (json[pos] != '"') {
+        return InvalidArgument("compile_commands: expected a key string");
+      }
+      std::string key = ReadJsonString(json, &pos);
+      skip_ws();
+      if (pos >= json.size() || json[pos] != ':') {
+        return InvalidArgument("compile_commands: expected ':' after key");
+      }
+      ++pos;
+      skip_ws();
+      if (pos < json.size() && json[pos] == '"') {
+        std::string value = ReadJsonString(json, &pos);
+        if (key == "file") entry.file = value;
+        if (key == "directory") entry.directory = value;
+        if (key == "command") command = value;
+      } else if (pos < json.size() && json[pos] == '[') {
+        ++pos;
+        while (true) {
+          skip_ws();
+          if (pos >= json.size()) {
+            return InvalidArgument("compile_commands: unterminated list");
+          }
+          if (json[pos] == ']') {
+            ++pos;
+            break;
+          }
+          if (json[pos] != '"') {
+            return InvalidArgument("compile_commands: expected a string");
+          }
+          std::string value = ReadJsonString(json, &pos);
+          if (key == "arguments") arguments.push_back(value);
+        }
+      } else {
+        // Scalar (number / bool / null): skip to the next delimiter.
+        while (pos < json.size() && json[pos] != ',' && json[pos] != '}') {
+          ++pos;
+        }
+      }
+    }
+    entry.file = Absolutize(entry.file, entry.directory);
+    if (!arguments.empty()) {
+      ExtractIncludeDirs(arguments, entry.directory, &entry);
+    } else if (!command.empty()) {
+      ExtractIncludeDirs(SplitCommand(command), entry.directory, &entry);
+    }
+    if (!entry.file.empty()) db.entries_.push_back(std::move(entry));
+  }
+  return db;
+}
+
+Result<CompileCommands> CompileCommands::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return NotFound("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return Parse(buf.str());
+}
+
+std::vector<std::string> CompileCommands::AllIncludeDirs() const {
+  std::vector<std::string> out;
+  for (const auto& e : entries_) {
+    for (const auto& d : e.include_dirs) {
+      if (std::find(out.begin(), out.end(), d) == out.end()) {
+        out.push_back(d);
+      }
+    }
+  }
+  return out;
+}
+
+const CompileEntry* CompileCommands::EntryFor(const std::string& file) const {
+  for (const auto& e : entries_) {
+    if (e.file == file) return &e;
+  }
+  return nullptr;
+}
+
+}  // namespace spongefiles::lint

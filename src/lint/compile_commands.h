@@ -1,0 +1,47 @@
+#ifndef SPONGEFILES_LINT_COMPILE_COMMANDS_H_
+#define SPONGEFILES_LINT_COMPILE_COMMANDS_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace spongefiles::lint {
+
+// One translation unit from a CMake-exported compile_commands.json.
+struct CompileEntry {
+  std::string file;       // absolute path of the TU
+  std::string directory;  // build directory the command runs in
+  std::vector<std::string> include_dirs;  // -I / -isystem, absolutized
+};
+
+// A minimal, dependency-free reader for compile_commands.json
+// (CMAKE_EXPORT_COMPILE_COMMANDS). It extracts exactly what spongelint
+// needs — per-file include roots — so quoted #includes can be resolved
+// to project files without hardcoding the layout, and so future clang
+// tooling shares the same database.
+class CompileCommands {
+ public:
+  // Parses the JSON text. Returns InvalidArgument on input that is not a
+  // JSON array of objects; unknown keys are ignored.
+  static Result<CompileCommands> Parse(std::string_view json);
+
+  // Reads and parses the file at `path`.
+  static Result<CompileCommands> Load(const std::string& path);
+
+  const std::vector<CompileEntry>& entries() const { return entries_; }
+
+  // Union of every entry's include dirs, in first-seen order.
+  std::vector<std::string> AllIncludeDirs() const;
+
+  // Include dirs for one TU (exact path match), or nullptr.
+  const CompileEntry* EntryFor(const std::string& file) const;
+
+ private:
+  std::vector<CompileEntry> entries_;
+};
+
+}  // namespace spongefiles::lint
+
+#endif  // SPONGEFILES_LINT_COMPILE_COMMANDS_H_

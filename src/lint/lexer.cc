@@ -1,0 +1,292 @@
+#include "lint/lexer.h"
+
+#include <array>
+#include <cctype>
+#include <cstring>
+
+namespace spongefiles::lint {
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsDigit(char c) { return std::isdigit(static_cast<unsigned char>(c)); }
+
+// Multi-character operators, longest first so maximal munch works with a
+// simple prefix scan.
+constexpr std::array<const char*, 22> kMultiPunct = {
+    "<<=", ">>=", "->*", "...", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "|=",
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  LexResult Run() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        Advance();
+        at_line_start_ = true;
+        continue;
+      }
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+        Advance();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        continue;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        continue;
+      }
+      if (c == '#' && at_line_start_) {
+        LexPreprocessor();
+        continue;
+      }
+      at_line_start_ = false;
+      if (IsIdentStart(c)) {
+        LexIdentifierOrRawString();
+        continue;
+      }
+      if (IsDigit(c) || (c == '.' && IsDigit(Peek(1)))) {
+        LexNumber();
+        continue;
+      }
+      if (c == '"') {
+        LexString();
+        continue;
+      }
+      if (c == '\'') {
+        LexCharLiteral();
+        continue;
+      }
+      LexPunct();
+    }
+    Emit(TokenKind::kEndOfFile, "", line_, col_);
+    return std::move(result_);
+  }
+
+ private:
+  char Peek(size_t ahead = 0) const {
+    return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+  }
+
+  void Advance() {
+    if (pos_ < src_.size()) {
+      if (src_[pos_] == '\n') {
+        ++line_;
+        col_ = 1;
+      } else {
+        ++col_;
+      }
+      ++pos_;
+    }
+  }
+
+  void Emit(TokenKind kind, std::string text, int line, int col) {
+    result_.tokens.push_back(Token{kind, std::move(text), line, col});
+  }
+
+  void LexLineComment() {
+    int start_line = line_;
+    Advance();
+    Advance();  // consume //
+    size_t begin = pos_;
+    while (pos_ < src_.size() && src_[pos_] != '\n') Advance();
+    result_.comments.push_back(
+        Comment{start_line, std::string(src_.substr(begin, pos_ - begin))});
+  }
+
+  void LexBlockComment() {
+    Advance();
+    Advance();  // consume /*
+    int seg_line = line_;
+    size_t seg_begin = pos_;
+    auto flush = [&](size_t end) {
+      result_.comments.push_back(
+          Comment{seg_line, std::string(src_.substr(seg_begin, end - seg_begin))});
+    };
+    while (pos_ < src_.size()) {
+      if (src_[pos_] == '*' && Peek(1) == '/') {
+        flush(pos_);
+        Advance();
+        Advance();
+        return;
+      }
+      if (src_[pos_] == '\n') {
+        flush(pos_);
+        Advance();
+        seg_line = line_;
+        seg_begin = pos_;
+        continue;
+      }
+      Advance();
+    }
+    flush(pos_);  // unterminated: close at EOF
+  }
+
+  void LexPreprocessor() {
+    int start_line = line_;
+    int start_col = col_;
+    std::string text;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\\' && (Peek(1) == '\n' || (Peek(1) == '\r' && Peek(2) == '\n'))) {
+        // Continuation: join the next physical line with a single space.
+        Advance();
+        while (pos_ < src_.size() && src_[pos_] != '\n') Advance();
+        Advance();
+        text += ' ';
+        continue;
+      }
+      if (c == '\n') break;
+      if (c == '/' && Peek(1) == '/') {
+        LexLineComment();
+        break;
+      }
+      if (c == '/' && Peek(1) == '*') {
+        LexBlockComment();
+        text += ' ';
+        continue;
+      }
+      text += c;
+      Advance();
+    }
+    Emit(TokenKind::kPreprocessor, std::move(text), start_line, start_col);
+    at_line_start_ = true;
+  }
+
+  void LexIdentifierOrRawString() {
+    int start_line = line_;
+    int start_col = col_;
+    size_t begin = pos_;
+    while (pos_ < src_.size() && IsIdentChar(src_[pos_])) Advance();
+    std::string text(src_.substr(begin, pos_ - begin));
+    // Raw-string prefix? (R"..., u8R"..., LR"..., ...)
+    if (Peek() == '"' && !text.empty() && text.back() == 'R') {
+      LexRawString(start_line, start_col);
+      return;
+    }
+    // Encoding prefix on an ordinary string/char literal (u8"x", L'c').
+    if ((text == "u8" || text == "u" || text == "U" || text == "L")) {
+      if (Peek() == '"') {
+        LexString();
+        return;
+      }
+      if (Peek() == '\'') {
+        LexCharLiteral();
+        return;
+      }
+    }
+    Emit(TokenKind::kIdentifier, std::move(text), start_line, start_col);
+  }
+
+  void LexRawString(int start_line, int start_col) {
+    Advance();  // consume "
+    std::string delim;
+    while (pos_ < src_.size() && src_[pos_] != '(') {
+      delim += src_[pos_];
+      Advance();
+    }
+    Advance();  // consume (
+    std::string closer = ")" + delim + "\"";
+    size_t begin = pos_;
+    size_t end = src_.find(closer, pos_);
+    if (end == std::string_view::npos) end = src_.size();
+    std::string body(src_.substr(begin, end - begin));
+    while (pos_ < std::min(end + closer.size(), src_.size())) Advance();
+    Emit(TokenKind::kString, std::move(body), start_line, start_col);
+  }
+
+  void LexNumber() {
+    int start_line = line_;
+    int start_col = col_;
+    size_t begin = pos_;
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (IsIdentChar(c) || c == '.' || c == '\'') {
+        // Exponent sign: 1e+5, 0x1p-3.
+        if ((c == 'e' || c == 'E' || c == 'p' || c == 'P') &&
+            (Peek(1) == '+' || Peek(1) == '-')) {
+          Advance();
+        }
+        Advance();
+        continue;
+      }
+      break;
+    }
+    Emit(TokenKind::kNumber, std::string(src_.substr(begin, pos_ - begin)),
+         start_line, start_col);
+  }
+
+  void LexString() {
+    int start_line = line_;
+    int start_col = col_;
+    Advance();  // consume "
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '"' && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        text += src_[pos_];
+        Advance();
+      }
+      text += src_[pos_];
+      Advance();
+    }
+    Advance();  // closing quote (or newline/EOF on malformed input)
+    Emit(TokenKind::kString, std::move(text), start_line, start_col);
+  }
+
+  void LexCharLiteral() {
+    int start_line = line_;
+    int start_col = col_;
+    Advance();  // consume '
+    std::string text;
+    while (pos_ < src_.size() && src_[pos_] != '\'' && src_[pos_] != '\n') {
+      if (src_[pos_] == '\\' && pos_ + 1 < src_.size()) {
+        text += src_[pos_];
+        Advance();
+      }
+      text += src_[pos_];
+      Advance();
+    }
+    Advance();
+    Emit(TokenKind::kCharLiteral, std::move(text), start_line, start_col);
+  }
+
+  void LexPunct() {
+    int start_line = line_;
+    int start_col = col_;
+    std::string_view rest = src_.substr(pos_);
+    for (const char* op : kMultiPunct) {
+      size_t n = std::strlen(op);
+      if (rest.substr(0, n) == op) {
+        for (size_t i = 0; i < n; ++i) Advance();
+        Emit(TokenKind::kPunct, op, start_line, start_col);
+        return;
+      }
+    }
+    std::string one(1, src_[pos_]);
+    Advance();
+    Emit(TokenKind::kPunct, std::move(one), start_line, start_col);
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int col_ = 1;
+  bool at_line_start_ = true;
+  LexResult result_;
+};
+
+}  // namespace
+
+LexResult Lex(std::string_view source) { return Lexer(source).Run(); }
+
+}  // namespace spongefiles::lint

@@ -1,0 +1,21 @@
+#ifndef SPONGEFILES_LINT_LEXER_H_
+#define SPONGEFILES_LINT_LEXER_H_
+
+#include <string_view>
+
+#include "lint/token.h"
+
+namespace spongefiles::lint {
+
+// Tokenizes one C++ translation unit (or header) into a flat token
+// stream. This is a lexer, not a compiler front end: it understands
+// comments, string/char literals (incl. raw strings), numbers with digit
+// separators, identifiers, multi-character operators, and whole-line
+// preprocessor directives with backslash continuations — exactly enough
+// for the pattern-level analyses in lint/analyzer.h. Malformed input
+// never aborts; an unterminated literal is closed at end of file.
+LexResult Lex(std::string_view source);
+
+}  // namespace spongefiles::lint
+
+#endif  // SPONGEFILES_LINT_LEXER_H_

@@ -1,0 +1,51 @@
+#ifndef SPONGEFILES_LINT_TOKEN_H_
+#define SPONGEFILES_LINT_TOKEN_H_
+
+#include <string>
+#include <vector>
+
+namespace spongefiles::lint {
+
+// Token kinds produced by the lexer. Comments are not tokens; they are
+// recorded on the side (see LexResult::comments) so checks see a clean
+// stream while waiver scanning still has access to comment text.
+enum class TokenKind {
+  kIdentifier,    // identifiers and keywords (checks match on text)
+  kNumber,        // integer / floating literals, incl. digit separators
+  kString,        // "..." and raw R"(...)" literals (text excludes quotes)
+  kCharLiteral,   // '...'
+  kPunct,         // operators and punctuation, longest-munch
+  kPreprocessor,  // a whole logical #-directive line, continuations joined
+  kEndOfFile,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+  int col = 0;   // 1-based column
+
+  bool is(TokenKind k, const char* t) const {
+    return kind == k && text == t;
+  }
+  bool ident(const char* t) const {
+    return is(TokenKind::kIdentifier, t);
+  }
+  bool punct(const char* t) const { return is(TokenKind::kPunct, t); }
+};
+
+// A comment, attributed to every source line it spans (a block comment
+// yields one entry per line so waivers inside it attach where written).
+struct Comment {
+  int line = 0;
+  std::string text;  // without the // or /* */ markers
+};
+
+struct LexResult {
+  std::vector<Token> tokens;  // terminated by kEndOfFile
+  std::vector<Comment> comments;
+};
+
+}  // namespace spongefiles::lint
+
+#endif  // SPONGEFILES_LINT_TOKEN_H_

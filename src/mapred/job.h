@@ -77,7 +77,7 @@ class Reducer {
     ctx_ = ctx;
     co_return Status::OK();
   }
-  virtual sim::Task<Status> StartKey(const std::string& key) = 0;
+  virtual sim::Task<Status> StartKey(std::string key) = 0;
   virtual sim::Task<Status> AddValue(Record value) = 0;
   virtual sim::Task<Status> FinishKey() = 0;
   virtual sim::Task<Status> Finish() { co_return Status::OK(); }

@@ -64,8 +64,8 @@ sim::Task<> JobTracker::AcquireMapSlot(std::shared_ptr<PendingMap> task,
   pending_local_[task->preferred].push_back(task);
   if (locality_wait > 0) {
     auto wake = [](JobTracker* tracker,
-                   std::shared_ptr<PendingMap> task) -> sim::Task<> {
-      co_await tracker->DeadlineWake(std::move(task));
+                   std::shared_ptr<PendingMap> waiter) -> sim::Task<> {
+      co_await tracker->DeadlineWake(std::move(waiter));
     };
     env_->engine()->SpawnAt(env_->engine()->now() + locality_wait,
                             wake(this, task));

@@ -84,7 +84,7 @@ sim::Task<> MergeStream::Done() {
 }
 
 sim::Task<Result<std::unique_ptr<SpillFile>>> WriteSortedRun(
-    Spiller* spiller, const std::string& name, RecordSource* source) {
+    Spiller* spiller, std::string name, RecordSource* source) {
   auto created = spiller->Create(name);
   if (!created.ok()) co_return created.status();
   std::unique_ptr<SpillFile> file = std::move(*created);

@@ -84,7 +84,7 @@ class MergeStream : public RecordSource {
 // Drains `source` into a freshly created spill file named `name`,
 // serializing records in order. Returns the closed file.
 sim::Task<Result<std::unique_ptr<SpillFile>>> WriteSortedRun(
-    Spiller* spiller, const std::string& name, RecordSource* source);
+    Spiller* spiller, std::string name, RecordSource* source);
 
 }  // namespace spongefiles::mapred
 

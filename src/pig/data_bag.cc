@@ -66,14 +66,15 @@ sim::Task<Status> DataBag::SpillMemory() {
   co_return co_await SpillTuples(std::move(tuples), &spill_files_);
 }
 
-sim::Task<Status> DataBag::ForEach(
-    const std::function<Status(const Tuple&)>& fn, bool respill) {
+sim::Task<Status> DataBag::ForEach(std::function<Status(const Tuple&)> fn,
+                                   bool respill) {
   std::vector<std::unique_ptr<mapred::SpillFile>> files =
       std::move(spill_files_);
   spill_files_.clear();
   spilled_bytes_ = 0;
 
   ByteRuns pending;
+  // lint: ref-ok(awaited inline by the traversal; the tuple outlives each call)
   auto respill_tuple = [&](const Tuple& tuple) -> sim::Task<Status> {
     mapred::SerializeRecord(tuple, &pending);
     if (pending.size() >= spill_chunk_bytes_) {
@@ -126,8 +127,8 @@ sim::Task<Status> DataBag::ForEach(
 }
 
 sim::Task<Status> DataBag::SortedForEach(
-    const std::function<bool(const Tuple&, const Tuple&)>& less,
-    const std::function<Status(const Tuple&)>& fn) {
+    std::function<bool(const Tuple&, const Tuple&)> less,
+    std::function<Status(const Tuple&)> fn) {
   // Run generation: each spill chunk (<= C bytes) fits in memory; sort it
   // into a fresh sorted run. In-memory tuples form one more run.
   std::vector<std::unique_ptr<mapred::SpillFile>> files =
@@ -170,6 +171,7 @@ sim::Task<Status> DataBag::SortedForEach(
   }
   cursors.emplace_back();  // the in-memory run
 
+  // lint: ref-ok(awaited inline; the cursor lives in the enclosing merge frame)
   auto advance = [&](Cursor& cursor) -> sim::Task<Status> {
     if (cursor.source != nullptr) {
       auto has = co_await cursor.source->Next(&cursor.head);

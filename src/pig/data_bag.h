@@ -48,16 +48,16 @@ class DataBag {
   // With `respill`, tuples read from consumed spill files are written to
   // fresh ones so another pass remains possible; without it the spilled
   // portion is gone afterwards.
-  sim::Task<Status> ForEach(
-      const std::function<Status(const Tuple&)>& fn, bool respill);
+  sim::Task<Status> ForEach(std::function<Status(const Tuple&)> fn,
+                            bool respill);
 
   // Consuming sorted traversal: external sort (each <= C-sized spill chunk
   // is sorted into a run, in-memory tuples form one more run, then a k-way
   // merge streams tuples through `fn` in `less` order). The bag is empty
   // afterwards.
   sim::Task<Status> SortedForEach(
-      const std::function<bool(const Tuple&, const Tuple&)>& less,
-      const std::function<Status(const Tuple&)>& fn);
+      std::function<bool(const Tuple&, const Tuple&)> less,
+      std::function<Status(const Tuple&)> fn);
 
   // Moves in-memory tuples into spill files in C-sized chunks (the memory
   // manager's spill hook). Leaves the bag logically intact.

@@ -46,7 +46,11 @@ class SpaceSaving {
   std::vector<std::string> Candidates() const {
     std::vector<std::string> out;
     out.reserve(entries_.size());
+    // lint: iter-ok(hash-order list is sorted immediately below)
     for (const auto& [item, entry] : entries_) out.push_back(item);
+    // The sketch map is unordered; sort so downstream passes never see
+    // hash order.
+    std::sort(out.begin(), out.end());
     return out;
   }
 
@@ -81,7 +85,7 @@ class SpaceSaving {
 
 }  // namespace
 
-sim::Task<Status> TopKUdf::Apply(const std::string& group, DataBag* bag,
+sim::Task<Status> TopKUdf::Apply(std::string group, DataBag* bag,
                                  mapred::ReduceContext* ctx) {
   // Pass 1: sketch the candidate heavy hitters (re-spill: pass 2 follows).
   SpaceSaving sketch(sketch_capacity_);
@@ -109,6 +113,7 @@ sim::Task<Status> TopKUdf::Apply(const std::string& group, DataBag* bag,
 
   std::vector<std::pair<uint64_t, std::string>> ranked;
   ranked.reserve(exact.size());
+  // lint: iter-ok(ranked is fully sorted by a total order before any output)
   for (auto& [term, count] : exact) ranked.push_back({count, term});
   std::sort(ranked.begin(), ranked.end(),
             [](const auto& a, const auto& b) {
@@ -125,7 +130,7 @@ sim::Task<Status> TopKUdf::Apply(const std::string& group, DataBag* bag,
   co_return Status::OK();
 }
 
-sim::Task<Status> SpamQuantilesUdf::Apply(const std::string& group,
+sim::Task<Status> SpamQuantilesUdf::Apply(std::string group,
                                           DataBag* bag,
                                           mapred::ReduceContext* ctx) {
   const uint64_t n = bag->count();
@@ -168,7 +173,7 @@ sim::Task<Status> MedianReducer::Start(mapred::ReduceContext* ctx) {
   co_return Status::OK();
 }
 
-sim::Task<Status> MedianReducer::StartKey(const std::string& key) {
+sim::Task<Status> MedianReducer::StartKey(std::string key) {
   (void)key;
   bag_ = std::make_unique<DataBag>(manager_.get(), ctx_->spiller, ctx_->cpu,
                                    "median");
@@ -207,7 +212,7 @@ sim::Task<Status> PigReducer::Start(mapred::ReduceContext* ctx) {
   co_return Status::OK();
 }
 
-sim::Task<Status> PigReducer::StartKey(const std::string& key) {
+sim::Task<Status> PigReducer::StartKey(std::string key) {
   group_ = key;
   bag_ = std::make_unique<DataBag>(manager_.get(), ctx_->spiller, ctx_->cpu,
                                    "group." + key,

@@ -19,7 +19,7 @@ class Udf {
  public:
   virtual ~Udf() = default;
 
-  virtual sim::Task<Status> Apply(const std::string& group, DataBag* bag,
+  virtual sim::Task<Status> Apply(std::string group, DataBag* bag,
                                   mapred::ReduceContext* ctx) = 0;
 };
 
@@ -33,7 +33,7 @@ class TopKUdf : public Udf {
   explicit TopKUdf(size_t k, size_t sketch_capacity = 4096)
       : k_(k), sketch_capacity_(sketch_capacity) {}
 
-  sim::Task<Status> Apply(const std::string& group, DataBag* bag,
+  sim::Task<Status> Apply(std::string group, DataBag* bag,
                           mapred::ReduceContext* ctx) override;
 
  private:
@@ -53,7 +53,7 @@ class SpamQuantilesUdf : public Udf {
                                                              0.75, 1.0})
       : quantiles_(std::move(quantiles)) {}
 
-  sim::Task<Status> Apply(const std::string& group, DataBag* bag,
+  sim::Task<Status> Apply(std::string group, DataBag* bag,
                           mapred::ReduceContext* ctx) override;
 
  private:
@@ -66,7 +66,7 @@ class SpamQuantilesUdf : public Udf {
 class MedianReducer : public mapred::Reducer {
  public:
   sim::Task<Status> Start(mapred::ReduceContext* ctx) override;
-  sim::Task<Status> StartKey(const std::string& key) override;
+  sim::Task<Status> StartKey(std::string key) override;
   sim::Task<Status> AddValue(mapred::Record value) override;
   sim::Task<Status> FinishKey() override;
 
@@ -89,7 +89,7 @@ class PigReducer : public mapred::Reducer {
         per_tuple_cpu_(per_tuple_cpu) {}
 
   sim::Task<Status> Start(mapred::ReduceContext* ctx) override;
-  sim::Task<Status> StartKey(const std::string& key) override;
+  sim::Task<Status> StartKey(std::string key) override;
   sim::Task<Status> AddValue(mapred::Record value) override;
   sim::Task<Status> FinishKey() override;
 

@@ -1,5 +1,8 @@
 #include "sim/engine.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/logging.h"
 
 namespace spongefiles::sim {
@@ -36,8 +39,15 @@ size_t Engine::DrainDetached() {
   std::unordered_map<uint64_t, std::coroutine_handle<>> frames =
       std::move(detached_);
   detached_.clear();
-  for (auto& [id, handle] : frames) handle.destroy();
-  return frames.size();
+  // Destroy in spawn order, not hash order: frame-local destructors touch
+  // telemetry and shared state, so teardown side effects must be as
+  // reproducible as the run that created them.
+  std::vector<std::pair<uint64_t, std::coroutine_handle<>>> ordered(
+      frames.begin(), frames.end());
+  std::sort(ordered.begin(), ordered.end(),
+            [](const auto& a, const auto& b) { return a.first < b.first; });
+  for (auto& [id, handle] : ordered) handle.destroy();
+  return ordered.size();
 }
 
 void Engine::ScheduleHandle(SimTime at, std::coroutine_handle<> h) {

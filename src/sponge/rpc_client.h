@@ -190,9 +190,11 @@ sim::Task<T> CallWithDeadline(sim::Engine* engine, Duration deadline,
 // inside a co_await full-expression — their cleanup funclet runs on a
 // corrupted copy. Hoist the lambda into a named local if it must own a
 // string, Status, or container.
+// `policy` is by value (it is a small POD): the coroutine frame must not
+// reference storage owned by a caller that may already be gone.
 template <typename T, typename Factory>
 sim::Task<T> HardenedCall(sim::Engine* engine, HealthBoard* board,
-                          const RpcPolicy& policy, Rng* rng, size_t node,
+                          RpcPolicy policy, Rng* rng, size_t node,
                           Factory make_op) {
   Duration backoff = policy.backoff_base;
   int max_attempts = policy.max_attempts < 1 ? 1 : policy.max_attempts;

@@ -119,6 +119,7 @@ sim::Task<Status> SpongeFile::Append(ByteRuns data) {
   co_return Status::OK();
 }
 
+// lint: ref-ok(awaited inline by the writer; the record buffer outlives the append)
 sim::Task<Status> SpongeFile::AppendBytes(Slice data) {
   ByteRuns runs;
   runs.AppendLiteral(data);
@@ -147,9 +148,9 @@ sim::Task<Status> SpongeFile::StoreChunk(ByteRuns chunk) {
     auto event = std::make_unique<sim::Event>(env_->engine());
     sim::Event* raw = event.get();
     pending_store_ = std::move(event);
-    auto store = [](SpongeFile* file, size_t index, ByteRuns chunk,
+    auto store = [](SpongeFile* file, size_t slot, ByteRuns data,
                     sim::Event* done) -> sim::Task<> {
-      Status status = co_await file->StoreIntoRecord(index, std::move(chunk));
+      Status status = co_await file->StoreIntoRecord(slot, std::move(data));
       if (!status.ok() && file->pending_error_.ok()) {
         file->pending_error_ = status;
       }
@@ -569,9 +570,9 @@ void SpongeFile::MaybePrefetch(size_t index) {
   prefetch_done_ = std::make_unique<sim::Event>(env_->engine());
   prefetch_index_ = index;
   prefetch_active_ = true;
-  auto fetch = [](SpongeFile* file, size_t index,
+  auto fetch = [](SpongeFile* file, size_t slot,
                   sim::Event* done) -> sim::Task<> {
-    file->prefetch_result_ = co_await file->FetchChunk(index);
+    file->prefetch_result_ = co_await file->FetchChunk(slot);
     done->Set();
   };
   env_->engine()->Spawn(fetch(this, index, prefetch_done_.get()));

@@ -75,6 +75,7 @@ class SpongeFile {
   sim::Task<Status> Append(ByteRuns data);
 
   // Convenience for literal payloads.
+  // lint: ref-ok(awaited inline by the writer; the record buffer outlives the append)
   sim::Task<Status> AppendBytes(Slice data);
 
   // Flushes the partial buffer as a final chunk and waits for outstanding

@@ -17,7 +17,7 @@ class StreamingMedianReducer : public mapred::Reducer {
   explicit StreamingMedianReducer(uint64_t total_count)
       : target_((total_count == 0 ? 0 : total_count - 1) / 2) {}
 
-  sim::Task<Status> StartKey(const std::string& key) override {
+  sim::Task<Status> StartKey(std::string key) override {
     (void)key;
     co_return Status::OK();
   }

@@ -58,9 +58,9 @@ Result<mapred::JobResult> Testbed::RunJob(
   auto run_background = [](Testbed* bed, mapred::JobConfig job,
                            std::vector<mapred::TaskStats>* tasks,
                            bool* done) -> sim::Task<> {
-    auto result = co_await bed->tracker().Run(std::move(job));
-    if (result.ok() && tasks != nullptr) {
-      for (auto& stats : result->map_tasks) {
+    auto finished = co_await bed->tracker().Run(std::move(job));
+    if (finished.ok() && tasks != nullptr) {
+      for (auto& stats : finished->map_tasks) {
         if (stats.completed) tasks->push_back(stats);
       }
     }

@@ -32,13 +32,13 @@ TEST(LocalFsTest, CreateAppendReadDelete) {
   auto id = f.fs.Create("spill0");
   ASSERT_TRUE(id.ok());
   Status out;
-  auto run = [](LocalFs* fs, uint64_t id, Status* out) -> sim::Task<> {
-    Status s = co_await fs->Append(id, MiB(5));
+  auto run = [](LocalFs* fs, uint64_t file, Status* result) -> sim::Task<> {
+    Status s = co_await fs->Append(file, MiB(5));
     if (!s.ok()) {
-      *out = s;
+      *result = s;
       co_return;
     }
-    *out = co_await fs->Read(id, 0, MiB(5));
+    *result = co_await fs->Read(file, 0, MiB(5));
   };
   f.engine.Spawn(run(&f.fs, *id, &out));
   f.engine.Run();
@@ -61,9 +61,9 @@ TEST(LocalFsTest, ReadPastEofFails) {
   FsFixture f;
   auto id = f.fs.Create("f");
   Status out;
-  auto run = [](LocalFs* fs, uint64_t id, Status* out) -> sim::Task<> {
-    (void)co_await fs->Append(id, MiB(1));
-    *out = co_await fs->Read(id, MiB(1) - 10, 20);
+  auto run = [](LocalFs* fs, uint64_t file, Status* result) -> sim::Task<> {
+    (void)co_await fs->Append(file, MiB(1));
+    *result = co_await fs->Read(file, MiB(1) - 10, 20);
   };
   f.engine.Spawn(run(&f.fs, *id, &out));
   f.engine.Run();
@@ -74,8 +74,8 @@ TEST(LocalFsTest, CapacityEnforced) {
   FsFixture f;
   auto id = f.fs.Create("big");
   Status out;
-  auto run = [](LocalFs* fs, uint64_t id, Status* out) -> sim::Task<> {
-    *out = co_await fs->Append(id, GiB(11));
+  auto run = [](LocalFs* fs, uint64_t file, Status* result) -> sim::Task<> {
+    *result = co_await fs->Append(file, GiB(11));
   };
   f.engine.Spawn(run(&f.fs, *id, &out));
   f.engine.Run();
@@ -155,8 +155,8 @@ TEST(DfsTest, CreateAndReadCharged) {
   ASSERT_TRUE(dfs.CreateFile("input", MiB(600)).ok());
   EXPECT_EQ(*dfs.Size("input"), MiB(600));
   Status out;
-  auto run = [](Dfs* dfs, Status* out) -> sim::Task<> {
-    *out = co_await dfs->Read("input", 0, 0, MiB(300));
+  auto run = [](Dfs* fs, Status* result) -> sim::Task<> {
+    *result = co_await fs->Read("input", 0, 0, MiB(300));
   };
   engine.Spawn(run(&dfs, &out));
   engine.Run();
@@ -181,8 +181,8 @@ TEST(DfsTest, AppendBlockWritesLocallyFirst) {
   Cluster cluster(&engine, SmallCluster());
   Dfs dfs(&cluster);
   Status out;
-  auto run = [](Dfs* dfs, Status* out) -> sim::Task<> {
-    *out = co_await dfs->AppendBlock("spill", 2, MiB(64));
+  auto run = [](Dfs* fs, Status* result) -> sim::Task<> {
+    *result = co_await fs->AppendBlock("spill", 2, MiB(64));
   };
   engine.Spawn(run(&dfs, &out));
   engine.Run();
@@ -214,8 +214,8 @@ TEST(DfsTest, RemoteReadUsesNetwork) {
   size_t owner = *dfs.BlockLocation("data", 0);
   size_t reader = (owner + 1) % cluster.size();
   Status out;
-  auto run = [](Dfs* dfs, size_t reader, Status* out) -> sim::Task<> {
-    *out = co_await dfs->Read("data", reader, 0, MiB(10));
+  auto run = [](Dfs* fs, size_t node, Status* result) -> sim::Task<> {
+    *result = co_await fs->Read("data", node, 0, MiB(10));
   };
   engine.Spawn(run(&dfs, reader, &out));
   engine.Run();

@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/compile_commands.h"
+
+namespace spongefiles::lint {
+namespace {
+
+TEST(CompileCommandsTest, ParsesCommandString) {
+  auto db = CompileCommands::Parse(R"json([
+    {
+      "directory": "/repo/build",
+      "command": "/usr/bin/c++ -I/repo/src -isystem /opt/inc -Irel -o x.o -c /repo/src/x.cc",
+      "file": "/repo/src/x.cc"
+    }
+  ])json");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_EQ(db->entries().size(), 1u);
+  const CompileEntry& e = db->entries()[0];
+  EXPECT_EQ(e.file, "/repo/src/x.cc");
+  EXPECT_EQ(e.directory, "/repo/build");
+  EXPECT_EQ(e.include_dirs,
+            (std::vector<std::string>{"/repo/src", "/opt/inc",
+                                      "/repo/build/rel"}));
+}
+
+TEST(CompileCommandsTest, ParsesArgumentsList) {
+  auto db = CompileCommands::Parse(R"json([
+    {
+      "directory": "/b",
+      "arguments": ["c++", "-I", "/repo/src", "-c", "y.cc"],
+      "file": "y.cc"
+    }
+  ])json");
+  ASSERT_TRUE(db.ok());
+  ASSERT_EQ(db->entries().size(), 1u);
+  // A relative "file" is resolved against the directory.
+  EXPECT_EQ(db->entries()[0].file, "/b/y.cc");
+  EXPECT_EQ(db->entries()[0].include_dirs,
+            (std::vector<std::string>{"/repo/src"}));
+}
+
+TEST(CompileCommandsTest, AllIncludeDirsDeduplicates) {
+  auto db = CompileCommands::Parse(R"json([
+    {"directory": "/b", "command": "cc -I/repo/src -c a.cc", "file": "a.cc"},
+    {"directory": "/b", "command": "cc -I/repo/src -I/repo -c b.cc",
+     "file": "b.cc"}
+  ])json");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->AllIncludeDirs(),
+            (std::vector<std::string>{"/repo/src", "/repo"}));
+  EXPECT_NE(db->EntryFor("/b/a.cc"), nullptr);
+  EXPECT_EQ(db->EntryFor("/nope.cc"), nullptr);
+}
+
+TEST(CompileCommandsTest, RejectsNonArrayInput) {
+  EXPECT_FALSE(CompileCommands::Parse("{\"not\": \"an array\"}").ok());
+  EXPECT_FALSE(CompileCommands::Parse("").ok());
+}
+
+TEST(CompileCommandsTest, IgnoresUnknownKeysAndScalars) {
+  auto db = CompileCommands::Parse(R"json([
+    {"directory": "/b", "file": "a.cc", "command": "cc -c a.cc",
+     "output": "a.o", "weight": 3}
+  ])json");
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ(db->entries().size(), 1u);
+}
+
+}  // namespace
+}  // namespace spongefiles::lint

@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/lexer.h"
+#include "lint/token.h"
+
+namespace spongefiles::lint {
+namespace {
+
+// Tokens without the trailing kEndOfFile, as "kind:text" strings.
+std::vector<std::string> Dump(const std::string& source) {
+  LexResult lex = Lex(source);
+  std::vector<std::string> out;
+  for (const Token& t : lex.tokens) {
+    if (t.kind == TokenKind::kEndOfFile) break;
+    const char* kind = "?";
+    switch (t.kind) {
+      case TokenKind::kIdentifier: kind = "id"; break;
+      case TokenKind::kNumber: kind = "num"; break;
+      case TokenKind::kString: kind = "str"; break;
+      case TokenKind::kCharLiteral: kind = "chr"; break;
+      case TokenKind::kPunct: kind = "op"; break;
+      case TokenKind::kPreprocessor: kind = "pp"; break;
+      case TokenKind::kEndOfFile: kind = "eof"; break;
+    }
+    out.push_back(std::string(kind) + ":" + t.text);
+  }
+  return out;
+}
+
+TEST(LexerTest, IdentifiersNumbersAndPunct) {
+  EXPECT_EQ(Dump("int x = 42;"),
+            (std::vector<std::string>{"id:int", "id:x", "op:=", "num:42",
+                                      "op:;"}));
+}
+
+TEST(LexerTest, LongestMunchOperators) {
+  // `&&` is one token (an rvalue reference, not two refs); `>>` is one
+  // token (the analyzer treats it as closing two template levels).
+  EXPECT_EQ(Dump("a && b & c >> d"),
+            (std::vector<std::string>{"id:a", "op:&&", "id:b", "op:&", "id:c",
+                                      "op:>>", "id:d"}));
+  EXPECT_EQ(Dump("x += y->z::w"),
+            (std::vector<std::string>{"id:x", "op:+=", "id:y", "op:->", "id:z",
+                                      "op:::", "id:w"}));
+}
+
+TEST(LexerTest, DigitSeparatorsAndFloats) {
+  EXPECT_EQ(Dump("1'000'000 3.5e-2"),
+            (std::vector<std::string>{"num:1'000'000", "num:3.5e-2"}));
+}
+
+TEST(LexerTest, StringsAndCharLiterals) {
+  EXPECT_EQ(Dump("\"a\\\"b\" 'x'"),
+            (std::vector<std::string>{"str:a\\\"b", "chr:x"}));
+}
+
+TEST(LexerTest, RawStringWithDelimiter) {
+  // The quote and paren inside the raw string must not end it.
+  EXPECT_EQ(Dump("R\"sep(a \" ) b)sep\" done"),
+            (std::vector<std::string>{"str:a \" ) b", "id:done"}));
+}
+
+TEST(LexerTest, CommentsAreRecordedOnTheSide) {
+  LexResult lex = Lex("int a; // trailing note\n/* block */ int b;\n");
+  ASSERT_EQ(lex.comments.size(), 2u);
+  EXPECT_EQ(lex.comments[0].line, 1);
+  EXPECT_EQ(lex.comments[0].text, " trailing note");
+  EXPECT_EQ(lex.comments[1].line, 2);
+  // Comments never appear in the token stream.
+  for (const Token& t : lex.tokens) {
+    EXPECT_NE(t.text.find("note"), 0u);
+  }
+}
+
+TEST(LexerTest, MultiLineBlockCommentAttributesEveryLine) {
+  LexResult lex = Lex("/* one\n two\n three */ int x;\n");
+  ASSERT_EQ(lex.comments.size(), 3u);
+  EXPECT_EQ(lex.comments[0].line, 1);
+  EXPECT_EQ(lex.comments[2].line, 3);
+  ASSERT_GE(lex.tokens.size(), 2u);
+  EXPECT_TRUE(lex.tokens[0].ident("int"));
+  EXPECT_EQ(lex.tokens[0].line, 3);
+}
+
+TEST(LexerTest, PreprocessorDirectiveIsOneToken) {
+  LexResult lex = Lex("#include <mutex>\nint x;\n");
+  ASSERT_GE(lex.tokens.size(), 1u);
+  EXPECT_EQ(lex.tokens[0].kind, TokenKind::kPreprocessor);
+  EXPECT_EQ(lex.tokens[0].text, "#include <mutex>");
+  EXPECT_TRUE(lex.tokens[1].ident("int"));
+  EXPECT_EQ(lex.tokens[1].line, 2);
+}
+
+TEST(LexerTest, PreprocessorContinuationJoinsLines) {
+  LexResult lex = Lex("#define PLUS(a, b) \\\n  ((a) + (b))\nint y;\n");
+  EXPECT_EQ(lex.tokens[0].kind, TokenKind::kPreprocessor);
+  EXPECT_NE(lex.tokens[0].text.find("((a) + (b))"), std::string::npos);
+  // The token after the directive is on the line past the continuation.
+  EXPECT_TRUE(lex.tokens[1].ident("int"));
+  EXPECT_EQ(lex.tokens[1].line, 3);
+}
+
+TEST(LexerTest, UnterminatedLiteralDoesNotAbort) {
+  LexResult lex = Lex("const char* s = \"never closed");
+  ASSERT_FALSE(lex.tokens.empty());
+  EXPECT_EQ(lex.tokens.back().kind, TokenKind::kEndOfFile);
+}
+
+TEST(LexerTest, LineNumbersAreOneBased) {
+  LexResult lex = Lex("a\nb\n\nc\n");
+  ASSERT_GE(lex.tokens.size(), 3u);
+  EXPECT_EQ(lex.tokens[0].line, 1);
+  EXPECT_EQ(lex.tokens[1].line, 2);
+  EXPECT_EQ(lex.tokens[2].line, 4);
+}
+
+}  // namespace
+}  // namespace spongefiles::lint

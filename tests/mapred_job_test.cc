@@ -50,7 +50,7 @@ class TestInput : public InputFormat {
 // Counts values per key (wordcount).
 class CountReducer : public Reducer {
  public:
-  sim::Task<Status> StartKey(const std::string& key) override {
+  sim::Task<Status> StartKey(std::string key) override {
     key_ = key;
     count_ = 0;
     co_return Status::OK();
@@ -116,9 +116,9 @@ struct JobFixture {
 
   Result<JobResult> RunJob(JobConfig config) {
     Result<JobResult> result = JobResult{};
-    auto run = [](JobTracker* tracker, JobConfig config,
+    auto run = [](JobTracker* jt, JobConfig jc,
                   Result<JobResult>* out) -> sim::Task<> {
-      *out = co_await tracker->Run(std::move(config));
+      *out = co_await jt->Run(std::move(jc));
     };
     engine.Spawn(run(tracker.get(), std::move(config), &result));
     engine.Run();

@@ -67,9 +67,9 @@ struct SchedFixture {
 
   Result<JobResult> RunJob(JobConfig config) {
     Result<JobResult> result = JobResult{};
-    auto run = [](JobTracker* tracker, JobConfig config,
+    auto run = [](JobTracker* jt, JobConfig jc,
                   Result<JobResult>* out) -> sim::Task<> {
-      *out = co_await tracker->Run(std::move(config));
+      *out = co_await jt->Run(std::move(jc));
     };
     engine.Spawn(run(tracker.get(), std::move(config), &result));
     engine.Run();

@@ -74,9 +74,9 @@ struct PigFixture {
 
   Result<mapred::JobResult> RunJob(mapred::JobConfig config) {
     Result<mapred::JobResult> result = mapred::JobResult{};
-    auto run = [](mapred::JobTracker* tracker, mapred::JobConfig config,
+    auto run = [](mapred::JobTracker* jt, mapred::JobConfig jc,
                   Result<mapred::JobResult>* out) -> sim::Task<> {
-      *out = co_await tracker->Run(std::move(config));
+      *out = co_await jt->Run(std::move(jc));
     };
     engine.Spawn(run(tracker.get(), std::move(config), &result));
     engine.Run();

@@ -96,6 +96,7 @@ Task<> LockUnlock(Engine* engine, Mutex* mu, int* counter, int* max_inside) {
   co_await mu->Lock();
   ++*counter;
   *max_inside = std::max(*max_inside, *counter);
+  // lint: lock-ok(suspends in the critical section to prove exclusion holds)
   co_await engine->Delay(Millis(1));
   --*counter;
   mu->Unlock();

@@ -27,6 +27,7 @@ namespace spongefiles {
 namespace {
 
 int ChaosSeeds() {
+  // lint: det-ok(seed-sweep width knob, read at test startup; not simulated state)
   const char* env = std::getenv("SPONGE_CHAOS_SEEDS");
   if (env == nullptr) return 4;
   int n = std::atoi(env);
@@ -82,12 +83,12 @@ ChaosRun RunChaosJob(uint64_t seed, bool inject) {
   bed.engine().RunUntil(settle);
 
   bool swept = false;
-  auto sweep = [](workload::Testbed* bed, ChaosRun* run,
+  auto sweep = [](workload::Testbed* tb, ChaosRun* record,
                   bool* done) -> sim::Task<> {
-    for (size_t n = 0; n < bed->cluster().size(); ++n) {
-      (void)co_await bed->env().server(n).GcSweep();
-      run->leaked_chunks +=
-          bed->env().server(n).pool().AllocatedChunks().size();
+    for (size_t n = 0; n < tb->cluster().size(); ++n) {
+      (void)co_await tb->env().server(n).GcSweep();
+      record->leaked_chunks +=
+          tb->env().server(n).pool().AllocatedChunks().size();
     }
     *done = true;
   };

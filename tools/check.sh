@@ -1,13 +1,20 @@
 #!/usr/bin/env bash
-# Builds the tree with ASan+UBSan and runs the full test suite under it.
+# Runs spongelint over the tree, then builds with ASan+UBSan (warnings as
+# errors) and runs the full test suite under it.
 # Usage: tools/check.sh [build-dir]   (default: build-san)
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
 build="${1:-$repo/build-san}"
 
+# Static analysis first: it is seconds where the sanitizer sweep is
+# minutes, and a coroutine-safety or determinism finding invalidates the
+# run anyway.
+"$repo/tools/lint/run.sh" "$build-lint"
+
 cmake -B "$build" -S "$repo" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSPONGEFILES_WERROR=ON \
   "-DSPONGEFILES_SANITIZE=address;undefined"
 cmake --build "$build" -j "$(nproc)"
 

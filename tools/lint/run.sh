@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Builds spongelint and runs it over the repository (src, bench, tests).
+# Usage: tools/lint/run.sh [build-dir] [extra spongelint args...]
+#        (default build dir: build)
+# Exits non-zero if any unwaived diagnostic remains; pass --verbose to also
+# see waived findings with their reasons.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/../.." && pwd)"
+build="$repo/build"
+if [[ $# -gt 0 && "$1" != -* ]]; then
+  build="$1"
+  shift
+fi
+
+cmake -B "$build" -S "$repo" > /dev/null
+cmake --build "$build" -j "$(nproc)" --target spongelint
+
+"$build/tools/lint/spongelint" \
+  --root "$repo" \
+  --compile-commands "$build/compile_commands.json" \
+  "$@" \
+  src bench tests
