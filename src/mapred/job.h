@@ -5,6 +5,7 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/status.h"
@@ -86,6 +87,23 @@ class Reducer {
   ReduceContext* ctx_ = nullptr;
 };
 
+// Speculative execution (Hadoop's backup tasks, the tail-latency half of
+// the paper's recovery story): the JobTracker samples every attempt's
+// progress each check_period and launches one backup for a task whose
+// best attempt lags the wave's median progress by lag_factor, provided
+// the attempt has run at least min_attempt_age (young tasks have noisy
+// progress) and a slot is free on some other node. First attempt to
+// commit wins; the loser is killed and deregistered, so its sponge chunks
+// are reclaimed by the ordinary dead-task GC.
+struct SpeculationConfig {
+  bool enabled = false;
+  Duration check_period = Seconds(1);
+  Duration min_attempt_age = Seconds(5);
+  // A task is straggling when progress * lag_factor < median progress.
+  double lag_factor = 2.0;
+  int max_backups_per_task = 1;
+};
+
 struct JobConfig {
   std::string name = "job";
   InputFormat* input = nullptr;
@@ -109,6 +127,11 @@ struct JobConfig {
   Duration reduce_cpu_per_record = Micros(2);
 
   int max_attempts = 4;
+  SpeculationConfig speculation;
+  // Per-job reduce pinning: partition -> node (benches use this to place
+  // the straggling reduce deterministically). Part of the job, not the
+  // shared tracker, so concurrent jobs cannot inherit each other's pins.
+  std::vector<std::pair<size_t, size_t>> reduce_pins;
   // Delay scheduling (the locality technique the paper's production
   // clusters run): a map task waits up to this long for a slot on the
   // node holding its DFS block before accepting any free slot elsewhere
@@ -127,9 +150,10 @@ struct TaskStats {
   uint64_t input_bytes = 0;
   uint64_t input_records = 0;
   SpillStats spill;
-  int attempts = 1;
+  int attempts = 1;        // attempts launched for the logical task
   bool completed = true;   // false: cancelled
   bool data_local = true;  // map ran on the node holding its block
+  bool speculative = false;  // a backup attempt produced this result
 };
 
 struct JobResult {

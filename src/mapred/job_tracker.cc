@@ -1,5 +1,7 @@
 #include "mapred/job_tracker.h"
 
+#include <algorithm>
+
 #include "mapred/reduce_task.h"
 
 namespace spongefiles::mapred {
@@ -73,8 +75,13 @@ sim::Task<> JobTracker::AcquireMapSlot(std::shared_ptr<PendingMap> task,
   co_await task->assigned->Wait();
 }
 
-void JobTracker::PinReduce(size_t partition, size_t node) {
-  reduce_pins_.push_back({partition, node});
+bool JobTracker::TryReserveBackupSlot(TaskKind kind, size_t node) {
+  if (kind == TaskKind::kMap) {
+    if (free_map_slots_[node] <= 0) return false;
+    --free_map_slots_[node];
+    return true;
+  }
+  return reduce_slots_[node]->TryAcquire();
 }
 
 size_t JobTracker::MapNodeFor(const InputSplit& split) const {
@@ -85,20 +92,21 @@ size_t JobTracker::MapNodeFor(const InputSplit& split) const {
          env_->cluster()->size();
 }
 
-size_t JobTracker::ReduceNodeFor(size_t partition) const {
-  for (const auto& [pinned_partition, node] : reduce_pins_) {
+size_t JobTracker::ReduceNodeFor(const JobConfig& config,
+                                 size_t partition) const {
+  for (const auto& [pinned_partition, node] : config.reduce_pins) {
     if (pinned_partition == partition) return node;
   }
   return partition % env_->cluster()->size();
 }
 
-sim::Task<> JobTracker::RunOneMap(const JobConfig* config,
-                                  const InputSplit* split, int index,
-                                  MapOutput* output, TaskStats* stats,
-                                  Status* job_status, sim::WaitGroup* wg) {
-  size_t preferred = MapNodeFor(*split);
+sim::Task<> JobTracker::RunOneMap(const JobConfig* config, MapTaskState* state,
+                                  sim::Channel<TaskOutcome>* outcomes,
+                                  sim::WaitGroup* wg) {
+  size_t preferred = MapNodeFor(*state->split);
   if (config->cancel && *config->cancel) {
-    stats->completed = false;
+    state->stats.completed = false;
+    outcomes->Push({state->index, Status::OK()});
     wg->Done();
     co_return;
   }
@@ -110,86 +118,236 @@ sim::Task<> JobTracker::RunOneMap(const JobConfig* config,
   pending->assigned = std::make_unique<sim::Event>(env_->engine());
   co_await AcquireMapSlot(pending, config->locality_wait);
   size_t node = pending->node;
-  stats->node = node;
-  stats->data_local = node == preferred;
+  state->stats.node = node;
+  state->stats.data_local = node == preferred;
   Status last;
-  for (int attempt = 1; attempt <= config->max_attempts; ++attempt) {
+  while (true) {
+    if (state->attempts.committed()) break;  // a backup won while we waited
     if (config->cancel && *config->cancel) {
-      stats->completed = false;
+      state->stats.completed = false;
       break;
     }
-    MapTask map_task(env_, dfs_, config, split, node, index);
-    MapOutput attempt_output;
-    TaskStats attempt_stats;
-    attempt_stats.attempts = attempt;
-    last = co_await map_task.Run(&attempt_output, &attempt_stats);
-    if (last.ok()) {
-      *output = std::move(attempt_output);
-      *stats = std::move(attempt_stats);
-      break;
-    }
-    if (last.code() == StatusCode::kAborted && config->cancel &&
-        *config->cancel) {
-      stats->completed = false;
+    TaskAttempt* attempt = state->attempts.Launch(
+        env_, config->name, TaskKind::kMap, state->index, node,
+        /*backup=*/false);
+    MapTask map_task(env_, dfs_, config, state->split, attempt);
+    Result<MapAttemptResult> outcome = co_await map_task.Run();
+    state->attempts.Finish(env_, attempt);
+    if (outcome.ok()) {
+      MapAttemptResult produced = std::move(*outcome);
+      if (state->attempts.TryCommit(attempt)) {
+        produced.stats.attempts = state->attempts.launched();
+        produced.stats.data_local = node == preferred;
+        state->output = std::move(produced.output);
+        state->stats = std::move(produced.stats);
+      }
+      // A race loser's output is simply dropped; its spill files delete
+      // on destruction, and its registry id is already gone.
       last = Status::OK();
       break;
     }
+    last = outcome.status();
+    if (last.code() == StatusCode::kAborted) {
+      if (config->cancel && *config->cancel) {
+        state->stats.completed = false;
+        last = Status::OK();
+        break;
+      }
+      if (attempt->killed()) {
+        // Killed mid-run: either a backup committed (the task is done) or
+        // the job is tearing down; either way the chain stops here.
+        if (state->attempts.committed()) last = Status::OK();
+        break;
+      }
+    }
+    if (state->attempts.primary_attempts() >= config->max_attempts) break;
   }
-  if (!last.ok() && job_status->ok()) *job_status = last;
+  if (!last.ok()) state->attempts.KillAll();
+  ReleaseMapSlot(node);
+  outcomes->Push({state->index, last});
+  wg->Done();
+}
+
+sim::Task<> JobTracker::RunMapBackup(const JobConfig* config,
+                                     MapTaskState* state, size_t node,
+                                     sim::WaitGroup* wg) {
+  // The monitor reserved our slot on `node` before spawning us.
+  if (!state->attempts.committed() &&
+      !(config->cancel && *config->cancel)) {
+    TaskAttempt* attempt = state->attempts.Launch(
+        env_, config->name, TaskKind::kMap, state->index, node,
+        /*backup=*/true);
+    MapTask map_task(env_, dfs_, config, state->split, attempt);
+    Result<MapAttemptResult> outcome = co_await map_task.Run();
+    state->attempts.Finish(env_, attempt);
+    if (outcome.ok()) {
+      MapAttemptResult produced = std::move(*outcome);
+      if (state->attempts.TryCommit(attempt)) {
+        produced.stats.attempts = state->attempts.launched();
+        produced.stats.data_local = node == MapNodeFor(*state->split);
+        produced.stats.speculative = true;
+        state->output = std::move(produced.output);
+        state->stats = std::move(produced.stats);
+      }
+    }
+    // A backup never reports an outcome: failures and lost races are
+    // silent, the primary chain owns the task's status.
+  }
   ReleaseMapSlot(node);
   wg->Done();
 }
 
 sim::Task<> JobTracker::RunOneReduce(const JobConfig* config,
                                      std::vector<MapOutput>* outputs,
-                                     size_t partition,
-                                     std::vector<Record>* job_output,
-                                     TaskStats* stats, Status* job_status,
+                                     ReduceTaskState* state,
+                                     sim::Channel<TaskOutcome>* outcomes,
                                      sim::WaitGroup* wg) {
-  size_t node = ReduceNodeFor(partition);
-  stats->node = node;
+  size_t node = ReduceNodeFor(*config, state->partition);
+  state->stats.node = node;
   if (config->cancel && *config->cancel) {
-    stats->completed = false;
+    state->stats.completed = false;
+    outcomes->Push({static_cast<int>(state->partition), Status::OK()});
     wg->Done();
     co_return;
   }
   co_await reduce_slots_[node]->Acquire();
   Status last;
-  for (int attempt = 1; attempt <= config->max_attempts; ++attempt) {
+  while (true) {
+    if (state->attempts.committed()) break;
     if (config->cancel && *config->cancel) {
-      stats->completed = false;
+      state->stats.completed = false;
       break;
     }
-    if (attempt > 1) {
-      // Re-shuffle: rewind the surviving map-side copies.
-      for (MapOutput& output : *outputs) {
-        if (output.partitions.size() > partition &&
-            output.partitions[partition] != nullptr) {
-          (void)output.partitions[partition]->Rewind();
-        }
+    TaskAttempt* attempt = state->attempts.Launch(
+        env_, config->name, TaskKind::kReduce,
+        static_cast<int>(state->partition), node, /*backup=*/false);
+    ReduceTask reduce_task(env_, config, outputs, state->partition, attempt);
+    Result<ReduceAttemptResult> outcome = co_await reduce_task.Run();
+    state->attempts.Finish(env_, attempt);
+    if (outcome.ok()) {
+      ReduceAttemptResult produced = std::move(*outcome);
+      if (state->attempts.TryCommit(attempt)) {
+        produced.stats.attempts = state->attempts.launched();
+        state->output = std::move(produced.output);
+        state->stats = std::move(produced.stats);
       }
-    }
-    ReduceTask reduce_task(env_, config, outputs, partition, node);
-    TaskStats attempt_stats;
-    attempt_stats.attempts = attempt;
-    std::vector<Record> attempt_output;
-    last = co_await reduce_task.Run(&attempt_output, &attempt_stats);
-    if (last.ok()) {
-      *stats = std::move(attempt_stats);
-      job_output->insert(job_output->end(),
-                         std::make_move_iterator(attempt_output.begin()),
-                         std::make_move_iterator(attempt_output.end()));
-      break;
-    }
-    if (last.code() == StatusCode::kAborted && config->cancel &&
-        *config->cancel) {
-      stats->completed = false;
       last = Status::OK();
       break;
     }
+    last = outcome.status();
+    if (last.code() == StatusCode::kAborted) {
+      if (config->cancel && *config->cancel) {
+        state->stats.completed = false;
+        last = Status::OK();
+        break;
+      }
+      if (attempt->killed()) {
+        if (state->attempts.committed()) last = Status::OK();
+        break;
+      }
+    }
+    if (state->attempts.primary_attempts() >= config->max_attempts) break;
   }
-  if (!last.ok() && job_status->ok()) *job_status = last;
+  if (!last.ok()) state->attempts.KillAll();
   reduce_slots_[node]->Release();
+  outcomes->Push({static_cast<int>(state->partition), last});
+  wg->Done();
+}
+
+sim::Task<> JobTracker::RunReduceBackup(const JobConfig* config,
+                                        std::vector<MapOutput>* outputs,
+                                        ReduceTaskState* state, size_t node,
+                                        sim::WaitGroup* wg) {
+  if (!state->attempts.committed() &&
+      !(config->cancel && *config->cancel)) {
+    TaskAttempt* attempt = state->attempts.Launch(
+        env_, config->name, TaskKind::kReduce,
+        static_cast<int>(state->partition), node, /*backup=*/true);
+    ReduceTask reduce_task(env_, config, outputs, state->partition, attempt);
+    Result<ReduceAttemptResult> outcome = co_await reduce_task.Run();
+    state->attempts.Finish(env_, attempt);
+    if (outcome.ok()) {
+      ReduceAttemptResult produced = std::move(*outcome);
+      if (state->attempts.TryCommit(attempt)) {
+        produced.stats.attempts = state->attempts.launched();
+        produced.stats.speculative = true;
+        state->output = std::move(produced.output);
+        state->stats = std::move(produced.stats);
+      }
+    }
+  }
+  reduce_slots_[node]->Release();
+  wg->Done();
+}
+
+sim::Task<> JobTracker::SpeculationLoop(const JobConfig* config, TaskKind kind,
+                                        std::deque<MapTaskState>* maps,
+                                        std::deque<ReduceTaskState>* reduces,
+                                        std::vector<MapOutput>* outputs,
+                                        const bool* wave_done,
+                                        sim::WaitGroup* wg) {
+  const SpeculationConfig& spec = config->speculation;
+  sim::Engine* engine = env_->engine();
+  size_t count = kind == TaskKind::kMap ? maps->size() : reduces->size();
+  auto set_of = [&](size_t i) -> AttemptSet& {
+    return kind == TaskKind::kMap ? (*maps)[i].attempts
+                                  : (*reduces)[i].attempts;
+  };
+  while (!*wave_done) {
+    co_await engine->Delay(spec.check_period);
+    if (*wave_done) break;
+    if (config->cancel && *config->cancel) break;
+    // Median best-progress across the wave's logical tasks; committed
+    // tasks keep anchoring it with their final progress. With all tasks
+    // near zero (wave just started) there is nothing to compare yet.
+    std::vector<uint64_t> progress;
+    progress.reserve(count);
+    for (size_t i = 0; i < count; ++i) {
+      progress.push_back(set_of(i).BestProgress());
+    }
+    std::sort(progress.begin(), progress.end());
+    uint64_t median = progress[count / 2];
+    if (median == 0) continue;
+    for (size_t i = 0; i < count; ++i) {
+      AttemptSet& set = set_of(i);
+      if (set.committed()) continue;
+      if (set.backups() >= spec.max_backups_per_task) continue;
+      TaskAttempt* primary = set.RunningPrimary();
+      if (primary == nullptr) continue;  // between retries / awaiting slot
+      if (engine->now() - primary->started_at < spec.min_attempt_age) {
+        continue;
+      }
+      if (static_cast<double>(set.BestProgress()) * spec.lag_factor >=
+          static_cast<double>(median)) {
+        continue;
+      }
+      // Straggler: place the backup on a free slot on a node no live
+      // attempt of this task occupies (lowest index first, deterministic).
+      size_t chosen = free_map_slots_.size();
+      for (size_t node = 0; node < free_map_slots_.size(); ++node) {
+        bool occupied = false;
+        for (const auto& attempt : set.attempts()) {
+          if (!attempt->finished && attempt->id.node == node) {
+            occupied = true;
+            break;
+          }
+        }
+        if (occupied) continue;
+        if (TryReserveBackupSlot(kind, node)) {
+          chosen = node;
+          break;
+        }
+      }
+      if (chosen == free_map_slots_.size()) continue;  // no slot this round
+      wg->Add(1);
+      if (kind == TaskKind::kMap) {
+        engine->Spawn(RunMapBackup(config, &(*maps)[i], chosen, wg));
+      } else {
+        engine->Spawn(
+            RunReduceBackup(config, outputs, &(*reduces)[i], chosen, wg));
+      }
+    }
+  }
   wg->Done();
 }
 
@@ -201,31 +359,91 @@ sim::Task<Result<JobResult>> JobTracker::Run(JobConfig config) {
 
   if (config.input == nullptr) co_return InvalidArgument("job needs input");
   std::vector<InputSplit> splits = config.input->Splits();
-  std::vector<MapOutput> map_outputs(splits.size());
-  result.map_tasks.resize(splits.size());
 
-  sim::WaitGroup map_wg(engine);
-  map_wg.Add(static_cast<int64_t>(splits.size()));
+  sim::Channel<TaskOutcome> outcomes(engine);
+  std::deque<MapTaskState> map_states;
   for (size_t i = 0; i < splits.size(); ++i) {
-    engine->Spawn(RunOneMap(&config, &splits[i], static_cast<int>(i),
-                            &map_outputs[i], &result.map_tasks[i],
-                            &job_status, &map_wg));
+    map_states.emplace_back();
+    map_states.back().split = &splits[i];
+    map_states.back().index = static_cast<int>(i);
   }
-  co_await map_wg.Wait();
+
+  // One WaitGroup per wave (the underlying event is one-shot): it counts
+  // every attempt driver plus the monitor, so by the time it clears, no
+  // coroutine still references this frame's wave state.
+  bool map_wave_done = false;
+  sim::WaitGroup map_workers(engine);
+  map_workers.Add(static_cast<int64_t>(map_states.size()));
+  for (MapTaskState& state : map_states) {
+    engine->Spawn(RunOneMap(&config, &state, &outcomes, &map_workers));
+  }
+  if (config.speculation.enabled && map_states.size() >= 2) {
+    map_workers.Add(1);
+    engine->Spawn(SpeculationLoop(&config, TaskKind::kMap, &map_states,
+                                  nullptr, nullptr, &map_wave_done,
+                                  &map_workers));
+  }
+  // Each primary driver reports exactly one outcome; a cancelled backup
+  // never reports, so it cannot clobber the job status.
+  for (size_t i = 0; i < map_states.size(); ++i) {
+    std::optional<TaskOutcome> outcome = co_await outcomes.Pop();
+    if (outcome.has_value() && !outcome->status.ok() && job_status.ok()) {
+      job_status = outcome->status;
+    }
+  }
+  map_wave_done = true;
+  co_await map_workers.Wait();
   if (!job_status.ok()) co_return job_status;
 
+  result.map_tasks.reserve(map_states.size());
+  std::vector<MapOutput> map_outputs;
+  map_outputs.reserve(map_states.size());
+  for (MapTaskState& state : map_states) {
+    result.map_tasks.push_back(state.stats);
+    map_outputs.push_back(std::move(state.output));
+  }
+
   if (config.reducer_factory) {
-    result.reduce_tasks.resize(static_cast<size_t>(config.num_reducers));
-    sim::WaitGroup reduce_wg(engine);
-    reduce_wg.Add(config.num_reducers);
+    std::deque<ReduceTaskState> reduce_states;
     for (int p = 0; p < config.num_reducers; ++p) {
-      engine->Spawn(RunOneReduce(&config, &map_outputs,
-                                 static_cast<size_t>(p), &result.output,
-                                 &result.reduce_tasks[static_cast<size_t>(p)],
-                                 &job_status, &reduce_wg));
+      reduce_states.emplace_back();
+      reduce_states.back().partition = static_cast<size_t>(p);
     }
-    co_await reduce_wg.Wait();
+    bool reduce_wave_done = false;
+    sim::WaitGroup reduce_workers(engine);
+    reduce_workers.Add(config.num_reducers);
+    for (ReduceTaskState& state : reduce_states) {
+      engine->Spawn(RunOneReduce(&config, &map_outputs, &state, &outcomes,
+                                 &reduce_workers));
+    }
+    if (config.speculation.enabled && reduce_states.size() >= 2) {
+      reduce_workers.Add(1);
+      engine->Spawn(SpeculationLoop(&config, TaskKind::kReduce, nullptr,
+                                    &reduce_states, &map_outputs,
+                                    &reduce_wave_done, &reduce_workers));
+    }
+    for (int p = 0; p < config.num_reducers; ++p) {
+      std::optional<TaskOutcome> outcome = co_await outcomes.Pop();
+      if (outcome.has_value() && !outcome->status.ok() && job_status.ok()) {
+        job_status = outcome->status;
+      }
+    }
+    reduce_wave_done = true;
+    // Drained before map outputs are deleted below: a losing attempt may
+    // still be mid-shuffle on its independent cursor.
+    co_await reduce_workers.Wait();
     if (!job_status.ok()) co_return job_status;
+
+    result.reduce_tasks.reserve(reduce_states.size());
+    for (ReduceTaskState& state : reduce_states) {
+      result.reduce_tasks.push_back(state.stats);
+      // Job output is assembled in partition order (not completion
+      // order), so reruns — and races under speculation — are
+      // byte-identical.
+      result.output.insert(result.output.end(),
+                           std::make_move_iterator(state.output.begin()),
+                           std::make_move_iterator(state.output.end()));
+    }
   }
 
   // Job finished: the framework cleans up the map outputs (and with them

@@ -22,19 +22,21 @@ size_t DefaultPartition(const Record& record, int num_reducers) {
 
 MapTask::MapTask(sponge::SpongeEnv* env, cluster::Dfs* dfs,
                  const JobConfig* config, const InputSplit* split,
-                 size_t node, int task_index)
+                 TaskAttempt* attempt)
     : env_(env),
       dfs_(dfs),
       config_(config),
       split_(split),
-      node_(node),
-      task_index_(task_index) {
+      attempt_(attempt),
+      node_(attempt->id.node) {
   buffer_.resize(static_cast<size_t>(config->num_reducers));
   spilled_.resize(static_cast<size_t>(config->num_reducers));
   partition_records_.resize(static_cast<size_t>(config->num_reducers), 0);
+  // Attempt-unique prefix: two live attempts of one task must never share
+  // spill files (they may even land on the same node across retries).
   spiller_ = std::make_unique<DiskSpiller>(
-      env->engine(), &env->cluster()->node(node).fs(),
-      config->name + ".map" + std::to_string(task_index));
+      env->engine(), &env->cluster()->node(node_).fs(),
+      attempt->id.ToString());
 }
 
 size_t MapTask::PartitionOf(const Record& record) const {
@@ -46,7 +48,7 @@ size_t MapTask::PartitionOf(const Record& record) const {
 
 sim::Task<Status> MapTask::SortAndSpill() {
   obs::SpanGuard span(&obs::Tracer::Default(), env_->engine(), node_,
-                      task_id_, "mapred", "map.sort_spill");
+                      attempt_->id.attempt_id, "mapred", "map.sort_spill");
   span.Arg("bytes", buffer_bytes_);
   ++spill_count_;
   for (size_t p = 0; p < buffer_.size(); ++p) {
@@ -66,45 +68,43 @@ sim::Task<Status> MapTask::SortAndSpill() {
   co_return Status::OK();
 }
 
-sim::Task<Status> MapTask::Run(MapOutput* output, TaskStats* stats) {
+sim::Task<Result<MapAttemptResult>> MapTask::Run() {
   static obs::Counter* const tasks_counter = obs::Registry::Default().counter(
       "mapred.tasks", {{"kind", "map"}});
   tasks_counter->Increment();
   sim::Engine* engine = env_->engine();
   CpuMeter cpu(engine);
-  sponge::TaskContext task = env_->StartTask(node_);
-  task_id_ = task.task_id;
-  stats->node = node_;
+  MapAttemptResult result;
+  result.stats.node = node_;
   SimTime start = engine->now();
-  obs::SpanGuard span(&obs::Tracer::Default(), engine, node_, task.task_id,
-                      "mapred", "map.task");
+  obs::SpanGuard span(&obs::Tracer::Default(), engine, node_,
+                      attempt_->id.attempt_id, "mapred", "map.task");
   span.Arg("split_bytes", split_->bytes);
 
   // Stream the split off the DFS, charging scan CPU as we go.
   for (uint64_t off = 0; off < split_->bytes; off += kScanUnit) {
     if (config_->cancel && *config_->cancel) {
-      env_->EndTask(task);
-      stats->completed = false;
       co_return Aborted("job cancelled");
     }
+    if (attempt_->killed()) co_return Aborted("attempt killed");
     uint64_t n = std::min<uint64_t>(kScanUnit, split_->bytes - off);
     Status read = co_await dfs_->Read(split_->dfs_file, node_,
                                       split_->offset + off, n);
-    if (!read.ok()) {
-      env_->EndTask(task);
-      co_return read;
-    }
+    if (!read.ok()) co_return read;
+    attempt_->Note(0, n);
     co_await cpu.Charge(TransferTime(n, config_->map_scan_bandwidth));
   }
-  stats->input_bytes = split_->bytes;
+  result.stats.input_bytes = split_->bytes;
 
   // Apply the map function and fill the sort buffer.
   std::vector<Record> records =
       split_->generate ? split_->generate() : std::vector<Record>{};
-  stats->input_records = records.size();
+  result.stats.input_records = records.size();
   std::vector<Record> mapped;
   for (Record& record : records) {
+    if (attempt_->killed()) co_return Aborted("attempt killed");
     co_await cpu.Charge(config_->map_cpu_per_record);
+    attempt_->Note(1, 0);
     mapped.clear();
     if (config_->map_fn) {
       config_->map_fn(record, &mapped);
@@ -118,23 +118,16 @@ sim::Task<Status> MapTask::Run(MapOutput* output, TaskStats* stats) {
       buffer_[partition].push_back(std::move(out));
       buffer_bytes_ += bytes;
       if (buffer_bytes_ >= config_->io_sort_mb) {
-        Status spilled = co_await SortAndSpill();
-        if (!spilled.ok()) {
-          env_->EndTask(task);
-          co_return spilled;
-        }
+        CO_RETURN_IF_ERROR(co_await SortAndSpill());
       }
     }
   }
   if (buffer_bytes_ > 0) {
-    Status spilled = co_await SortAndSpill();
-    if (!spilled.ok()) {
-      env_->EndTask(task);
-      co_return spilled;
-    }
+    CO_RETURN_IF_ERROR(co_await SortAndSpill());
   }
 
-  // Merge this task's spills into one sorted run per partition.
+  // Merge this attempt's spills into one sorted run per partition.
+  MapOutput* output = &result.output;
   output->node = node_;
   output->partitions.resize(spilled_.size());
   output->partition_records = partition_records_;
@@ -144,6 +137,7 @@ sim::Task<Status> MapTask::Run(MapOutput* output, TaskStats* stats) {
       output->partitions[p] = std::move(spilled_[p][0]);
       continue;
     }
+    if (attempt_->killed()) co_return Aborted("attempt killed");
     std::vector<std::unique_ptr<RecordSource>> inputs;
     for (auto& file : spilled_[p]) {
       inputs.push_back(std::make_unique<SpillFileSource>(std::move(file)));
@@ -152,19 +146,15 @@ sim::Task<Status> MapTask::Run(MapOutput* output, TaskStats* stats) {
     auto merged = co_await WriteSortedRun(
         spiller_.get(), "out.p" + std::to_string(p), &merge);
     co_await merge.Done();
-    if (!merged.ok()) {
-      env_->EndTask(task);
-      co_return merged.status();
-    }
+    if (!merged.ok()) co_return merged.status();
     output->partitions[p] = std::move(*merged);
   }
 
   co_await cpu.Flush();
-  stats->spill = spiller_->stats();
-  stats->runtime = engine->now() - start;
+  result.stats.spill = spiller_->stats();
+  result.stats.runtime = engine->now() - start;
   output->spiller = std::move(spiller_);
-  env_->EndTask(task);
-  co_return Status::OK();
+  co_return result;
 }
 
 }  // namespace spongefiles::mapred

@@ -8,6 +8,7 @@
 #include "mapred/job.h"
 #include "mapred/merger.h"
 #include "mapred/spill.h"
+#include "mapred/task_attempt.h"
 #include "sponge/sponge_env.h"
 
 namespace spongefiles::mapred {
@@ -24,17 +25,26 @@ struct MapOutput {
   std::unique_ptr<DiskSpiller> spiller;
 };
 
-// Runs one map task on `node`: streams the split from the DFS, applies
-// the map function, sorts output in the io.sort.mb buffer (spilling full
-// buffers to local disk, section 2.1.2), and merges the spills into the
-// final partitioned output.
+// Everything one successful map attempt produces; the attempt's driver
+// moves it into the logical task's slot when the attempt commits.
+struct MapAttemptResult {
+  MapOutput output;
+  TaskStats stats;
+};
+
+// Runs one map attempt: streams the split from the DFS, applies the map
+// function, sorts output in the io.sort.mb buffer (spilling full buffers
+// to local disk, section 2.1.2), and merges the spills into the final
+// partitioned output. The attempt supplies identity (spill-file prefixes
+// are attempt-unique, so concurrent attempts never collide), the kill
+// flag checked at operation boundaries, and the progress counters the
+// speculation monitor reads.
 class MapTask {
  public:
   MapTask(sponge::SpongeEnv* env, cluster::Dfs* dfs, const JobConfig* config,
-          const InputSplit* split, size_t node, int task_index);
+          const InputSplit* split, TaskAttempt* attempt);
 
-  // Executes the task. On success the output is registered in `*output`.
-  sim::Task<Status> Run(MapOutput* output, TaskStats* stats);
+  sim::Task<Result<MapAttemptResult>> Run();
 
  private:
   size_t PartitionOf(const Record& record) const;
@@ -47,9 +57,8 @@ class MapTask {
   cluster::Dfs* dfs_;
   const JobConfig* config_;
   const InputSplit* split_;
+  TaskAttempt* attempt_;
   size_t node_;
-  int task_index_;
-  uint64_t task_id_ = 0;  // process id while running (trace span labels)
 
   // Sort buffer: records per partition plus total logical bytes.
   std::vector<std::vector<Record>> buffer_;

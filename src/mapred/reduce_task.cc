@@ -9,12 +9,13 @@ namespace spongefiles::mapred {
 
 ReduceTask::ReduceTask(sponge::SpongeEnv* env, const JobConfig* config,
                        std::vector<MapOutput>* map_outputs, size_t partition,
-                       size_t node)
+                       TaskAttempt* attempt)
     : env_(env),
       config_(config),
       map_outputs_(map_outputs),
       partition_(partition),
-      node_(node) {}
+      attempt_(attempt),
+      node_(attempt->id.node) {}
 
 uint64_t ReduceTask::ReduceHeap() const {
   if (config_->reduce_heap_bytes > 0) return config_->reduce_heap_bytes;
@@ -22,10 +23,11 @@ uint64_t ReduceTask::ReduceHeap() const {
 }
 
 std::unique_ptr<Spiller> ReduceTask::MakeSpiller() {
-  std::string prefix =
-      config_->name + ".reduce" + std::to_string(partition_);
+  // Attempt-unique prefix: concurrent attempts of one partition must not
+  // share spill files (or sponge chunk names).
+  std::string prefix = attempt_->id.ToString();
   if (config_->spill_mode == SpillMode::kSponge) {
-    return std::make_unique<SpongeSpiller>(env_, &task_, prefix);
+    return std::make_unique<SpongeSpiller>(env_, &attempt_->ctx, prefix);
   }
   return std::make_unique<DiskSpiller>(env_->engine(),
                                        &env_->cluster()->node(node_).fs(),
@@ -35,7 +37,7 @@ std::unique_ptr<Spiller> ReduceTask::MakeSpiller() {
 sim::Task<Status> ReduceTask::SpillMemorySegments() {
   if (memory_segments_.empty()) co_return Status::OK();
   obs::SpanGuard span(&obs::Tracer::Default(), env_->engine(), node_,
-                      task_.task_id, "mapred", "reduce.spill");
+                      attempt_->id.attempt_id, "mapred", "reduce.spill");
   span.Arg("bytes", memory_bytes_);
   span.Arg("segments", static_cast<uint64_t>(memory_segments_.size()));
   std::unique_ptr<SpillFile> run;
@@ -70,7 +72,8 @@ sim::Task<Status> ReduceTask::FetchSegment(MapOutput* output) {
   SpillFile* source = output->partitions[partition_].get();
   if (source == nullptr || source->size() == 0) co_return Status::OK();
   obs::SpanGuard span(&obs::Tracer::Default(), env_->engine(), node_,
-                      task_.task_id, "mapred", "reduce.fetch_segment");
+                      attempt_->id.attempt_id, "mapred",
+                      "reduce.fetch_segment");
   span.Arg("from", static_cast<uint64_t>(output->node));
   span.Arg("bytes", source->size());
 
@@ -81,23 +84,26 @@ sim::Task<Status> ReduceTask::FetchSegment(MapOutput* output) {
     CO_RETURN_IF_ERROR(co_await SpillMemorySegments());
   }
 
+  // An independent cursor per attempt: the map-side copy is shared by
+  // every attempt of this partition and survives until the job ends.
+  auto reader = source->OpenReader();
+  if (!reader.ok()) co_return reader.status();
   auto segment = std::make_unique<MemorySpillFile>(env_->engine());
   while (true) {
-    auto chunk = co_await source->ReadNext();
+    auto chunk = co_await (*reader)->ReadNext();
     if (!chunk.ok()) co_return chunk.status();
     if (chunk->empty()) break;
     uint64_t n = chunk->size();
     if (output->node != node_) {
       co_await env_->cluster()->network().Transfer(output->node, node_, n);
     }
+    attempt_->Note(0, n);
     CO_RETURN_IF_ERROR(co_await segment->Append(std::move(*chunk)));
-    if (task_.killed) co_return Aborted("task killed");
+    if (attempt_->killed()) co_return Aborted("attempt killed");
   }
   CO_RETURN_IF_ERROR(co_await segment->Close());
   memory_bytes_ += segment->size();
   memory_segments_.push_back(std::move(segment));
-  // The map-side copy is kept until the job ends so a retried reduce can
-  // re-shuffle it (JobTracker deletes map outputs on job completion).
   co_return Status::OK();
 }
 
@@ -105,7 +111,8 @@ sim::Task<Status> ReduceTask::IntermediateMergeRounds() {
   size_t factor = spiller_->merge_factor();
   while (spilled_segments_.size() > factor) {
     obs::SpanGuard span(&obs::Tracer::Default(), env_->engine(), node_,
-                        task_.task_id, "mapred", "reduce.merge_round");
+                        attempt_->id.attempt_id, "mapred",
+                        "reduce.merge_round");
     span.Arg("segments", static_cast<uint64_t>(spilled_segments_.size()));
     // Merge the `factor` smallest segments (Hadoop's polyphase heuristic)
     // into a new run.
@@ -136,12 +143,12 @@ sim::Task<Status> ReduceTask::DriveReducer(RecordSource* stream,
                                            std::vector<Record>* job_output,
                                            TaskStats* stats) {
   obs::SpanGuard span(&obs::Tracer::Default(), env_->engine(), node_,
-                      task_.task_id, "mapred", "reduce.reduce");
+                      attempt_->id.attempt_id, "mapred", "reduce.reduce");
   CpuMeter cpu(env_->engine());
   ReduceContext ctx;
   ctx.engine = env_->engine();
   ctx.spiller = spiller_.get();
-  ctx.task = &task_;
+  ctx.task = &attempt_->ctx;
   ctx.cpu = &cpu;
   ctx.output = job_output;
   ctx.heap_bytes = ReduceHeap();
@@ -154,9 +161,11 @@ sim::Task<Status> ReduceTask::DriveReducer(RecordSource* stream,
     auto has = co_await stream->Next(&record);
     if (!has.ok()) co_return has.status();
     if (!*has) break;
-    if (task_.killed) co_return Aborted("task killed");
+    if (attempt_->killed()) co_return Aborted("attempt killed");
     ++stats->input_records;
-    stats->input_bytes += SerializedSize(record);
+    uint64_t bytes = SerializedSize(record);
+    stats->input_bytes += bytes;
+    attempt_->Note(1, bytes);
     if (!in_key || record.key != current_key) {
       if (in_key) CO_RETURN_IF_ERROR(co_await reducer_->FinishKey());
       current_key = record.key;
@@ -172,37 +181,36 @@ sim::Task<Status> ReduceTask::DriveReducer(RecordSource* stream,
   co_return Status::OK();
 }
 
-sim::Task<Status> ReduceTask::Run(std::vector<Record>* job_output,
-                                  TaskStats* stats) {
+sim::Task<Result<ReduceAttemptResult>> ReduceTask::Run() {
   static obs::Counter* const tasks_counter = obs::Registry::Default().counter(
       "mapred.tasks", {{"kind", "reduce"}});
   tasks_counter->Increment();
   sim::Engine* engine = env_->engine();
   SimTime start = engine->now();
-  task_ = env_->StartTask(node_);
-  stats->node = node_;
+  ReduceAttemptResult result;
+  result.stats.node = node_;
   spiller_ = MakeSpiller();
   reducer_ = config_->reducer_factory();
-  obs::SpanGuard span(&obs::Tracer::Default(), engine, node_, task_.task_id,
-                      "mapred", "reduce.task");
+  obs::SpanGuard span(&obs::Tracer::Default(), engine, node_,
+                      attempt_->id.attempt_id, "mapred", "reduce.task");
   span.Arg("partition", static_cast<uint64_t>(partition_));
 
   auto finish = [&](Status status) {
-    stats->spill = spiller_->stats();
-    stats->runtime = engine->now() - start;
-    env_->EndTask(task_);
+    result.stats.spill = spiller_->stats();
+    result.stats.runtime = engine->now() - start;
     return status;
   };
 
   // 1. Shuffle.
   {
     obs::SpanGuard shuffle_span(&obs::Tracer::Default(), engine, node_,
-                                task_.task_id, "mapred", "reduce.shuffle");
+                                attempt_->id.attempt_id, "mapred",
+                                "reduce.shuffle");
     for (MapOutput& output : *map_outputs_) {
       if (config_->cancel && *config_->cancel) {
-        stats->completed = false;
         co_return finish(Aborted("job cancelled"));
       }
+      if (attempt_->killed()) co_return finish(Aborted("attempt killed"));
       Status fetched = co_await FetchSegment(&output);
       if (!fetched.ok()) co_return finish(fetched);
     }
@@ -233,9 +241,12 @@ sim::Task<Status> ReduceTask::Run(std::vector<Record>* job_output,
   }
   spilled_segments_.clear();
   MergeStream merge(std::move(inputs));
-  Status reduced = co_await DriveReducer(&merge, job_output, stats);
+  Status reduced = co_await DriveReducer(&merge, &result.output,
+                                         &result.stats);
   co_await merge.Done();
-  co_return finish(reduced);
+  Status status = finish(reduced);
+  if (!status.ok()) co_return status;
+  co_return result;
 }
 
 }  // namespace spongefiles::mapred

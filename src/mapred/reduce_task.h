@@ -7,11 +7,18 @@
 #include "mapred/job.h"
 #include "mapred/map_task.h"
 #include "mapred/merger.h"
+#include "mapred/task_attempt.h"
 #include "sponge/sponge_env.h"
 
 namespace spongefiles::mapred {
 
-// Runs one reduce task on `node` (section 2.1.2 semantics):
+// Everything one successful reduce attempt produces.
+struct ReduceAttemptResult {
+  std::vector<Record> output;
+  TaskStats stats;
+};
+
+// Runs one reduce attempt (section 2.1.2 semantics):
 //   1. shuffle: fetch this partition from every map output; segments live
 //      in the in-memory buffer (shuffle_buffer_fraction of the heap) and
 //      overflow is merged and spilled through the task's spiller;
@@ -27,13 +34,15 @@ class ReduceTask {
  public:
   ReduceTask(sponge::SpongeEnv* env, const JobConfig* config,
              std::vector<MapOutput>* map_outputs, size_t partition,
-             size_t node);
+             TaskAttempt* attempt);
 
-  sim::Task<Status> Run(std::vector<Record>* job_output, TaskStats* stats);
+  sim::Task<Result<ReduceAttemptResult>> Run();
 
  private:
-  // Fetches one map output's partition into a fresh in-memory segment,
-  // spilling the buffer first if it would overflow.
+  // Fetches one map output's partition into a fresh in-memory segment
+  // through an independent read cursor (concurrent attempts of this
+  // partition shuffle the same map-side files), spilling the buffer first
+  // if it would overflow.
   sim::Task<Status> FetchSegment(MapOutput* output);
 
   // Merges all in-memory segments into one spilled run.
@@ -54,9 +63,9 @@ class ReduceTask {
   const JobConfig* config_;
   std::vector<MapOutput>* map_outputs_;
   size_t partition_;
+  TaskAttempt* attempt_;
   size_t node_;
 
-  sponge::TaskContext task_;
   std::unique_ptr<Spiller> spiller_;
   std::unique_ptr<Reducer> reducer_;
 

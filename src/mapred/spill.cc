@@ -38,6 +38,18 @@ namespace {
 
 // Disk-backed spill file: content kept alongside the LocalFs file that
 // provides timing and capacity accounting.
+class DiskSpillFile;
+
+class DiskSpillReader : public SpillReader {
+ public:
+  explicit DiskSpillReader(DiskSpillFile* file) : file_(file) {}
+  sim::Task<Result<ByteRuns>> ReadNext() override;
+
+ private:
+  DiskSpillFile* file_;
+  uint64_t offset_ = 0;
+};
+
 class DiskSpillFile : public SpillFile {
  public:
   DiskSpillFile(cluster::LocalFs* fs, uint64_t file_id, SpillStats* stats)
@@ -73,9 +85,9 @@ class DiskSpillFile : public SpillFile {
     co_return piece;
   }
 
-  Status Rewind() override {
-    read_offset_ = 0;
-    return Status::OK();
+  Result<std::unique_ptr<SpillReader>> OpenReader() override {
+    if (!closed_) return FailedPrecondition("read before close");
+    return std::unique_ptr<SpillReader>(new DiskSpillReader(this));
   }
 
   sim::Task<> Delete() override {
@@ -90,6 +102,8 @@ class DiskSpillFile : public SpillFile {
   uint64_t size() const override { return size_; }
 
  private:
+  friend class DiskSpillReader;
+
   cluster::LocalFs* fs_;
   uint64_t file_id_;
   SpillStats* stats_;
@@ -99,6 +113,16 @@ class DiskSpillFile : public SpillFile {
   bool closed_ = false;
   bool deleted_ = false;
 };
+
+sim::Task<Result<ByteRuns>> DiskSpillReader::ReadNext() {
+  if (offset_ >= file_->size_) co_return ByteRuns{};
+  uint64_t n = std::min<uint64_t>(kMiB, file_->size_ - offset_);
+  Status read = co_await file_->fs_->Read(file_->file_id_, offset_, n);
+  if (!read.ok()) co_return read;
+  ByteRuns piece = file_->content_.SubRange(offset_, n);
+  offset_ += n;
+  co_return piece;
+}
 
 // SpongeFile-backed spill file.
 class SpongeSpillFile : public SpillFile {
@@ -202,6 +226,29 @@ sim::Task<Result<ByteRuns>> MemorySpillFile::ReadNext() {
 Status MemorySpillFile::Rewind() {
   read_offset_ = 0;
   return Status::OK();
+}
+
+class MemorySpillFile::Reader : public SpillReader {
+ public:
+  explicit Reader(MemorySpillFile* file) : file_(file) {}
+
+  sim::Task<Result<ByteRuns>> ReadNext() override {
+    if (offset_ >= file_->size_) co_return ByteRuns{};
+    uint64_t n = std::min<uint64_t>(file_->read_unit_, file_->size_ - offset_);
+    co_await file_->engine_->Delay(TransferTime(n, file_->memory_bandwidth_));
+    ByteRuns piece = file_->content_.SubRange(offset_, n);
+    offset_ += n;
+    co_return piece;
+  }
+
+ private:
+  MemorySpillFile* file_;
+  uint64_t offset_ = 0;
+};
+
+Result<std::unique_ptr<SpillReader>> MemorySpillFile::OpenReader() {
+  if (!closed_) return FailedPrecondition("read before close");
+  return std::unique_ptr<SpillReader>(new Reader(this));
 }
 
 sim::Task<> MemorySpillFile::Delete() {

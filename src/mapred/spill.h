@@ -15,6 +15,19 @@
 
 namespace spongefiles::mapred {
 
+// An independent sequential read cursor over a closed spill file. Every
+// reader owns its position, so concurrent consumers — two attempts of the
+// same reduce task shuffling one map output — never disturb each other or
+// the file's own cursor. Readers borrow the file: the file must outlive
+// them (the JobTracker keeps map outputs alive until every attempt has
+// drained).
+class SpillReader {
+ public:
+  virtual ~SpillReader() = default;
+  // Next sequential piece; empty ByteRuns at EOF.
+  virtual sim::Task<Result<ByteRuns>> ReadNext() = 0;
+};
+
 // A spill target with SpongeFile semantics: write once sequentially,
 // close, read back once sequentially, delete. The two implementations are
 // the baseline (local disk through the node's buffer cache, stock Hadoop)
@@ -31,10 +44,11 @@ class SpillFile {
   virtual sim::Task<Result<ByteRuns>> ReadNext() = 0;
   virtual sim::Task<> Delete() = 0;
 
-  // Resets the read cursor so the file can be fetched again (map outputs
-  // survive until the job ends, so a retried reduce can re-shuffle).
-  // SpongeFiles are strictly read-once and do not support this.
-  virtual Status Rewind() {
+  // Opens an independent cursor over the closed file (shuffle sources:
+  // map outputs are fetched concurrently by every attempt of every
+  // reduce). Supported by the media map outputs live on (local disk,
+  // memory); SpongeFiles are strictly read-once and do not support this.
+  virtual Result<std::unique_ptr<SpillReader>> OpenReader() {
     return FailedPrecondition("spill file is read-once");
   }
 
@@ -145,10 +159,16 @@ class MemorySpillFile : public SpillFile {
   sim::Task<Status> Close() override;
   sim::Task<Result<ByteRuns>> ReadNext() override;
   sim::Task<> Delete() override;
-  Status Rewind() override;
+  Result<std::unique_ptr<SpillReader>> OpenReader() override;
+  // Resets the file's own cursor (not part of the SpillFile interface:
+  // shuffle re-reads go through OpenReader; this exists for segment reuse
+  // within one attempt).
+  Status Rewind();
   uint64_t size() const override { return size_; }
 
  private:
+  class Reader;
+
   sim::Engine* engine_;
   uint64_t read_unit_;
   double memory_bandwidth_;

@@ -1,0 +1,99 @@
+#include "mapred/task_attempt.h"
+
+#include "obs/metrics.h"
+
+namespace spongefiles::mapred {
+
+namespace {
+
+obs::Counter* SpeculationCounter(const char* event) {
+  static obs::Registry& registry = obs::Registry::Default();
+  static obs::Counter* const launched =
+      registry.counter("mapred.speculation.launched");
+  static obs::Counter* const won = registry.counter("mapred.speculation.won");
+  static obs::Counter* const cancelled =
+      registry.counter("mapred.speculation.cancelled");
+  switch (event[0]) {
+    case 'l':
+      return launched;
+    case 'w':
+      return won;
+    default:
+      return cancelled;
+  }
+}
+
+}  // namespace
+
+std::string TaskAttemptId::ToString() const {
+  return job + (kind == TaskKind::kMap ? ".m" : ".r") +
+         std::to_string(task_index) + ".a" + std::to_string(attempt);
+}
+
+TaskAttempt* AttemptSet::Launch(sponge::SpongeEnv* env, const std::string& job,
+                                TaskKind kind, int task_index, size_t node,
+                                bool backup) {
+  auto attempt = std::make_unique<TaskAttempt>();
+  attempt->id.job = job;
+  attempt->id.kind = kind;
+  attempt->id.task_index = task_index;
+  attempt->id.attempt = launched() + 1;
+  attempt->id.node = node;
+  attempt->ctx = env->StartTask(node);
+  attempt->id.attempt_id = attempt->ctx.task_id;
+  attempt->backup = backup;
+  attempt->started_at = env->engine()->now();
+  if (backup) {
+    ++backups_;
+    SpeculationCounter("launched")->Increment();
+  }
+  attempts_.push_back(std::move(attempt));
+  return attempts_.back().get();
+}
+
+void AttemptSet::Finish(sponge::SpongeEnv* env, TaskAttempt* attempt) {
+  if (attempt->finished) return;
+  attempt->finished = true;
+  env->EndTask(attempt->ctx);
+}
+
+bool AttemptSet::TryCommit(TaskAttempt* attempt) {
+  if (winner_ != nullptr) return false;
+  winner_ = attempt;
+  for (const auto& other : attempts_) {
+    if (other.get() == attempt || other->finished || other->killed()) {
+      continue;
+    }
+    other->Kill();
+    // Only races created by speculation count as cancellations; a lone
+    // primary has no competitors to kill.
+    if (other->backup || attempt->backup) {
+      SpeculationCounter("cancelled")->Increment();
+    }
+  }
+  if (attempt->backup) SpeculationCounter("won")->Increment();
+  return true;
+}
+
+void AttemptSet::KillAll() {
+  for (const auto& attempt : attempts_) {
+    if (!attempt->finished) attempt->Kill();
+  }
+}
+
+TaskAttempt* AttemptSet::RunningPrimary() const {
+  for (const auto& attempt : attempts_) {
+    if (!attempt->finished && !attempt->backup) return attempt.get();
+  }
+  return nullptr;
+}
+
+uint64_t AttemptSet::BestProgress() const {
+  uint64_t best = 0;
+  for (const auto& attempt : attempts_) {
+    if (attempt->progress() > best) best = attempt->progress();
+  }
+  return best;
+}
+
+}  // namespace spongefiles::mapred

@@ -1,5 +1,7 @@
 #include "sponge/rpc_client.h"
 
+#include <string>
+
 #include "obs/metrics.h"
 
 namespace spongefiles::sponge {
@@ -22,6 +24,18 @@ void CountBackoff(Duration slept) {
   static obs::Counter* const backoff_us =
       obs::Registry::Default().counter("sponge.rpc.backoff_us");
   backoff_us->Increment(static_cast<uint64_t>(slept));
+}
+
+void CountHedgeIssued() {
+  static obs::Counter* const issued =
+      obs::Registry::Default().counter("sponge.read.hedge.issued");
+  issued->Increment();
+}
+
+void CountHedgeWon() {
+  static obs::Counter* const won =
+      obs::Registry::Default().counter("sponge.read.hedge.won");
+  won->Increment();
 }
 
 }  // namespace internal_rpc
@@ -86,6 +100,31 @@ void HealthBoard::RecordFailure(size_t node) {
 bool HealthBoard::IsOpen(size_t node) const {
   if (node >= health_.size()) return false;
   return health_[node].open;
+}
+
+obs::Histogram* HealthBoard::LatencyFor(size_t node) const {
+  if (node >= read_latency_.size()) read_latency_.resize(node + 1, nullptr);
+  if (read_latency_[node] == nullptr) {
+    read_latency_[node] = obs::Registry::Default().histogram(
+        "sponge.read.latency", {{"node", std::to_string(node)}});
+  }
+  return read_latency_[node];
+}
+
+void HealthBoard::RecordReadLatency(size_t node, Duration latency) {
+  if (latency < 0) latency = 0;
+  LatencyFor(node)->Record(static_cast<uint64_t>(latency));
+}
+
+Duration HealthBoard::HedgeDelay(size_t node) const {
+  obs::Histogram* latency = LatencyFor(node);
+  Duration delay = policy_->hedge_min_delay;
+  if (latency->count() >= policy_->hedge_min_samples) {
+    auto tail =
+        static_cast<Duration>(latency->Quantile(policy_->hedge_quantile));
+    if (tail > delay) delay = tail;
+  }
+  return delay;
 }
 
 }  // namespace spongefiles::sponge

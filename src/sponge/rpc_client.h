@@ -15,6 +15,10 @@
 #include "sim/sync.h"
 #include "sim/task.h"
 
+namespace spongefiles::obs {
+class Histogram;
+}  // namespace spongefiles::obs
+
 namespace spongefiles::sponge {
 
 // Client-side hardening for remote sponge operations. The paper's cascade
@@ -43,6 +47,22 @@ struct RpcPolicy {
   // through; success closes the breaker, failure re-arms the cooldown.
   int breaker_threshold = 3;
   Duration breaker_cooldown = Seconds(5);
+  // Hedged remote chunk reads (tail-latency mitigation): instead of
+  // riding per-attempt deadline retries into the circuit breaker, a read
+  // launches a duplicate of the still-unanswered RPC once it has been
+  // outstanding longer than the server's hedge_quantile read latency
+  // (tracked per server in the sponge.read.latency obs histograms), and
+  // the first copy to answer wins. The whole read gets hedge_deadline —
+  // generous next to the per-attempt `deadline` above, because a slow
+  // but honest answer is still cheaper than declaring the chunk lost and
+  // re-running the owning task.
+  bool hedge_reads = false;
+  double hedge_quantile = 0.95;
+  // Hedge-delay floor, also used until a server has hedge_min_samples
+  // recorded reads (cold start: an early duplicate is cheap).
+  Duration hedge_min_delay = Millis(20);
+  uint64_t hedge_min_samples = 8;
+  Duration hedge_deadline = Seconds(2);
 };
 
 // Per-server health scoreboard shared by every SpongeFile in an
@@ -74,6 +94,15 @@ class HealthBoard {
   // Open or half-open (no probe budget available without AllowRequest).
   bool IsOpen(size_t node) const;
 
+  // Completed-read latency sample for `node`, feeding the hedge trigger
+  // (recorded into the per-server sponge.read.latency histogram).
+  void RecordReadLatency(size_t node, Duration latency);
+
+  // How long a read of `node` should stay unanswered before a duplicate
+  // is launched: the hedge_quantile of the server's recorded latencies,
+  // floored at hedge_min_delay (which also covers the cold start).
+  Duration HedgeDelay(size_t node) const;
+
   uint64_t trips() const { return trips_; }
   uint64_t recoveries() const { return recoveries_; }
 
@@ -86,10 +115,14 @@ class HealthBoard {
   };
 
   ServerHealth& StateFor(size_t node);
+  obs::Histogram* LatencyFor(size_t node) const;
 
   sim::Engine* engine_;
   const RpcPolicy* policy_;
   std::vector<ServerHealth> health_;
+  // Per-server read-latency histograms (sponge.read.latency{node=i}),
+  // created lazily in the default registry.
+  mutable std::vector<obs::Histogram*> read_latency_;
   uint64_t trips_ = 0;
   uint64_t recoveries_ = 0;
 };
@@ -133,6 +166,8 @@ struct CallTraits<Result<T>> {
 void CountTimeout();
 void CountRetry();
 void CountBackoff(Duration slept);
+void CountHedgeIssued();
+void CountHedgeWon();
 
 }  // namespace internal_rpc
 
@@ -223,6 +258,88 @@ sim::Task<T> HardenedCall(sim::Engine* engine, HealthBoard* board,
                               policy.backoff_multiplier),
         policy.backoff_max);
   }
+}
+
+// A hedged remote read: the primary copy of the operation starts
+// immediately; if it is still unanswered after board->HedgeDelay(node), a
+// duplicate is launched and the first copy to settle wins. The whole call
+// runs against policy.hedge_deadline — much looser than the per-attempt
+// `deadline` of HardenedCall, because the point of hedging is to accept a
+// slow-but-honest answer instead of declaring the chunk lost and tripping
+// the breaker. Both copies are created eagerly (sim::Task is lazy, so the
+// unused duplicate costs nothing) while the caller's frame is guaranteed
+// alive; copies that outlive the call keep running detached, like
+// CallWithDeadline's abandoned attempts. Health accounting: a settled
+// result records success/failure by its status; deadline expiry records a
+// failure. Completed copies record their latency into the per-server
+// histogram that drives future hedge delays.
+//
+// The TOOLCHAIN CONSTRAINT above HardenedCall applies here too: `make_op`
+// temporaries must capture only trivially-destructible state.
+template <typename T, typename Factory>
+sim::Task<T> HedgedCall(sim::Engine* engine, HealthBoard* board,
+                        RpcPolicy policy, size_t node, Factory make_op) {
+  struct Shared {
+    explicit Shared(sim::Engine* e) : done(e) {}
+    sim::Event done;
+    std::optional<T> result;
+    bool hedge_won = false;
+  };
+  auto shared = std::make_shared<Shared>(engine);
+  auto runner = [](std::shared_ptr<Shared> state, HealthBoard* hb,
+                   size_t target, sim::Engine* eng, sim::Task<T> call,
+                   bool is_hedge) -> sim::Task<> {
+    SimTime started = eng->now();
+    T value = co_await call;
+    const Status& status = internal_rpc::CallTraits<T>::StatusOf(value);
+    if (status.code() != StatusCode::kUnavailable) {
+      hb->RecordReadLatency(target, eng->now() - started);
+    }
+    if (!state->result.has_value()) {
+      state->hedge_won = is_hedge;
+      state->result = std::move(value);
+      state->done.Set();
+    }
+  };
+  auto hedger = [](std::shared_ptr<Shared> state, sim::Engine* eng,
+                   Duration delay, sim::Task<> duplicate) -> sim::Task<> {
+    co_await eng->Delay(delay);
+    if (state->result.has_value()) co_return;  // primary already answered
+    internal_rpc::CountHedgeIssued();
+    co_await duplicate;
+  };
+  auto timer = [](std::shared_ptr<Shared> state, sim::Engine* eng,
+                  Duration budget) -> sim::Task<> {
+    co_await eng->Delay(budget);
+    state->done.Set();
+  };
+  // Both copies' operations are created now, while the caller (and
+  // whatever state the factory captures) is alive; the duplicate only
+  // starts if the hedger decides to await it.
+  sim::Task<T> primary_op = make_op();
+  sim::Task<T> hedge_op = make_op();
+  sim::Task<> hedge_runner =
+      runner(shared, board, node, engine, std::move(hedge_op), true);
+  engine->Spawn(runner(shared, board, node, engine, std::move(primary_op),
+                       false));
+  engine->Spawn(hedger(shared, engine, board->HedgeDelay(node),
+                       std::move(hedge_runner)));
+  engine->Spawn(timer(shared, engine, policy.hedge_deadline));
+  co_await shared->done.Wait();
+  if (shared->result.has_value()) {
+    const Status& status =
+        internal_rpc::CallTraits<T>::StatusOf(*shared->result);
+    if (status.code() != StatusCode::kUnavailable) {
+      board->RecordSuccess(node);
+    } else {
+      board->RecordFailure(node);
+    }
+    if (shared->hedge_won) internal_rpc::CountHedgeWon();
+    co_return std::move(*shared->result);
+  }
+  internal_rpc::CountTimeout();
+  board->RecordFailure(node);
+  co_return internal_rpc::CallTraits<T>::Timeout();
 }
 
 }  // namespace spongefiles::sponge

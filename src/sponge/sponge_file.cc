@@ -529,11 +529,23 @@ sim::Task<Result<ByteRuns>> SpongeFile::FetchChunkRaw(size_t index) {
         SpillDecision(env_, task_, "server-sick");
         co_return Unavailable("sponge server circuit open");
       }
-      Result<ByteRuns> fetched = co_await HardenedCall<Result<ByteRuns>>(
-          env_->engine(), &env_->health(), config.rpc, &env_->rpc_rng(),
-          record.node, [this, &server, &record, &owner] {
-            return server.RemoteRead(task_->node, record.handle, owner);
-          });
+      Result<ByteRuns> fetched{ByteRuns{}};
+      if (config.rpc.hedge_reads) {
+        // Hedged read: a duplicate races the slow copy under the loose
+        // hedge_deadline instead of deadline-retrying into the breaker —
+        // a slow-but-honest server still loses only latency, not chunks.
+        fetched = co_await HedgedCall<Result<ByteRuns>>(
+            env_->engine(), &env_->health(), config.rpc, record.node,
+            [this, &server, &record, &owner] {
+              return server.RemoteRead(task_->node, record.handle, owner);
+            });
+      } else {
+        fetched = co_await HardenedCall<Result<ByteRuns>>(
+            env_->engine(), &env_->health(), config.rpc, &env_->rpc_rng(),
+            record.node, [this, &server, &record, &owner] {
+              return server.RemoteRead(task_->node, record.handle, owner);
+            });
+      }
       if (!fetched.ok() &&
           fetched.status().code() != StatusCode::kUnavailable) {
         // FAILED_PRECONDITION / NOT_FOUND from the server means our slot

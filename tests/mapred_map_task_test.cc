@@ -42,13 +42,22 @@ struct MapFixture {
     MapOutput output;
     TaskStats stats;
     Status status;
+    AttemptSet attempts;
+    TaskAttempt* attempt = attempts.Launch(env.get(), config->name,
+                                           TaskKind::kMap, /*task_index=*/0,
+                                           /*node=*/0, /*backup=*/false);
     auto run = [&]() -> sim::Task<> {
-      MapTask task(env.get(), dfs.get(), config, &split, /*node=*/0,
-                   /*task_index=*/0);
-      status = co_await task.Run(&output, &stats);
+      MapTask task(env.get(), dfs.get(), config, &split, attempt);
+      Result<MapAttemptResult> result = co_await task.Run();
+      status = result.status();
+      if (result.ok()) {
+        output = std::move(result->output);
+        stats = std::move(result->stats);
+      }
     };
     engine.Spawn(run());
     engine.Run();
+    attempts.Finish(env.get(), attempt);
     EXPECT_TRUE(status.ok()) << status.ToString();
     return {std::move(output), std::move(stats)};
   }

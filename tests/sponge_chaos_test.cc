@@ -52,6 +52,10 @@ ChaosRun RunChaosJob(uint64_t seed, bool inject) {
   workload::TestbedConfig bed_config;
   bed_config.num_nodes = 8;
   bed_config.sponge_memory = MiB(64);
+  // Hedged reads stay on for both the fault-free baseline and the chaos
+  // runs (so their outputs stay comparable): slow-but-alive servers are
+  // raced instead of ridden into the breaker.
+  bed_config.sponge.rpc.hedge_reads = true;
   workload::Testbed bed(bed_config);
   workload::NumbersDatasetConfig data;
   data.count = 50001;
@@ -67,8 +71,14 @@ ChaosRun RunChaosJob(uint64_t seed, bool inject) {
   }
 
   ChaosRun run;
-  auto result = bed.RunJob(
-      workload::MakeMedianJob(&numbers, mapred::SpillMode::kSponge));
+  // Speculation is likewise on for every run: backup attempts launched
+  // against chaos-induced stragglers must never change the answer, and
+  // their killed losers must not leak chunks past the sweep below.
+  auto job = workload::MakeMedianJob(&numbers, mapred::SpillMode::kSponge);
+  job.speculation.enabled = true;
+  job.speculation.check_period = Seconds(1);
+  job.speculation.min_attempt_age = Seconds(3);
+  auto result = bed.RunJob(std::move(job));
   EXPECT_TRUE(result.ok()) << "seed " << seed << ": "
                            << result.status().ToString();
   if (!result.ok()) return run;

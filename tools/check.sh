@@ -25,7 +25,10 @@ export ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1"
 # coroutine frame (service loops, RPCs abandoned on hung servers) at
 # teardown, so any LeakSanitizer report is a real bug.
 # The chaos test stays cheap under plain ctest; the sanitizer run is where
-# we spend the time on a wide seed sweep.
+# we spend the time on a wide seed sweep. Every chaos run (baseline and
+# injected) executes with speculation and hedged reads enabled, so the
+# sweep also shakes down backup attempts racing faults and hedge
+# duplicates landing after their primary was abandoned.
 export SPONGE_CHAOS_SEEDS=20
 # Deep coroutine resumption chains (k-way merge driving a reducer driving
 # bag spills) fit the default 8 MB stack, but not with ASan's inflated
