@@ -112,6 +112,10 @@ struct MacroRun {
   // Spill accounting summed over every map and reduce task of the job
   // (what the global metrics registry should agree with).
   mapred::SpillStats total_spill;
+  // Engine accounting for the whole run (self-perf suite: events/sec and
+  // simulated time are read off the testbed before it is torn down).
+  uint64_t engine_events = 0;
+  SimTime sim_now = 0;
 };
 
 struct MacroOptions {
@@ -122,6 +126,12 @@ struct MacroOptions {
   sponge::SpongeConfig sponge;
   // Overrides for the Figure 6 configurations.
   bool no_spill = false;  // heap sized to fit everything in memory
+  // Explicit dataset sizes (0 = the paper-scale defaults divided by
+  // SPONGE_BENCH_SCALE). bench_selfperf pins these so its fixed suite is
+  // identical regardless of environment.
+  uint64_t web_bytes = 0;
+  uint64_t median_count = 0;
+  uint64_t grep_bytes = 0;
 };
 
 // Runs one macro job in one configuration on a fresh testbed.
@@ -139,13 +149,15 @@ inline MacroRun RunMacro(MacroJob job, mapred::SpillMode mode,
   mapred::JobConfig config;
   if (job == MacroJob::kMedian) {
     workload::NumbersDatasetConfig data;
-    data.count = MedianCount();
+    data.count = options.median_count != 0 ? options.median_count
+                                           : MedianCount();
     numbers = std::make_unique<workload::NumbersDataset>(&bed.dfs(),
                                                          "numbers", data);
     config = workload::MakeMedianJob(numbers.get(), mode);
   } else {
     workload::WebDatasetConfig data;
-    data.total_bytes = WebBytes();
+    data.total_bytes = options.web_bytes != 0 ? options.web_bytes
+                                              : WebBytes();
     web = std::make_unique<workload::WebDataset>(&bed.dfs(), "web", data);
     config = job == MacroJob::kAnchortext
                  ? workload::MakeAnchortextJob(web.get(), mode)
@@ -164,15 +176,17 @@ inline MacroRun RunMacro(MacroJob job, mapred::SpillMode mode,
   std::optional<mapred::JobConfig> background;
   std::unique_ptr<workload::ScanDataset> grep_data;
   if (options.background_grep) {
-    grep_data = std::make_unique<workload::ScanDataset>(&bed.dfs(),
-                                                        "grepdata",
-                                                        GrepBytes());
+    grep_data = std::make_unique<workload::ScanDataset>(
+        &bed.dfs(), "grepdata",
+        options.grep_bytes != 0 ? options.grep_bytes : GrepBytes());
     background = workload::MakeGrepJob(grep_data.get(), nullptr);
   }
 
   MacroRun run;
   auto result = bed.RunJob(std::move(config), std::move(background),
                            &run.background_tasks);
+  run.engine_events = bed.engine().events_processed();
+  run.sim_now = bed.engine().now();
   if (!result.ok()) {
     std::fprintf(stderr, "%s failed: %s\n", MacroJobName(job),
                  result.status().ToString().c_str());

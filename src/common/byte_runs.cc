@@ -9,33 +9,80 @@
 namespace spongefiles {
 
 namespace {
-// A zero run is represented as an empty `bytes` vector with length > 0.
-// Literal runs with length 0 never appear in runs_.
+// A zero run is represented as a null buffer with length > 0. Literal runs
+// with length 0 never appear in runs_.
 constexpr uint64_t kMergeLiteralThreshold = 64 * 1024;
+
+// The legacy data plane (the self-perf baseline, -DSPONGEFILES_LEGACY_
+// DATAPLANE=ON) restores the pre-zero-copy cost model: every hand-off deep
+// copies literal bytes and nothing is memoized. Simulated outcomes are
+// identical either way — tools/perf.sh diffs the two builds' metrics and
+// traces to prove it.
+#ifdef SPONGEFILES_LEGACY_DATAPLANE
+constexpr bool kLegacyDeepCopy = true;
+#else
+constexpr bool kLegacyDeepCopy = false;
+#endif
 }  // namespace
+
+ByteRuns::ByteRuns(const ByteRuns& other)
+    : runs_(other.runs_),
+      size_(other.size_),
+      physical_size_(other.physical_size_),
+      checksum_(other.checksum_),
+      checksum_valid_(other.checksum_valid_) {
+  if (kLegacyDeepCopy) {
+    for (Run& run : runs_) {
+      if (run.is_literal()) {
+        run.buffer = std::make_shared<Buffer>(run.data(),
+                                              run.data() + run.length);
+        run.offset = 0;
+      }
+    }
+    checksum_valid_ = false;
+  }
+}
+
+ByteRuns& ByteRuns::operator=(const ByteRuns& other) {
+  if (this != &other) {
+    ByteRuns copy(other);
+    *this = std::move(copy);
+  }
+  return *this;
+}
 
 void ByteRuns::AppendLiteral(Slice data) {
   if (data.empty()) return;
+  InvalidateChecksum();
   size_ += data.size();
   physical_size_ += data.size();
   // Merge small literal appends into the previous literal run to keep the
-  // run list short when callers write record-at-a-time.
+  // run list short when callers write record-at-a-time. Growing a buffer is
+  // safe even while shared: the new bytes lie beyond every existing view,
+  // and views address by offset, so a reallocation moves no one's range.
+  // The run must still end exactly at the buffer's end — if another handle
+  // extended the buffer first, this run no longer does and gets a fresh
+  // buffer instead.
   if (!runs_.empty() && runs_.back().is_literal() &&
-      runs_.back().bytes.size() < kMergeLiteralThreshold) {
+      runs_.back().length < kMergeLiteralThreshold &&
+      runs_.back().offset + runs_.back().length ==
+          runs_.back().buffer->size()) {
     Run& last = runs_.back();
-    last.bytes.insert(last.bytes.end(), data.data(),
-                      data.data() + data.size());
-    last.length = last.bytes.size();
+    last.buffer->insert(last.buffer->end(), data.data(),
+                        data.data() + data.size());
+    last.length += data.size();
     return;
   }
   Run run;
-  run.bytes.assign(data.data(), data.data() + data.size());
+  run.buffer = std::make_shared<Buffer>(data.data(),
+                                        data.data() + data.size());
   run.length = data.size();
   runs_.push_back(std::move(run));
 }
 
 void ByteRuns::AppendZeros(uint64_t n) {
   if (n == 0) return;
+  InvalidateChecksum();
   size_ += n;
   if (!runs_.empty() && !runs_.back().is_literal()) {
     runs_.back().length += n;
@@ -47,12 +94,28 @@ void ByteRuns::AppendZeros(uint64_t n) {
 }
 
 void ByteRuns::Append(const ByteRuns& other) {
+  if (other.empty()) return;
+  if (&other == this) {
+    // Self-append: snapshot the descriptors first so the loop below does
+    // not walk a vector it is growing.
+    ByteRuns copy(other);
+    Append(copy);
+    return;
+  }
+  InvalidateChecksum();
   for (const Run& run : other.runs_) {
-    if (run.is_literal()) {
-      AppendLiteral(Slice(run.bytes));
-    } else {
+    if (!run.is_literal()) {
       AppendZeros(run.length);
+      continue;
     }
+    if (kLegacyDeepCopy) {
+      AppendLiteral(Slice(run.data(), run.length));
+      continue;
+    }
+    // Zero-copy hand-off: share the buffer, O(1) per run.
+    runs_.push_back(run);
+    size_ += run.length;
+    physical_size_ += run.length;
   }
 }
 
@@ -73,7 +136,7 @@ void ByteRuns::Read(uint64_t offset, uint64_t n, uint8_t* out) const {
     uint64_t take = std::min<uint64_t>(run.length - in_run_offset,
                                        n - produced);
     if (run.is_literal()) {
-      std::memcpy(out + produced, run.bytes.data() + in_run_offset, take);
+      std::memcpy(out + produced, run.data() + in_run_offset, take);
     } else {
       std::memset(out + produced, 0, take);
     }
@@ -87,8 +150,10 @@ ByteRuns ByteRuns::SplitPrefix(uint64_t n) {
   assert(n <= size_);
   ByteRuns prefix;
   if (n == 0) return prefix;
+  InvalidateChecksum();
   std::vector<Run> remainder;
   uint64_t taken = 0;
+  uint64_t prefix_physical = 0;
   for (size_t i = 0; i < runs_.size(); ++i) {
     Run& run = runs_[i];
     if (taken >= n) {
@@ -98,36 +163,98 @@ ByteRuns ByteRuns::SplitPrefix(uint64_t n) {
     uint64_t need = n - taken;
     if (run.length <= need) {
       taken += run.length;
-      if (run.is_literal()) {
-        prefix.AppendLiteral(Slice(run.bytes));
-      } else {
-        prefix.AppendZeros(run.length);
-      }
+      if (run.is_literal()) prefix_physical += run.length;
+      prefix.runs_.push_back(std::move(run));
     } else {
-      // Split this run.
-      if (run.is_literal()) {
-        prefix.AppendLiteral(Slice(run.bytes.data(), need));
-        Run rest;
-        rest.bytes.assign(run.bytes.begin() + static_cast<long>(need),
-                          run.bytes.end());
-        rest.length = rest.bytes.size();
-        remainder.push_back(std::move(rest));
-      } else {
-        prefix.AppendZeros(need);
-        Run rest;
-        rest.length = run.length - need;
-        remainder.push_back(std::move(rest));
+      // Cut this run in two; a literal ends up shared between the prefix
+      // and the remainder (no byte is copied unless on the legacy plane).
+      Run head = run;
+      head.length = need;
+      Run rest = std::move(run);
+      rest.offset += need;  // harmless on zero runs (offset unused)
+      rest.length -= need;
+      if (head.is_literal()) {
+        prefix_physical += head.length;
+        if (kLegacyDeepCopy) {
+          head.buffer = std::make_shared<Buffer>(
+              head.data(), head.data() + head.length);
+          head.offset = 0;
+          rest.buffer = std::make_shared<Buffer>(
+              rest.data(), rest.data() + rest.length);
+          rest.offset = 0;
+        }
       }
+      prefix.runs_.push_back(std::move(head));
+      remainder.push_back(std::move(rest));
       taken = n;
     }
   }
   runs_ = std::move(remainder);
   size_ -= n;
-  physical_size_ = 0;
-  for (const Run& run : runs_) {
-    if (run.is_literal()) physical_size_ += run.bytes.size();
-  }
+  prefix.size_ = n;
+  prefix.physical_size_ = prefix_physical;
+  physical_size_ -= prefix_physical;
   return prefix;
+}
+
+void ByteRuns::TrimPrefix(uint64_t n) {
+  assert(n <= size_);
+  if (n == 0) return;
+  InvalidateChecksum();
+  size_ -= n;
+  size_t drop = 0;
+  while (n > 0) {
+    Run& run = runs_[drop];
+    if (run.length <= n) {
+      n -= run.length;
+      if (run.is_literal()) physical_size_ -= run.length;
+      ++drop;
+    } else {
+      if (run.is_literal()) {
+        run.offset += n;
+        physical_size_ -= n;
+      }
+      run.length -= n;
+      n = 0;
+    }
+  }
+  runs_.erase(runs_.begin(), runs_.begin() + static_cast<long>(drop));
+}
+
+void ByteRuns::Cursor::Peek(uint64_t n, uint8_t* out) const {
+  assert(n <= available());
+  size_t i = run_index_;
+  uint64_t in_run = run_offset_;
+  uint64_t produced = 0;
+  while (produced < n) {
+    const Run& run = runs_->runs_[i];
+    uint64_t take = std::min<uint64_t>(run.length - in_run, n - produced);
+    if (run.is_literal()) {
+      std::memcpy(out + produced, run.data() + in_run, take);
+    } else {
+      std::memset(out + produced, 0, take);
+    }
+    produced += take;
+    ++i;
+    in_run = 0;
+  }
+}
+
+void ByteRuns::Cursor::Skip(uint64_t n) {
+  assert(n <= available());
+  position_ += n;
+  while (n > 0) {
+    const Run& run = runs_->runs_[run_index_];
+    uint64_t left = run.length - run_offset_;
+    if (left <= n) {
+      n -= left;
+      ++run_index_;
+      run_offset_ = 0;
+    } else {
+      run_offset_ += n;
+      n = 0;
+    }
+  }
 }
 
 ByteRuns ByteRuns::SubRange(uint64_t offset, uint64_t n) const {
@@ -140,12 +267,20 @@ ByteRuns ByteRuns::SubRange(uint64_t offset, uint64_t n) const {
     if (run_end > offset && run_start < offset + n) {
       uint64_t lo = std::max(run_start, offset);
       uint64_t hi = std::min(run_end, offset + n);
+      Run piece = run;
+      piece.length = hi - lo;
       if (run.is_literal()) {
-        out.AppendLiteral(Slice(run.bytes.data() + (lo - run_start),
-                                hi - lo));
-      } else {
-        out.AppendZeros(hi - lo);
+        piece.offset = run.offset + (lo - run_start);
+        if (kLegacyDeepCopy) {
+          piece.buffer = std::make_shared<Buffer>(
+              run.data() + (lo - run_start),
+              run.data() + (lo - run_start) + piece.length);
+          piece.offset = 0;
+        }
+        out.physical_size_ += piece.length;
       }
+      out.size_ += piece.length;
+      out.runs_.push_back(std::move(piece));
     }
     run_start = run_end;
     if (run_start >= offset + n) break;
@@ -153,44 +288,66 @@ ByteRuns ByteRuns::SubRange(uint64_t offset, uint64_t n) const {
   return out;
 }
 
+ByteRuns::Run& ByteRuns::MutableRun(size_t i) {
+  Run& run = runs_[i];
+  assert(run.is_literal());
+  // use_count() == 1 means this run holds the only reference anywhere (any
+  // other run — in this handle or another — would hold its own shared_ptr),
+  // so in-place mutation cannot be observed elsewhere.
+  if (run.buffer.use_count() != 1) {
+    run.buffer = std::make_shared<Buffer>(run.data(),
+                                          run.data() + run.length);
+    run.offset = 0;
+  }
+  return run;
+}
+
 void ByteRuns::TransformLiterals(
     const std::function<void(uint64_t, uint8_t*, uint64_t)>& fn) {
+  InvalidateChecksum();
   uint64_t offset = 0;
-  for (Run& run : runs_) {
-    if (run.is_literal() && run.length > 0) {
-      fn(offset, run.bytes.data(), run.length);
+  for (size_t i = 0; i < runs_.size(); ++i) {
+    if (runs_[i].is_literal() && runs_[i].length > 0) {
+      Run& run = MutableRun(i);
+      fn(offset, run.mutable_data(), run.length);
     }
-    offset += run.length;
+    offset += runs_[i].length;
   }
 }
 
 uint64_t ByteRuns::Checksum64() const {
+  if (!kLegacyDeepCopy && checksum_valid_) return checksum_;
   Checksum checksum;
   for (const Run& run : runs_) {
     if (run.is_literal()) {
-      checksum.Update(Slice(run.bytes));
+      checksum.Update(Slice(run.data(), run.length));
     } else {
       checksum.UpdateZeros(run.length);
     }
   }
-  return checksum.digest();
+  checksum_ = checksum.digest();
+  checksum_valid_ = true;
+  return checksum_;
 }
 
 void ByteRuns::CorruptByte(uint64_t offset) {
   assert(offset < size_);
+  InvalidateChecksum();
   uint64_t run_start = 0;
   for (size_t i = 0; i < runs_.size(); ++i) {
-    Run& run = runs_[i];
-    if (offset >= run_start + run.length) {
-      run_start += run.length;
+    if (offset >= run_start + runs_[i].length) {
+      run_start += runs_[i].length;
       continue;
     }
     uint64_t in_run = offset - run_start;
-    if (run.is_literal()) {
-      run.bytes[in_run] ^= 0xFF;
+    if (runs_[i].is_literal()) {
+      // Copy-on-write: readers that fetched this chunk before the fault
+      // keep the pristine bytes, exactly as if the store had deep-copied.
+      MutableRun(i).mutable_data()[in_run] ^= 0xFF;
       return;
     }
     // Split the zero run around a one-byte literal 0xFF.
+    Run& run = runs_[i];
     uint64_t before = in_run;
     uint64_t after = run.length - in_run - 1;
     std::vector<Run> patched;
@@ -200,7 +357,7 @@ void ByteRuns::CorruptByte(uint64_t offset) {
       patched.push_back(std::move(pre));
     }
     Run flip;
-    flip.bytes.assign(1, 0xFF);
+    flip.buffer = std::make_shared<Buffer>(1, 0xFF);
     flip.length = 1;
     patched.push_back(std::move(flip));
     if (after > 0) {
@@ -221,6 +378,7 @@ void ByteRuns::Clear() {
   runs_.clear();
   size_ = 0;
   physical_size_ = 0;
+  InvalidateChecksum();
 }
 
 std::vector<uint8_t> ByteRuns::ToBytes() const {

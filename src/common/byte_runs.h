@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/slice.h"
@@ -18,13 +19,33 @@ namespace spongefiles {
 //
 // All size accounting in the library uses the *logical* size, so capacities,
 // chunk counts and transfer times are identical to a fully-materialized run.
+//
+// Zero-copy data plane: literal bytes live in ref-counted buffers shared
+// between handles. Copying a ByteRuns, Append(other), SubRange and
+// SplitPrefix are O(runs) pointer operations that never touch the payload;
+// the byte movement they used to perform remains *simulated* (callers still
+// charge transfer time), it just no longer happens on the host. The only
+// mutating entry points into literal bytes — TransformLiterals and
+// CorruptByte — copy-on-write when the underlying buffer is shared, so
+// mutating one handle can never change the bytes another handle observes.
+//
+// Ownership rules (see DESIGN.md "Performance engineering"):
+//  * a buffer's existing bytes are immutable while more than one run
+//    references the buffer; in-place mutation requires sole ownership,
+//  * a buffer may *grow* at the end even while shared (appended bytes are
+//    beyond every existing run's view, so no observable range changes),
+//  * physical_size() counts the literal bytes this handle references;
+//    buffers shared between handles are counted once per handle.
 class ByteRuns {
  public:
   ByteRuns() = default;
 
   // ByteRuns is copyable (chunks get handed between buffers) and movable.
-  ByteRuns(const ByteRuns&) = default;
-  ByteRuns& operator=(const ByteRuns&) = default;
+  // A copy shares the literal buffers (O(runs)); under the legacy data
+  // plane (SPONGEFILES_LEGACY_DATAPLANE, the self-perf baseline) it deep
+  // copies them like the pre-zero-copy implementation did.
+  ByteRuns(const ByteRuns& other);
+  ByteRuns& operator=(const ByteRuns& other);
   ByteRuns(ByteRuns&&) = default;
   ByteRuns& operator=(ByteRuns&&) = default;
 
@@ -34,7 +55,7 @@ class ByteRuns {
   // Appends `n` logical zero bytes without materializing them.
   void AppendZeros(uint64_t n);
 
-  // Appends all of `other`.
+  // Appends all of `other` by sharing its buffers.
   void Append(const ByteRuns& other);
 
   // Copies logical bytes [offset, offset + n) into `out`. Zero runs read
@@ -42,29 +63,41 @@ class ByteRuns {
   void Read(uint64_t offset, uint64_t n, uint8_t* out) const;
 
   // Splits off and returns the first `n` logical bytes, leaving the
-  // remainder in place. Requires n <= size().
+  // remainder in place. Requires n <= size(). A run cut in two ends up
+  // shared between the prefix and the remainder.
   ByteRuns SplitPrefix(uint64_t n);
 
-  // Copies logical bytes [offset, offset + n) into a new ByteRuns,
-  // preserving run structure (zero runs stay unmaterialized). Requires
+  // Drops the first `n` logical bytes in place: SplitPrefix for consumers
+  // that do not want the prefix. O(run descriptors), no byte is touched.
+  // Requires n <= size().
+  void TrimPrefix(uint64_t n);
+
+  // Returns logical bytes [offset, offset + n) as a new ByteRuns sharing
+  // this handle's buffers (zero runs stay unmaterialized). Requires
   // offset + n <= size().
   ByteRuns SubRange(uint64_t offset, uint64_t n) const;
 
   // Invokes `fn(logical_offset, data, length)` for every literal run,
   // allowing in-place transformation of the real bytes (chunk encryption).
-  // Zero runs are not visited; their logical offsets are skipped.
+  // Zero runs are not visited; their logical offsets are skipped. Shared
+  // buffers are copied first (copy-on-write), so other handles keep the
+  // untransformed bytes.
   void TransformLiterals(
       const std::function<void(uint64_t, uint8_t*, uint64_t)>& fn);
 
   // FNV-1a 64 over the logical content. Zero runs are folded in O(log n)
   // per run, so checksumming an unmaterialized multi-gigabyte payload is
-  // cheap; the digest still equals Checksum::Of over ToBytes().
+  // cheap; the digest still equals Checksum::Of over ToBytes(). The digest
+  // is memoized per handle and rides along on copies; any mutation
+  // invalidates it.
   uint64_t Checksum64() const;
 
   // Fault injection (bit rot): flips the byte at logical `offset`. A
-  // literal byte is xor-flipped in place; a zero run is split around a new
-  // one-byte literal. Requires offset < size(). The logical size is
-  // unchanged, the content — and hence Checksum64() — is not.
+  // solely-owned literal byte is xor-flipped in place; a shared literal
+  // run is copied-on-write first (handles holding earlier reads keep the
+  // pristine bytes); a zero run is split around a new one-byte literal.
+  // Requires offset < size(). The logical size is unchanged, the content —
+  // and hence Checksum64() — is not.
   void CorruptByte(uint64_t offset);
 
   void Clear();
@@ -72,7 +105,10 @@ class ByteRuns {
   // Logical size in bytes.
   uint64_t size() const { return size_; }
 
-  // Physical bytes actually resident in memory (literal runs only).
+  // Literal bytes this handle references (zero runs excluded). Shared
+  // buffers count once per referencing handle; a split or sub-range pair
+  // reports the bytes each side can see, not the (single) backing
+  // allocation.
   uint64_t physical_size() const { return physical_size_; }
 
   bool empty() const { return size_ == 0; }
@@ -80,17 +116,64 @@ class ByteRuns {
   // Materializes the whole logical content. Intended for tests.
   std::vector<uint8_t> ToBytes() const;
 
- private:
-  struct Run {
-    // Literal payload; empty means a zero run of `length` bytes.
-    std::vector<uint8_t> bytes;
-    uint64_t length = 0;
-    bool is_literal() const { return !bytes.empty() || length == 0; }
+  // Streaming front-to-back consumer. Unlike Read(), which rescans the run
+  // list from the start on every call, a Cursor remembers which run it is
+  // in, so a parse loop over a many-run sequence is O(1) amortized per run
+  // — and Skip() never materializes the bytes it passes over (skipping a
+  // gigabyte zero run costs nothing). Any mutation of the underlying
+  // ByteRuns invalidates the cursor; construct a fresh one after feeding
+  // more data.
+  class Cursor {
+   public:
+    explicit Cursor(const ByteRuns* runs) : runs_(runs) {}
+
+    // Bytes between the cursor and the end of the sequence.
+    uint64_t available() const { return runs_->size() - position_; }
+
+    // Logical bytes consumed so far (== the Skip() total).
+    uint64_t position() const { return position_; }
+
+    // Copies the `n` bytes at the cursor into `out` without consuming them
+    // (n <= available()).
+    void Peek(uint64_t n, uint8_t* out) const;
+
+    // Consumes `n` bytes (n <= available()).
+    void Skip(uint64_t n);
+
+   private:
+    const ByteRuns* runs_;
+    size_t run_index_ = 0;
+    uint64_t run_offset_ = 0;  // consumed within runs_[run_index_]
+    uint64_t position_ = 0;
   };
+
+ private:
+  using Buffer = std::vector<uint8_t>;
+  using BufferRef = std::shared_ptr<Buffer>;
+
+  struct Run {
+    // Shared literal storage; null means a zero run of `length` bytes.
+    // Literal runs view buffer bytes [offset, offset + length).
+    BufferRef buffer;
+    uint64_t offset = 0;
+    uint64_t length = 0;
+
+    bool is_literal() const { return buffer != nullptr; }
+    const uint8_t* data() const { return buffer->data() + offset; }
+    uint8_t* mutable_data() { return buffer->data() + offset; }
+  };
+
+  // Ensures runs_[i] solely owns its bytes (copy-on-write) and returns it.
+  Run& MutableRun(size_t i);
+
+  void InvalidateChecksum() { checksum_valid_ = false; }
 
   std::vector<Run> runs_;
   uint64_t size_ = 0;
   uint64_t physical_size_ = 0;
+  // Memoized Checksum64 (content-derived, so copies may share it).
+  mutable uint64_t checksum_ = 0;
+  mutable bool checksum_valid_ = false;
 };
 
 }  // namespace spongefiles

@@ -73,6 +73,38 @@ void SerializeRecord(const Record& record, ByteRuns* out) {
   out->AppendZeros(total_len - header.size());
 }
 
+namespace {
+
+// Decodes a header whose bytes start at `p` (12-byte length prefix
+// included) into `out`. Returns the decoded header length.
+uint64_t ParseHeader(const uint8_t* p, Record* out) {
+  const uint8_t* cursor = p + 12;
+  uint16_t key_len = GetRaw<uint16_t>(cursor);
+  cursor += 2;
+  out->key.assign(reinterpret_cast<const char*>(cursor), key_len);
+  cursor += key_len;
+  out->number = GetRaw<double>(cursor);
+  cursor += 8;
+  uint16_t nfields = GetRaw<uint16_t>(cursor);
+  cursor += 2;
+  out->fields.clear();
+  out->fields.reserve(nfields);
+  for (uint16_t i = 0; i < nfields; ++i) {
+    uint32_t len = GetRaw<uint32_t>(cursor);
+    cursor += 4;
+    out->fields.emplace_back(reinterpret_cast<const char*>(cursor), len);
+    cursor += len;
+  }
+  return static_cast<uint64_t>(cursor - p);
+}
+
+}  // namespace
+
+#ifdef SPONGEFILES_LEGACY_DATAPLANE
+
+// Legacy (pre-zero-copy) parser: every fed chunk is flattened into one
+// host buffer — filler bytes included — and compacted by memmove.
+
 void RecordParser::Feed(const ByteRuns& chunk) {
   Compact();
   size_t old = buffer_.size();
@@ -96,29 +128,43 @@ bool RecordParser::Next(Record* out) {
   SPONGE_CHECK(header_len >= 24 && total_len >= header_len)
       << "corrupt record header";
   if (available < total_len) return false;
-
-  const uint8_t* cursor = p + 12;
-  uint16_t key_len = GetRaw<uint16_t>(cursor);
-  cursor += 2;
-  out->key.assign(reinterpret_cast<const char*>(cursor), key_len);
-  cursor += key_len;
-  out->number = GetRaw<double>(cursor);
-  cursor += 8;
-  uint16_t nfields = GetRaw<uint16_t>(cursor);
-  cursor += 2;
-  out->fields.clear();
-  out->fields.reserve(nfields);
-  for (uint16_t i = 0; i < nfields; ++i) {
-    uint32_t len = GetRaw<uint32_t>(cursor);
-    cursor += 4;
-    out->fields.emplace_back(reinterpret_cast<const char*>(cursor), len);
-    cursor += len;
-  }
-  SPONGE_CHECK(static_cast<uint64_t>(cursor - p) == header_len)
+  SPONGE_CHECK(ParseHeader(p, out) == header_len)
       << "header length mismatch";
   out->size = total_len;
   consumed_ += total_len;
   return true;
 }
+
+#else  // !SPONGEFILES_LEGACY_DATAPLANE
+
+void RecordParser::Feed(const ByteRuns& chunk) {
+  // Drop what Next() consumed, share the new chunk's runs, and rebuild the
+  // cursor (mutation invalidates it). No payload byte is copied.
+  pending_.TrimPrefix(cursor_.position());
+  pending_.Append(chunk);
+  cursor_ = ByteRuns::Cursor(&pending_);
+}
+
+bool RecordParser::Next(Record* out) {
+  if (cursor_.available() < 12) return false;
+  uint8_t lens[12];
+  cursor_.Peek(12, lens);
+  uint32_t header_len = GetRaw<uint32_t>(lens);
+  uint64_t total_len = GetRaw<uint64_t>(lens + 4);
+  SPONGE_CHECK(header_len >= 24 && total_len >= header_len)
+      << "corrupt record header";
+  if (cursor_.available() < total_len) return false;
+  // Only the header's bytes are materialized; Skip() walks over the filler
+  // without touching it.
+  scratch_.resize(header_len);
+  cursor_.Peek(header_len, scratch_.data());
+  SPONGE_CHECK(ParseHeader(scratch_.data(), out) == header_len)
+      << "header length mismatch";
+  out->size = total_len;
+  cursor_.Skip(total_len);
+  return true;
+}
+
+#endif  // SPONGEFILES_LEGACY_DATAPLANE
 
 }  // namespace spongefiles::mapred

@@ -3,9 +3,11 @@
 
 #include <coroutine>
 #include <cstdint>
-#include <queue>
-#include <unordered_map>
 #include <vector>
+
+#ifdef SPONGEFILES_LEGACY_DATAPLANE
+#include <queue>
+#endif
 
 #include "common/units.h"
 #include "sim/task.h"
@@ -18,6 +20,15 @@ namespace spongefiles::sim {
 //
 // Determinism: events scheduled for the same instant fire in schedule
 // order (FIFO by a monotonically increasing sequence number).
+//
+// Fast path (see DESIGN.md "Performance engineering"): timed events live in
+// a pooled 4-ary min-heap ordered by (time, seq); events scheduled for the
+// *current* instant — zero-delay yields, symmetric hand-offs — skip the
+// heap entirely and go through a FIFO ring, making the dominant event class
+// O(1). The two structures together preserve exact seq order: every heap
+// event at time T was scheduled before now() reached T, so it precedes
+// every ring event (all enqueued at now() == T). Both structures recycle
+// their slabs — steady-state scheduling allocates nothing.
 class Engine {
  public:
   Engine() = default;
@@ -57,12 +68,13 @@ class Engine {
   // hold locals whose destructors touch the engine or process-wide
   // telemetry, so callers owning both the engine and the simulated
   // components (e.g. a testbed) should drain before destroying the
-  // components; the engine's own destructor drains as a backstop. Returns
-  // the number of top-level frames destroyed.
+  // components; the engine's own destructor drains as a backstop. Frames
+  // are destroyed in spawn order. Returns the number of top-level frames
+  // destroyed.
   size_t DrainDetached();
 
   // Detached frames currently live (diagnostics and tests).
-  size_t detached_live() const { return detached_.size(); }
+  size_t detached_live() const { return detached_live_; }
 
   // Awaitable: suspends the caller for `d` simulated microseconds
   // (d >= 0; a zero delay still yields through the event queue).
@@ -88,23 +100,67 @@ class Engine {
     uint64_t seq;
     std::coroutine_handle<> handle;
   };
+
+  // ---- timed-event store -------------------------------------------------
+#ifdef SPONGEFILES_LEGACY_DATAPLANE
+  // Legacy data plane (self-perf baseline): the original binary heap via
+  // std::priority_queue, every event through it.
   struct EventLater {
     bool operator()(const Event& a, const Event& b) const {
       if (a.at != b.at) return a.at > b.at;
       return a.seq > b.seq;
     }
   };
+#endif
 
-  friend Task<> RunDetachedWrapper(Engine* engine, uint64_t id, Task<> task);
+  void HeapPush(Event ev);
+  // Requires a non-empty heap; returns the (time, seq)-least event.
+  Event HeapPop();
+  bool HeapEmpty() const;
+  // Earliest queued time; heap must be non-empty.
+  SimTime HeapTopTime() const;
+
+  // ---- same-instant FIFO ring ---------------------------------------------
+  bool RingEmpty() const { return ring_head_ == ring_tail_; }
+  void RingPush(std::coroutine_handle<> h);
+  std::coroutine_handle<> RingPop();
+
+  // ---- detached-frame registry (insertion-ordered slot map) ---------------
+  // Spawn wrappers still in flight. Slots are recycled through a free list
+  // (O(1) register/release, no hashing, no rehash churn); each slot keeps
+  // the monotonically increasing spawn id so DrainDetached can destroy
+  // frames in spawn order even after slot reuse has shuffled the vector.
+  struct DetachedSlot {
+    uint64_t id = 0;
+    std::coroutine_handle<> handle;  // null when the slot is free
+  };
+
+  void ReleaseDetached(uint32_t slot);
+
+  friend Task<> RunDetachedWrapper(Engine* engine, uint32_t slot,
+                                   Task<> task);
 
   SimTime now_ = 0;
   uint64_t next_seq_ = 0;
   uint64_t next_detached_id_ = 0;
   uint64_t events_processed_ = 0;
+
+#ifdef SPONGEFILES_LEGACY_DATAPLANE
   std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-  // Spawn wrappers still in flight, keyed by a spawn id. A wrapper removes
-  // itself on completion; whatever remains is reclaimed by DrainDetached.
-  std::unordered_map<uint64_t, std::coroutine_handle<>> detached_;
+#else
+  std::vector<Event> heap_;  // 4-ary min-heap by (at, seq)
+#endif
+
+  // Power-of-two circular buffer of handles resuming at now_ (unused — and
+  // never allocated — on the legacy plane, where everything goes through
+  // the heap).
+  std::vector<std::coroutine_handle<>> ring_;
+  size_t ring_head_ = 0;
+  size_t ring_tail_ = 0;
+
+  std::vector<DetachedSlot> detached_slots_;
+  std::vector<uint32_t> detached_free_;
+  size_t detached_live_ = 0;
 };
 
 }  // namespace spongefiles::sim

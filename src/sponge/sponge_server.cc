@@ -105,8 +105,13 @@ sim::Task<Status> SpongeServer::RemoteWrite(size_t from, ChunkHandle handle,
                       owner.task_id, "rpc", "rpc.write");
   span.Arg("from", static_cast<uint64_t>(from));
   span.Arg("bytes", data.size());
-  // The chunk payload travels over the network, then the server copies it
-  // into the pool.
+  // The chunk payload travels over the network, then the server moves it
+  // into the pool slot. The *simulated* server-side copy below still
+  // charges time (the real system memcpys socket buffer -> pool segment),
+  // but on the host the incoming ByteRuns already shares the caller's
+  // buffers and the pool slot takes them by move — the double copy this
+  // path used to do (payload into the RPC frame, then again into the pool
+  // slot representation) is gone.
   co_await network_->Transfer(from, node_id_, data.size());
   co_await FaultPoint();
   if (!alive_) co_return Unavailable("sponge server down");
@@ -138,6 +143,8 @@ sim::Task<Result<ByteRuns>> SpongeServer::RemoteRead(size_t from,
   ByteRuns* data = pool_->chunk_data(handle);
   co_await engine_->Delay(
       TransferTime(data->size(), config_.server_copy_bandwidth));
+  // Hand the reader a shared view of the slot (O(runs), no payload copy);
+  // copy-on-write keeps it stable if the slot is later corrupted or reused.
   ByteRuns copy = *data;
   co_await network_->Transfer(node_id_, from, copy.size());
   co_return copy;

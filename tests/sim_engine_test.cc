@@ -186,5 +186,153 @@ TEST(EngineTest, ManyTasksComplete) {
   EXPECT_EQ(log.size(), static_cast<size_t>(n));
 }
 
+// ---- event-engine fast path (same-instant ring + 4-ary heap) --------------
+
+Task<> YieldThenLog(Engine* engine, std::vector<int>* log, int id,
+                    int yields) {
+  for (int i = 0; i < yields; ++i) co_await engine->Delay(0);
+  log->push_back(id);
+}
+
+TEST(EngineTest, SameInstantFifoAcrossRingAndHeap) {
+  // Mixes the two ways an event lands at the same instant: scheduled ahead
+  // of time (heap, when now < at) and scheduled at now (ring). All heap
+  // events at T were scheduled before time reached T, so they must fire
+  // before every zero-delay yield enqueued at T — and within each class,
+  // in schedule order.
+  Engine engine;
+  std::vector<int> log;
+  // Heap residents for t=5ms, scheduled at t=0 in order 0,1,2.
+  for (int i = 0; i < 3; ++i) {
+    engine.Spawn(Sleeper(&engine, Millis(5), &log, i));
+  }
+  // This one also sleeps to t=5ms (scheduled third) and then re-yields at
+  // t=5ms twice through the ring before logging.
+  auto late = [](Engine* eng, std::vector<int>* out) -> Task<> {
+    co_await eng->Delay(Millis(5));
+    co_await eng->Delay(0);
+    co_await eng->Delay(0);
+    out->push_back(99);
+  };
+  engine.Spawn(late(&engine, &log));
+  engine.Run();
+  EXPECT_EQ(log, std::vector<int>({0, 1, 2, 99}));
+  EXPECT_EQ(engine.now(), Millis(5));
+}
+
+TEST(EngineTest, InterleavedZeroDelayYieldsStayFifo) {
+  // Several coroutines ping-ponging through zero-delay yields at the same
+  // instant must interleave round-robin (each yield re-enqueues behind the
+  // others), not batch per-coroutine.
+  Engine engine;
+  std::vector<int> log;
+  auto lane = [](Engine* eng, std::vector<int>* out, int id) -> Task<> {
+    for (int round = 0; round < 3; ++round) {
+      out->push_back(id * 10 + round);
+      co_await eng->Delay(0);
+    }
+  };
+  engine.Spawn(lane(&engine, &log, 1));
+  engine.Spawn(lane(&engine, &log, 2));
+  engine.Run();
+  EXPECT_EQ(log,
+            std::vector<int>({10, 20, 11, 21, 12, 22}));
+}
+
+TEST(EngineTest, RingGrowsPastInitialCapacityWithoutReordering) {
+  // More same-instant events than the ring's initial slab (1024) forces the
+  // grow-and-linearize path mid-drain; FIFO order must survive it.
+  Engine engine;
+  std::vector<int> log;
+  const int n = 5000;
+  log.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    engine.Spawn(YieldThenLog(&engine, &log, i, /*yields=*/2));
+  }
+  engine.Run();
+  ASSERT_EQ(log.size(), static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) EXPECT_EQ(log[i], i);
+  EXPECT_EQ(engine.now(), 0);
+}
+
+TEST(EngineTest, ZeroDelayEventStormSmoke) {
+  // ~1M zero-delay events through the same-instant path, with a timed
+  // event sprinkled per lane so the heap stays engaged. Guards against
+  // regressions where the ring/heap interplay drops, duplicates, or
+  // reorders work at scale.
+  Engine engine;
+  uint64_t before = engine.events_processed();
+  std::vector<int> log;
+  const int lanes = 8;
+  const int yields = 125000;
+  auto lane = [](Engine* eng, int id, int n, uint64_t* acc) -> Task<> {
+    for (int i = 0; i < n; ++i) {
+      co_await eng->Delay((i % 16) == id ? 1 : 0);
+      ++*acc;
+    }
+  };
+  uint64_t acc = 0;
+  for (int id = 0; id < lanes; ++id) {
+    engine.Spawn(lane(&engine, id, yields, &acc));
+  }
+  engine.Run();
+  EXPECT_EQ(acc, static_cast<uint64_t>(lanes) * yields);
+  // Every yield is one event, plus each lane's spawn wrapper start.
+  EXPECT_GE(engine.events_processed() - before,
+            static_cast<uint64_t>(lanes) * yields);
+  EXPECT_GT(engine.now(), 0);
+  EXPECT_EQ(engine.detached_live(), 0u);
+}
+
+// ---- detached-frame registry (slot map) -----------------------------------
+
+struct OrderProbe {
+  std::vector<int>* order;
+  int id;
+  ~OrderProbe() { order->push_back(id); }
+};
+
+Task<> ParkWithProbe(Engine* engine, std::vector<int>* order, int id) {
+  OrderProbe probe{order, id};
+  co_await engine->Delay(Minutes(100.0 * 365 * 24 * 60));
+}
+
+TEST(EngineTest, DrainDetachedDestroysInSpawnOrderAfterSlotReuse) {
+  // Finish a batch of early tasks so their registry slots get recycled,
+  // then park frames in the recycled slots. DrainDetached must destroy
+  // survivors in spawn order (monotone id), not slot order.
+  Engine engine;
+  std::vector<int> finished_log;
+  std::vector<int> destroy_order;
+  engine.Spawn(ParkWithProbe(&engine, &destroy_order, 0));
+  for (int i = 0; i < 4; ++i) {
+    engine.Spawn(Sleeper(&engine, Millis(1), &finished_log, i));
+  }
+  engine.RunUntil(Millis(2));  // sleepers done, their slots are free
+  ASSERT_EQ(finished_log.size(), 4u);
+  // These spawn into recycled slots (lower slot indices than probe 0's
+  // neighbors), out of slot order but in spawn order 1, 2, 3.
+  for (int i = 1; i <= 3; ++i) {
+    engine.Spawn(ParkWithProbe(&engine, &destroy_order, i));
+  }
+  engine.RunUntil(Millis(3));  // let the parked frames start and suspend
+  EXPECT_EQ(engine.detached_live(), 4u);
+  EXPECT_EQ(engine.DrainDetached(), 4u);
+  EXPECT_EQ(destroy_order, std::vector<int>({0, 1, 2, 3}));
+}
+
+TEST(EngineTest, DetachedSlotsRecycleWithoutGrowth) {
+  // Sequential spawn/complete cycles must reuse one slot, not grow the
+  // registry: detached_live returns to zero after each wave.
+  Engine engine;
+  std::vector<int> log;
+  for (int wave = 0; wave < 100; ++wave) {
+    engine.Spawn(Sleeper(&engine, Millis(1), &log, wave));
+    engine.Run();
+    EXPECT_EQ(engine.detached_live(), 0u);
+  }
+  EXPECT_EQ(log.size(), 100u);
+}
+
 }  // namespace
 }  // namespace spongefiles::sim

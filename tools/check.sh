@@ -1,11 +1,22 @@
 #!/usr/bin/env bash
 # Runs spongelint over the tree, then builds with ASan+UBSan (warnings as
 # errors) and runs the full test suite under it.
-# Usage: tools/check.sh [build-dir]   (default: build-san)
+# Usage: tools/check.sh [--perf] [build-dir]   (default: build-san)
+#   --perf  afterwards runs tools/perf.sh: the self-perf suite on both data
+#           planes, gating on byte-identical metrics/trace/sim snapshots
+#           between the fast path and the no-opt (legacy) build.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
-build="${1:-$repo/build-san}"
+perf=0
+build=""
+for arg in "$@"; do
+  case "$arg" in
+    --perf) perf=1 ;;
+    *) build="$arg" ;;
+  esac
+done
+build="${build:-$repo/build-san}"
 
 # Static analysis first: it is seconds where the sanitizer sweep is
 # minutes, and a coroutine-safety or determinism finding invalidates the
@@ -37,3 +48,7 @@ ulimit -s 131072
 
 ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
 echo "sanitizer check passed"
+
+if [ "$perf" = 1 ]; then
+  "$repo/tools/perf.sh"
+fi

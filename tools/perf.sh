@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# Self-performance gate (DESIGN.md "Performance engineering"): builds the
+# zero-copy fast path and the -DSPONGEFILES_LEGACY_DATAPLANE baseline,
+# runs bench_selfperf's fixed suite on both, proves the simulated outcomes
+# are byte-identical (sim summary, metrics snapshot, trace), and writes
+# BENCH_selfperf.json containing both wall-clock totals and the speedup.
+#
+# Usage: tools/perf.sh [--chaos-seeds=N] [--out=PATH] [--keep-work]
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+out="$repo/BENCH_selfperf.json"
+seeds=5
+keep_work=0
+for arg in "$@"; do
+  case "$arg" in
+    --chaos-seeds=*) seeds="${arg#*=}" ;;
+    --out=*) out="${arg#*=}" ;;
+    --keep-work) keep_work=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+fast_build="$repo/build-perf"
+legacy_build="$repo/build-perf-legacy"
+work="$(mktemp -d)"
+trap '[ "$keep_work" = 1 ] && echo "work dir kept: $work" || rm -rf "$work"' EXIT
+
+echo "== building fast path ($fast_build)"
+cmake -B "$fast_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSPONGEFILES_LEGACY_DATAPLANE=OFF >/dev/null
+cmake --build "$fast_build" --target bench_selfperf -j "$(nproc)"
+
+echo "== building legacy baseline ($legacy_build)"
+cmake -B "$legacy_build" -S "$repo" -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DSPONGEFILES_LEGACY_DATAPLANE=ON >/dev/null
+cmake --build "$legacy_build" --target bench_selfperf -j "$(nproc)"
+
+echo
+echo "== legacy baseline run"
+"$legacy_build/bench/bench_selfperf" --chaos-seeds="$seeds" \
+  --out="$work/legacy.json" --sim-out="$work/legacy_sim.json" \
+  --metrics-out="$work/legacy_metrics.json" \
+  --trace-out="$work/legacy_trace.json"
+
+echo
+echo "== fast-path run"
+"$fast_build/bench/bench_selfperf" --chaos-seeds="$seeds" \
+  --baseline="$work/legacy.json" --out="$out" \
+  --sim-out="$work/fast_sim.json" \
+  --metrics-out="$work/fast_metrics.json" \
+  --trace-out="$work/fast_trace.json"
+
+echo
+echo "== determinism gate: simulated outcomes must be byte-identical"
+for pair in sim metrics trace; do
+  if cmp -s "$work/legacy_${pair}.json" "$work/fast_${pair}.json"; then
+    echo "  $pair snapshot: identical"
+  else
+    echo "  $pair snapshot: DIFFERS — the fast path changed a simulated outcome" >&2
+    diff "$work/legacy_${pair}.json" "$work/fast_${pair}.json" | head -40 >&2 || true
+    exit 1
+  fi
+done
+
+echo
+echo "report: $out"
+grep -E '"(total_wall_ms|baseline_total_wall_ms|speedup|events_per_sec|peak_rss_bytes)"' "$out" || true
+echo "self-perf gate passed"
