@@ -256,7 +256,7 @@ void RackRestrictionAblation() {
       "5. rack-local spilling (2 racks, 4:1 oversubscribed core)\n");
   AsciiTable table({"policy", "spill 64 MB", "cross-rack bytes",
                     "chunks on disk"});
-  for (bool restrict_to_rack : {true, false}) {
+  for (bool allow_cross_rack : {false, true}) {
     sim::Engine engine;
     cluster::ClusterConfig cc;
     cc.num_nodes = 8;
@@ -266,7 +266,7 @@ void RackRestrictionAblation() {
     cluster::Cluster cluster(&engine, cc);
     cluster::Dfs dfs(&cluster);
     sponge::SpongeConfig config;
-    config.restrict_to_rack = restrict_to_rack;
+    config.allow_cross_rack = allow_cross_rack;
     sponge::SpongeEnv env(&cluster, &dfs, config);
     // Rack 0 is entirely full, so remote-memory demand must leave it.
     for (size_t n = 0; n < 4; ++n) {
@@ -291,7 +291,7 @@ void RackRestrictionAblation() {
     engine.Spawn(run());
     engine.Run();
     table.AddRow(
-        {restrict_to_rack ? "rack-local only (paper)" : "any rack",
+        {allow_cross_rack ? "cross-rack rung" : "rack-local only (paper)",
          FormatDuration(elapsed),
          FormatBytes(cluster.network().cross_rack_bytes()),
          StrFormat("%llu", static_cast<unsigned long long>(

@@ -16,15 +16,17 @@
 //   chaos_sweep       N seeded gray-failure runs of the skewed median job,
 //                     leak-checked after a GC sweep.
 //
-// Dataset sizes are pinned here (not via SPONGE_BENCH_SCALE) so two builds
-// always run the identical simulation. Determinism is the acceptance gate:
+// Dataset sizes are pinned here (not via SPONGE_BENCH_SCALE) so two runs
+// always execute the identical simulation. Determinism is the acceptance
+// gate:
 //   --sim-out=PATH  writes only simulated quantities; byte-identical
-//                   between the fast path and -DSPONGEFILES_LEGACY_DATAPLANE
-//                   builds (tools/perf.sh diffs it, along with --trace-out
-//                   and --metrics-out snapshots).
+//                   across runs for the same build (tools/perf.sh diffs
+//                   it, along with --trace-out and --metrics-out
+//                   snapshots).
 //   --out=PATH      writes the wall-clock report (BENCH_selfperf.json).
-//   --baseline=PATH a prior --out file (the legacy build's); its totals are
-//                   embedded next to ours and the speedup computed.
+//   --baseline=PATH a prior --out file; its totals are embedded next to
+//                   ours and the ratio computed (regression tracking
+//                   across commits).
 
 #include <sys/resource.h>
 
@@ -332,11 +334,7 @@ double ExtractNumber(const std::string& json, const std::string& key) {
 
 std::string WallJson(const std::vector<ScenarioResult>& results,
                      const std::string& baseline_json) {
-#ifdef SPONGEFILES_LEGACY_DATAPLANE
-  const char* flavor = "legacy";
-#else
   const char* flavor = "fastpath";
-#endif
   double total_wall = 0;
   uint64_t total_events = 0, total_bytes = 0;
   for (const ScenarioResult& r : results) {
@@ -415,13 +413,7 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("self-perf suite (%s data plane)\n\n",
-#ifdef SPONGEFILES_LEGACY_DATAPLANE
-              "legacy"
-#else
-              "fast-path"
-#endif
-  );
+  std::printf("self-perf suite (fast-path data plane)\n\n");
 
   std::vector<ScenarioResult> results;
   results.push_back(RunEventStorm());

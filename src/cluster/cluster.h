@@ -43,6 +43,11 @@ class Cluster {
     return nodes_[a]->rack() == nodes_[b]->rack();
   }
 
+  size_t rack_of(size_t node_id) const { return nodes_[node_id]->rack(); }
+  size_t num_racks() const {
+    return nodes_.empty() ? 0 : nodes_.back()->rack() + 1;
+  }
+
   const ClusterConfig& config() const { return config_; }
 
  private:

@@ -43,6 +43,10 @@ Network::Network(sim::Engine* engine, size_t num_nodes,
     uplink_.push_back(std::make_unique<sim::Semaphore>(engine, 1));
     downlink_.push_back(std::make_unique<sim::Semaphore>(engine, 1));
   }
+  uplink_bytes_.assign(num_racks, 0);
+  downlink_bytes_.assign(num_racks, 0);
+  uplink_busy_.assign(num_racks, 0);
+  downlink_busy_.assign(num_racks, 0);
 }
 
 sim::Task<> Network::Transfer(size_t src, size_t dst, uint64_t bytes) {
@@ -84,6 +88,11 @@ sim::Task<> Network::Transfer(size_t src, size_t dst, uint64_t bytes) {
     rate = std::min(rate, config_.cross_rack_bandwidth);
     latency += config_.cross_rack_latency;
     cross_rack_bytes_ += bytes;
+    uplink_bytes_[racks_[src]] += bytes;
+    downlink_bytes_[racks_[dst]] += bytes;
+    Duration wire = TransferTime(bytes, rate);
+    uplink_busy_[racks_[src]] += wire;
+    downlink_busy_[racks_[dst]] += wire;
   }
   co_await engine_->Delay(latency + TransferTime(bytes, rate));
   if (metered_core) {

@@ -64,6 +64,24 @@ class Network {
 
   uint64_t bytes_transferred() const { return bytes_transferred_; }
 
+  size_t num_racks() const { return uplink_.size(); }
+  size_t rack_of(size_t node) const { return racks_[node]; }
+
+  // Per-rack core-link accounting, charged only when the core is metered
+  // (cross_rack_bandwidth > 0): bytes that crossed the rack boundary in
+  // each direction, and the cumulative wire time the shared pipe was held.
+  // Busy time over elapsed time is the rack's core-link utilization.
+  uint64_t rack_uplink_bytes(size_t rack) const {
+    return uplink_bytes_[rack];
+  }
+  uint64_t rack_downlink_bytes(size_t rack) const {
+    return downlink_bytes_[rack];
+  }
+  Duration rack_uplink_busy(size_t rack) const { return uplink_busy_[rack]; }
+  Duration rack_downlink_busy(size_t rack) const {
+    return downlink_busy_[rack];
+  }
+
  private:
   sim::Engine* engine_;
   NetworkConfig config_;
@@ -73,6 +91,11 @@ class Network {
   // Per-rack shared uplink (outbound) and downlink (inbound) pipes.
   std::vector<std::unique_ptr<sim::Semaphore>> uplink_;
   std::vector<std::unique_ptr<sim::Semaphore>> downlink_;
+  // Metered-core accounting per rack (see accessors above).
+  std::vector<uint64_t> uplink_bytes_;
+  std::vector<uint64_t> downlink_bytes_;
+  std::vector<Duration> uplink_busy_;
+  std::vector<Duration> downlink_busy_;
   // Per-node NIC degradation (gray failures); 1.0 / 0 means healthy.
   std::vector<double> link_factor_;
   std::vector<Duration> link_extra_latency_;

@@ -1,0 +1,26 @@
+#include "cluster/topology.h"
+
+#include "common/logging.h"
+
+namespace spongefiles::cluster {
+
+ClusterConfig MakeClusterConfig(const TopologyConfig& topo) {
+  SPONGE_CHECK(topo.num_racks > 0);
+  SPONGE_CHECK(topo.nodes_per_rack > 0);
+  SPONGE_CHECK(topo.oversubscription >= 0);
+  ClusterConfig cc;
+  cc.num_nodes = topo.num_racks * topo.nodes_per_rack;
+  cc.nodes_per_rack = topo.nodes_per_rack;
+  cc.node = topo.node;
+  cc.network = topo.network;
+  if (topo.oversubscription > 0) {
+    cc.network.cross_rack_bandwidth =
+        static_cast<double>(topo.nodes_per_rack) * topo.network.bandwidth /
+        topo.oversubscription;
+  } else {
+    cc.network.cross_rack_bandwidth = 0;  // non-blocking core
+  }
+  return cc;
+}
+
+}  // namespace spongefiles::cluster

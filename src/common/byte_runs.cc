@@ -12,17 +12,6 @@ namespace {
 // A zero run is represented as a null buffer with length > 0. Literal runs
 // with length 0 never appear in runs_.
 constexpr uint64_t kMergeLiteralThreshold = 64 * 1024;
-
-// The legacy data plane (the self-perf baseline, -DSPONGEFILES_LEGACY_
-// DATAPLANE=ON) restores the pre-zero-copy cost model: every hand-off deep
-// copies literal bytes and nothing is memoized. Simulated outcomes are
-// identical either way — tools/perf.sh diffs the two builds' metrics and
-// traces to prove it.
-#ifdef SPONGEFILES_LEGACY_DATAPLANE
-constexpr bool kLegacyDeepCopy = true;
-#else
-constexpr bool kLegacyDeepCopy = false;
-#endif
 }  // namespace
 
 ByteRuns::ByteRuns(const ByteRuns& other)
@@ -30,18 +19,7 @@ ByteRuns::ByteRuns(const ByteRuns& other)
       size_(other.size_),
       physical_size_(other.physical_size_),
       checksum_(other.checksum_),
-      checksum_valid_(other.checksum_valid_) {
-  if (kLegacyDeepCopy) {
-    for (Run& run : runs_) {
-      if (run.is_literal()) {
-        run.buffer = std::make_shared<Buffer>(run.data(),
-                                              run.data() + run.length);
-        run.offset = 0;
-      }
-    }
-    checksum_valid_ = false;
-  }
-}
+      checksum_valid_(other.checksum_valid_) {}
 
 ByteRuns& ByteRuns::operator=(const ByteRuns& other) {
   if (this != &other) {
@@ -108,10 +86,6 @@ void ByteRuns::Append(const ByteRuns& other) {
       AppendZeros(run.length);
       continue;
     }
-    if (kLegacyDeepCopy) {
-      AppendLiteral(Slice(run.data(), run.length));
-      continue;
-    }
     // Zero-copy hand-off: share the buffer, O(1) per run.
     runs_.push_back(run);
     size_ += run.length;
@@ -167,23 +141,13 @@ ByteRuns ByteRuns::SplitPrefix(uint64_t n) {
       prefix.runs_.push_back(std::move(run));
     } else {
       // Cut this run in two; a literal ends up shared between the prefix
-      // and the remainder (no byte is copied unless on the legacy plane).
+      // and the remainder (no byte is copied).
       Run head = run;
       head.length = need;
       Run rest = std::move(run);
       rest.offset += need;  // harmless on zero runs (offset unused)
       rest.length -= need;
-      if (head.is_literal()) {
-        prefix_physical += head.length;
-        if (kLegacyDeepCopy) {
-          head.buffer = std::make_shared<Buffer>(
-              head.data(), head.data() + head.length);
-          head.offset = 0;
-          rest.buffer = std::make_shared<Buffer>(
-              rest.data(), rest.data() + rest.length);
-          rest.offset = 0;
-        }
-      }
+      if (head.is_literal()) prefix_physical += head.length;
       prefix.runs_.push_back(std::move(head));
       remainder.push_back(std::move(rest));
       taken = n;
@@ -271,12 +235,6 @@ ByteRuns ByteRuns::SubRange(uint64_t offset, uint64_t n) const {
       piece.length = hi - lo;
       if (run.is_literal()) {
         piece.offset = run.offset + (lo - run_start);
-        if (kLegacyDeepCopy) {
-          piece.buffer = std::make_shared<Buffer>(
-              run.data() + (lo - run_start),
-              run.data() + (lo - run_start) + piece.length);
-          piece.offset = 0;
-        }
         out.physical_size_ += piece.length;
       }
       out.size_ += piece.length;
@@ -316,7 +274,7 @@ void ByteRuns::TransformLiterals(
 }
 
 uint64_t ByteRuns::Checksum64() const {
-  if (!kLegacyDeepCopy && checksum_valid_) return checksum_;
+  if (checksum_valid_) return checksum_;
   Checksum checksum;
   for (const Run& run : runs_) {
     if (run.is_literal()) {

@@ -41,9 +41,7 @@ class ByteRuns {
   ByteRuns() = default;
 
   // ByteRuns is copyable (chunks get handed between buffers) and movable.
-  // A copy shares the literal buffers (O(runs)); under the legacy data
-  // plane (SPONGEFILES_LEGACY_DATAPLANE, the self-perf baseline) it deep
-  // copies them like the pre-zero-copy implementation did.
+  // A copy shares the literal buffers (O(runs)).
   ByteRuns(const ByteRuns& other);
   ByteRuns& operator=(const ByteRuns& other);
   ByteRuns(ByteRuns&&) = default;

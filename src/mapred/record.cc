@@ -17,10 +17,9 @@ namespace {
 // followed by (total_len - header_len) zero bytes of filler.
 
 template <typename T>
-void PutRaw(std::string* out, T value) {
-  char buf[sizeof(T)];
-  std::memcpy(buf, &value, sizeof(T));
-  out->append(buf, sizeof(T));
+uint8_t* PutRaw(uint8_t* out, T value) {
+  std::memcpy(out, &value, sizeof(T));
+  return out + sizeof(T);
 }
 
 template <typename T>
@@ -30,27 +29,24 @@ T GetRaw(const uint8_t* p) {
   return value;
 }
 
-std::string BuildHeader(const Record& record) {
-  std::string header;
-  header.reserve(32 + record.key.size());
-  PutRaw<uint32_t>(&header, 0);  // patched below
-  PutRaw<uint64_t>(&header, 0);  // patched below
-  SPONGE_CHECK(record.key.size() <= 0xffff) << "key too long";
-  PutRaw<uint16_t>(&header, static_cast<uint16_t>(record.key.size()));
-  header.append(record.key);
-  PutRaw<double>(&header, record.number);
-  SPONGE_CHECK(record.fields.size() <= 0xffff) << "too many fields";
-  PutRaw<uint16_t>(&header, static_cast<uint16_t>(record.fields.size()));
-  for (const std::string& field : record.fields) {
-    PutRaw<uint32_t>(&header, static_cast<uint32_t>(field.size()));
-    header.append(field);
-  }
-  uint32_t header_len = static_cast<uint32_t>(header.size());
+// Encodes `record`'s header (exactly RecordHeaderSize(record) bytes,
+// already validated to fit) into `out`. Returns one past the last byte.
+uint8_t* EncodeHeader(const Record& record, uint64_t header_len,
+                      uint8_t* out) {
   uint64_t total_len = std::max<uint64_t>(record.size, header_len);
-  std::memcpy(header.data(), &header_len, sizeof(header_len));
-  std::memcpy(header.data() + sizeof(header_len), &total_len,
-              sizeof(total_len));
-  return header;
+  out = PutRaw<uint32_t>(out, static_cast<uint32_t>(header_len));
+  out = PutRaw<uint64_t>(out, total_len);
+  out = PutRaw<uint16_t>(out, static_cast<uint16_t>(record.key.size()));
+  std::memcpy(out, record.key.data(), record.key.size());
+  out += record.key.size();
+  out = PutRaw<double>(out, record.number);
+  out = PutRaw<uint16_t>(out, static_cast<uint16_t>(record.fields.size()));
+  for (const std::string& field : record.fields) {
+    out = PutRaw<uint32_t>(out, static_cast<uint32_t>(field.size()));
+    std::memcpy(out, field.data(), field.size());
+    out += field.size();
+  }
+  return out;
 }
 
 }  // namespace
@@ -66,11 +62,25 @@ uint64_t SerializedSize(const Record& record) {
 }
 
 void SerializeRecord(const Record& record, ByteRuns* out) {
-  std::string header = BuildHeader(record);
-  uint64_t total_len;
-  std::memcpy(&total_len, header.data() + 4, sizeof(total_len));
-  out->AppendLiteral(Slice(header));
-  out->AppendZeros(total_len - header.size());
+  SPONGE_CHECK(record.key.size() <= 0xffff) << "key too long";
+  SPONGE_CHECK(record.fields.size() <= 0xffff) << "too many fields";
+  const uint64_t header_len = RecordHeaderSize(record);
+  // Encode on the stack — this is the hottest serialization line in the
+  // spill path (one call per record), and the header is a few dozen bytes
+  // for every workload we generate. Oversized keys/fields fall back to a
+  // heap scratch buffer.
+  uint8_t stack_buf[320];
+  std::vector<uint8_t> heap_buf;
+  uint8_t* buf = stack_buf;
+  if (header_len > sizeof(stack_buf)) {
+    heap_buf.resize(header_len);
+    buf = heap_buf.data();
+  }
+  uint8_t* end = EncodeHeader(record, header_len, buf);
+  SPONGE_CHECK(static_cast<uint64_t>(end - buf) == header_len)
+      << "header length mismatch";
+  out->AppendLiteral(Slice(buf, header_len));
+  out->AppendZeros(std::max<uint64_t>(record.size, header_len) - header_len);
 }
 
 namespace {
@@ -100,43 +110,6 @@ uint64_t ParseHeader(const uint8_t* p, Record* out) {
 
 }  // namespace
 
-#ifdef SPONGEFILES_LEGACY_DATAPLANE
-
-// Legacy (pre-zero-copy) parser: every fed chunk is flattened into one
-// host buffer — filler bytes included — and compacted by memmove.
-
-void RecordParser::Feed(const ByteRuns& chunk) {
-  Compact();
-  size_t old = buffer_.size();
-  buffer_.resize(old + chunk.size());
-  if (chunk.size() > 0) chunk.Read(0, chunk.size(), buffer_.data() + old);
-}
-
-void RecordParser::Compact() {
-  if (consumed_ == 0) return;
-  buffer_.erase(buffer_.begin(),
-                buffer_.begin() + static_cast<long>(consumed_));
-  consumed_ = 0;
-}
-
-bool RecordParser::Next(Record* out) {
-  const size_t available = buffer_.size() - consumed_;
-  if (available < 12) return false;
-  const uint8_t* p = buffer_.data() + consumed_;
-  uint32_t header_len = GetRaw<uint32_t>(p);
-  uint64_t total_len = GetRaw<uint64_t>(p + 4);
-  SPONGE_CHECK(header_len >= 24 && total_len >= header_len)
-      << "corrupt record header";
-  if (available < total_len) return false;
-  SPONGE_CHECK(ParseHeader(p, out) == header_len)
-      << "header length mismatch";
-  out->size = total_len;
-  consumed_ += total_len;
-  return true;
-}
-
-#else  // !SPONGEFILES_LEGACY_DATAPLANE
-
 void RecordParser::Feed(const ByteRuns& chunk) {
   // Drop what Next() consumed, share the new chunk's runs, and rebuild the
   // cursor (mutation invalidates it). No payload byte is copied.
@@ -164,7 +137,5 @@ bool RecordParser::Next(Record* out) {
   cursor_.Skip(total_len);
   return true;
 }
-
-#endif  // SPONGEFILES_LEGACY_DATAPLANE
 
 }  // namespace spongefiles::mapred

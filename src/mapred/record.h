@@ -45,9 +45,7 @@ uint64_t SerializedSize(const Record& record);
 // Zero-copy: fed chunks are shared, not flattened — only each record's
 // header bytes are ever copied out (into a reused scratch buffer); the
 // zero filler, which dominates the logical volume, is skipped via a
-// ByteRuns::Cursor and never materialized on the host. The legacy data
-// plane (SPONGEFILES_LEGACY_DATAPLANE, the self-perf baseline) keeps the
-// old flatten-everything implementation.
+// ByteRuns::Cursor and never materialized on the host.
 class RecordParser {
  public:
   RecordParser() = default;
@@ -60,23 +58,12 @@ class RecordParser {
   bool Next(Record* out);
 
   // Bytes buffered but not yet consumed.
-#ifdef SPONGEFILES_LEGACY_DATAPLANE
-  uint64_t pending_bytes() const { return buffer_.size() - consumed_; }
-#else
   uint64_t pending_bytes() const { return cursor_.available(); }
-#endif
 
  private:
-#ifdef SPONGEFILES_LEGACY_DATAPLANE
-  void Compact();
-
-  std::vector<uint8_t> buffer_;
-  size_t consumed_ = 0;
-#else
   ByteRuns pending_;
   ByteRuns::Cursor cursor_{&pending_};
   std::vector<uint8_t> scratch_;  // header bytes of the record under parse
-#endif
 };
 
 }  // namespace spongefiles::mapred

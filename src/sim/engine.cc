@@ -61,11 +61,7 @@ size_t Engine::DrainDetached() {
   // Discard pending events first: they reference frames about to be
   // destroyed (and destroying a parent already reclaims any suspended
   // child a queued handle might point into).
-#ifdef SPONGEFILES_LEGACY_DATAPLANE
-  queue_ = {};
-#else
   heap_.clear();
-#endif
   ring_head_ = ring_tail_ = 0;
   // Snapshot the live frames and reset the registry before destroying, so
   // the loop is immune to destructor side effects (a frame-local destructor
@@ -91,9 +87,6 @@ size_t Engine::DrainDetached() {
 
 void Engine::ScheduleHandle(SimTime at, std::coroutine_handle<> h) {
   SPONGE_CHECK(at >= now_) << "schedule in the past: " << at << " < " << now_;
-#ifdef SPONGEFILES_LEGACY_DATAPLANE
-  queue_.push(Event{at, next_seq_++, h});
-#else
   if (at == now_) {
     // Same-instant fast path: no heap sift, no seq needed — the ring is
     // FIFO, and every already-heaped event at this instant was scheduled
@@ -103,26 +96,9 @@ void Engine::ScheduleHandle(SimTime at, std::coroutine_handle<> h) {
   } else {
     HeapPush(Event{at, next_seq_++, h});
   }
-#endif
 }
 
 // ---- timed-event store ----------------------------------------------------
-
-#ifdef SPONGEFILES_LEGACY_DATAPLANE
-
-void Engine::HeapPush(Event ev) { queue_.push(ev); }
-
-Engine::Event Engine::HeapPop() {
-  Event top = queue_.top();
-  queue_.pop();
-  return top;
-}
-
-bool Engine::HeapEmpty() const { return queue_.empty(); }
-
-SimTime Engine::HeapTopTime() const { return queue_.top().at; }
-
-#else  // !SPONGEFILES_LEGACY_DATAPLANE
 
 void Engine::HeapPush(Event ev) {
   heap_.push_back(ev);
@@ -171,8 +147,6 @@ Engine::Event Engine::HeapPop() {
 bool Engine::HeapEmpty() const { return heap_.empty(); }
 
 SimTime Engine::HeapTopTime() const { return heap_.front().at; }
-
-#endif  // SPONGEFILES_LEGACY_DATAPLANE
 
 // ---- same-instant FIFO ring -----------------------------------------------
 

@@ -5,10 +5,6 @@
 #include <cstdint>
 #include <vector>
 
-#ifdef SPONGEFILES_LEGACY_DATAPLANE
-#include <queue>
-#endif
-
 #include "common/units.h"
 #include "sim/task.h"
 
@@ -102,17 +98,6 @@ class Engine {
   };
 
   // ---- timed-event store -------------------------------------------------
-#ifdef SPONGEFILES_LEGACY_DATAPLANE
-  // Legacy data plane (self-perf baseline): the original binary heap via
-  // std::priority_queue, every event through it.
-  struct EventLater {
-    bool operator()(const Event& a, const Event& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
-#endif
-
   void HeapPush(Event ev);
   // Requires a non-empty heap; returns the (time, seq)-least event.
   Event HeapPop();
@@ -145,15 +130,9 @@ class Engine {
   uint64_t next_detached_id_ = 0;
   uint64_t events_processed_ = 0;
 
-#ifdef SPONGEFILES_LEGACY_DATAPLANE
-  std::priority_queue<Event, std::vector<Event>, EventLater> queue_;
-#else
   std::vector<Event> heap_;  // 4-ary min-heap by (at, seq)
-#endif
 
-  // Power-of-two circular buffer of handles resuming at now_ (unused — and
-  // never allocated — on the legacy plane, where everything goes through
-  // the heap).
+  // Power-of-two circular buffer of handles resuming at now_.
   std::vector<std::coroutine_handle<>> ring_;
   size_t ring_head_ = 0;
   size_t ring_tail_ = 0;

@@ -26,6 +26,9 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kTrackerOutage: return "tracker-outage";
     case FaultKind::kTrackerStale: return "tracker-stale";
     case FaultKind::kBitRot: return "bit-rot";
+    case FaultKind::kTrackerShardOutage: return "tracker-shard-outage";
+    case FaultKind::kTrackerShardStale: return "tracker-shard-stale";
+    case FaultKind::kGossipPartition: return "gossip-partition";
   }
   return "?";
 }
@@ -80,6 +83,27 @@ sim::Task<> TrackerStaleFor(SpongeEnv* env, Duration duration) {
   env->tracker().SetPollPaused(true);
   co_await env->engine()->Delay(duration);
   env->tracker().SetPollPaused(false);
+}
+
+sim::Task<> TrackerShardOutageFor(SpongeEnv* env, size_t rack,
+                                  Duration duration) {
+  env->tracker().SetShardDown(rack, true);
+  co_await env->engine()->Delay(duration);
+  env->tracker().SetShardDown(rack, false);
+}
+
+sim::Task<> TrackerShardStaleFor(SpongeEnv* env, size_t rack,
+                                 Duration duration) {
+  env->tracker().SetShardPollPaused(rack, true);
+  co_await env->engine()->Delay(duration);
+  env->tracker().SetShardPollPaused(rack, false);
+}
+
+sim::Task<> GossipPartitionFor(SpongeEnv* env, size_t rack,
+                               Duration duration) {
+  env->tracker().SetGossipPartitioned(rack, true);
+  co_await env->engine()->Delay(duration);
+  env->tracker().SetGossipPartitioned(rack, false);
 }
 
 // `slot_pick` / `byte_pick` were drawn at schedule time; reducing them
@@ -155,6 +179,24 @@ void FailureInjector::ScheduleTrackerStale(SimTime at, Duration duration) {
   env_->engine()->SpawnAt(at, TrackerStaleFor(env_, duration));
 }
 
+void FailureInjector::ScheduleTrackerShardOutage(size_t rack, SimTime at,
+                                                 Duration duration) {
+  Record(FaultKind::kTrackerShardOutage, rack, at, duration);
+  env_->engine()->SpawnAt(at, TrackerShardOutageFor(env_, rack, duration));
+}
+
+void FailureInjector::ScheduleTrackerShardStale(size_t rack, SimTime at,
+                                                Duration duration) {
+  Record(FaultKind::kTrackerShardStale, rack, at, duration);
+  env_->engine()->SpawnAt(at, TrackerShardStaleFor(env_, rack, duration));
+}
+
+void FailureInjector::ScheduleGossipPartition(size_t rack, SimTime at,
+                                              Duration duration) {
+  Record(FaultKind::kGossipPartition, rack, at, duration);
+  env_->engine()->SpawnAt(at, GossipPartitionFor(env_, rack, duration));
+}
+
 void FailureInjector::ScheduleBitRot(size_t node, SimTime at) {
   uint64_t slot_pick = rng_.Next();
   uint64_t byte_pick = rng_.Next();
@@ -176,6 +218,13 @@ size_t FailureInjector::ScheduleChaos(const ChaosOptions& options) {
     kinds.push_back(FaultKind::kTrackerStale);
   }
   if (options.bit_rot) kinds.push_back(FaultKind::kBitRot);
+  if (options.tracker_shard_faults) {
+    kinds.push_back(FaultKind::kTrackerShardOutage);
+    kinds.push_back(FaultKind::kTrackerShardStale);
+  }
+  if (options.gossip_partitions) {
+    kinds.push_back(FaultKind::kGossipPartition);
+  }
   if (kinds.empty() || options.horizon <= options.start) return 0;
 
   size_t num_nodes = env_->cluster()->size();
@@ -223,6 +272,17 @@ size_t FailureInjector::ScheduleChaos(const ChaosOptions& options) {
         break;
       case FaultKind::kBitRot:
         ScheduleBitRot(node, at);
+        break;
+      // Shard faults reuse the node draw (so every kind consumes the same
+      // Rng sequence) and target the drawn node's rack.
+      case FaultKind::kTrackerShardOutage:
+        ScheduleTrackerShardOutage(env_->cluster()->rack_of(node), at, span);
+        break;
+      case FaultKind::kTrackerShardStale:
+        ScheduleTrackerShardStale(env_->cluster()->rack_of(node), at, span);
+        break;
+      case FaultKind::kGossipPartition:
+        ScheduleGossipPartition(env_->cluster()->rack_of(node), at, span);
         break;
     }
     ++scheduled;

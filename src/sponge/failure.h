@@ -27,9 +27,13 @@ enum class FaultKind {
   kRpcDelay,         // every RPC gains server-side processing delay
   kDiskSlowdown,     // disk accesses take `severity` times longer
   kLinkDegradation,  // NIC at `severity` of nominal bandwidth + latency
-  kTrackerOutage,    // tracker queries fail, polling stops
-  kTrackerStale,     // polling pauses; queries serve an aging list
+  kTrackerOutage,    // every tracker shard: queries fail, polling stops
+  kTrackerStale,     // every shard pauses polling; queries serve aging lists
   kBitRot,           // one random in-pool chunk byte flips
+  // Sharded-tracker gray failures; FaultEvent.node carries the RACK.
+  kTrackerShardOutage,  // one rack's shard: queries fail, polling stops
+  kTrackerShardStale,   // one rack's shard pauses polling
+  kGossipPartition,     // one shard stops exchanging digests
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -66,6 +70,11 @@ struct ChaosOptions {
   bool link_degradations = true;
   bool tracker_outages = true;
   bool bit_rot = true;
+  // Per-shard tracker faults (outage + staleness, rack drawn from the node
+  // draw) and gossip partitions. No-ops degrade gracefully on single-rack
+  // clusters, where the one shard IS the tracker.
+  bool tracker_shard_faults = true;
+  bool gossip_partitions = true;
 };
 
 // Injects machine failures into a SpongeEnv: either scheduled
@@ -103,11 +112,24 @@ class FailureInjector {
                                double bandwidth_factor,
                                Duration extra_latency, Duration duration);
 
-  // Tracker outage: queries fail UNAVAILABLE and polling stops.
+  // Tracker outage (every shard): queries fail UNAVAILABLE, polling stops.
   void ScheduleTrackerOutage(SimTime at, Duration duration);
 
-  // Staleness spike: polling pauses; queries keep serving the aging list.
+  // Staleness spike (every shard): polling pauses; queries keep serving
+  // the aging list.
   void ScheduleTrackerStale(SimTime at, Duration duration);
+
+  // Single-shard outage: only `rack`'s queries fail; other racks keep
+  // their remote-memory visibility (minus this rack, once its gossiped
+  // digest ages out).
+  void ScheduleTrackerShardOutage(size_t rack, SimTime at, Duration duration);
+
+  // Single-shard staleness spike: only `rack`'s polling pauses.
+  void ScheduleTrackerShardStale(size_t rack, SimTime at, Duration duration);
+
+  // Gossip partition: `rack`'s shard exchanges no digests during the
+  // window; cross-rack visibility ages out both ways and heals after.
+  void ScheduleGossipPartition(size_t rack, SimTime at, Duration duration);
 
   // Flips one byte of one allocated chunk in `node`'s pool at `at` (both
   // picks pre-drawn from the seeded Rng; no-op on an empty pool). Reads of

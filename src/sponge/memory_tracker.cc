@@ -2,81 +2,247 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 
 namespace spongefiles::sponge {
 
-MemoryTracker::MemoryTracker(sim::Engine* engine, cluster::Network* network,
-                             std::vector<SpongeServer*>* servers,
-                             size_t home_node,
-                             const MemoryTrackerConfig& config)
-    : engine_(engine),
-      network_(network),
-      servers_(servers),
-      home_node_(home_node),
-      config_(config) {}
+namespace {
 
-void MemoryTracker::Start() {
-  if (running_) return;
-  running_ = true;
-  engine_->Spawn(PollLoop());
-}
-
-sim::Task<> MemoryTracker::PollLoop() {
-  while (!stopping_) {
-    if (!down_ && !poll_paused_) co_await PollOnce();
-    co_await engine_->Delay(config_.poll_period);
-  }
-  running_ = false;
-}
-
-sim::Task<> MemoryTracker::PollOnce() {
-  static obs::Counter* const polls_counter =
-      obs::Registry::Default().counter("sponge.tracker.polls");
-  obs::SpanGuard span(&obs::Tracer::Default(), engine_, home_node_, 0,
-                      "tracker", "tracker.poll");
-  std::vector<FreeSpaceEntry> fresh;
-  for (SpongeServer* server : *servers_) {
-    if (!server->alive()) continue;
-    if (server->node_id() != home_node_) {
-      co_await network_->Rpc(home_node_, server->node_id(),
-                             config_.rpc_message_bytes,
-                             config_.rpc_message_bytes);
-    }
-    uint64_t free = server->free_bytes();
-    if (free > 0) fresh.push_back({server->node_id(), free});
-  }
-  std::sort(fresh.begin(), fresh.end(),
+void SortFreeList(std::vector<FreeSpaceEntry>* list) {
+  std::sort(list->begin(), list->end(),
             [](const FreeSpaceEntry& a, const FreeSpaceEntry& b) {
               if (a.free_bytes != b.free_bytes) {
                 return a.free_bytes > b.free_bytes;
               }
               return a.node < b.node;
             });
-  free_list_ = std::move(fresh);
-  ++polls_completed_;
-  polls_counter->Increment();
-  span.Arg("entries", static_cast<uint64_t>(free_list_.size()));
 }
 
-sim::Task<Result<std::vector<FreeSpaceEntry>>> MemoryTracker::Query(
+}  // namespace
+
+TrackerShard::TrackerShard(sim::Engine* engine, cluster::Network* network,
+                           std::vector<SpongeServer*> members, size_t rack,
+                           size_t num_racks,
+                           const MemoryTrackerConfig* config)
+    : engine_(engine),
+      network_(network),
+      members_(std::move(members)),
+      rack_(rack),
+      config_(config) {
+  SPONGE_CHECK(!members_.empty()) << "rack " << rack << " has no servers";
+  home_node_ = members_.front()->node_id();
+  digests_.resize(num_racks);
+  for (size_t r = 0; r < num_racks; ++r) digests_[r].rack = r;
+}
+
+sim::Task<> TrackerShard::PollOnce() {
+  static obs::Counter* const polls_counter =
+      obs::Registry::Default().counter("sponge.tracker.polls");
+  obs::SpanGuard span(&obs::Tracer::Default(), engine_, home_node_, 0,
+                      "tracker", "tracker.poll");
+  span.Arg("rack", static_cast<uint64_t>(rack_));
+  std::vector<FreeSpaceEntry> fresh;
+  for (SpongeServer* server : members_) {
+    if (!server->alive()) continue;
+    if (server->node_id() != home_node_) {
+      co_await network_->Rpc(home_node_, server->node_id(),
+                             config_->rpc_message_bytes,
+                             config_->rpc_message_bytes);
+    }
+    uint64_t free = server->free_bytes();
+    if (free > 0) fresh.push_back({server->node_id(), free, rack_});
+  }
+  SortFreeList(&fresh);
+  rack_list_ = std::move(fresh);
+  ++polls_completed_;
+  polls_counter->Increment();
+
+  // Rebuild this rack's own digest from the fresh list.
+  RackDigest& own = digests_[rack_];
+  own.version = polls_completed_;
+  own.built_at = engine_->now();
+  own.total_free = 0;
+  own.top.clear();
+  for (const FreeSpaceEntry& entry : rack_list_) {
+    own.total_free += entry.free_bytes;
+    if (own.top.size() < config_->digest_entries) own.top.push_back(entry);
+  }
+  span.Arg("entries", static_cast<uint64_t>(rack_list_.size()));
+}
+
+void TrackerShard::MergeDigest(const RackDigest& digest) {
+  if (digest.rack == rack_) return;  // own rack is always poll-fresh
+  RackDigest& held = digests_[digest.rack];
+  if (digest.version <= held.version) return;
+  held = digest;
+  ++digests_merged_;
+}
+
+std::vector<FreeSpaceEntry> TrackerShard::MergedView(SimTime now) const {
+  std::vector<FreeSpaceEntry> view = rack_list_;
+  for (const RackDigest& digest : digests_) {
+    if (digest.rack == rack_ || digest.version == 0) continue;
+    if (now - digest.built_at > config_->max_digest_age) continue;
+    view.insert(view.end(), digest.top.begin(), digest.top.end());
+  }
+  SortFreeList(&view);
+  return view;
+}
+
+ShardedMemoryTracker::ShardedMemoryTracker(
+    sim::Engine* engine, cluster::Network* network,
+    std::vector<SpongeServer*>* servers, const MemoryTrackerConfig& config)
+    : engine_(engine), network_(network), config_(config) {
+  size_t num_racks = network->num_racks();
+  std::vector<std::vector<SpongeServer*>> by_rack(num_racks);
+  for (SpongeServer* server : *servers) {
+    by_rack[network->rack_of(server->node_id())].push_back(server);
+  }
+  shards_.reserve(num_racks);
+  for (size_t r = 0; r < num_racks; ++r) {
+    shards_.push_back(std::make_unique<TrackerShard>(
+        engine, network, std::move(by_rack[r]), r, num_racks, &config_));
+  }
+}
+
+void ShardedMemoryTracker::Start() {
+  if (running_) return;
+  running_ = true;
+  for (auto& shard : shards_) engine_->Spawn(ShardPollLoop(shard.get()));
+  if (shards_.size() > 1) engine_->Spawn(GossipLoop());
+}
+
+sim::Task<> ShardedMemoryTracker::ShardPollLoop(TrackerShard* shard) {
+  while (!stopping_) {
+    if (!shard->down() && !shard->poll_paused()) co_await shard->PollOnce();
+    co_await engine_->Delay(config_.poll_period);
+  }
+}
+
+sim::Task<> ShardedMemoryTracker::GossipLoop() {
+  while (!stopping_) {
+    co_await engine_->Delay(config_.gossip_period);
+    if (stopping_) break;
+    co_await GossipRound();
+  }
+}
+
+uint64_t ShardedMemoryTracker::DigestWireBytes(
+    const TrackerShard& shard) const {
+  uint64_t bytes = 0;
+  for (const RackDigest& digest : shard.digests()) {
+    if (digest.version == 0) continue;
+    bytes += config_.gossip_digest_bytes +
+             config_.gossip_entry_bytes * digest.top.size();
+  }
+  return std::max<uint64_t>(bytes, config_.gossip_digest_bytes);
+}
+
+sim::Task<> ShardedMemoryTracker::Exchange(TrackerShard* a, TrackerShard* b) {
+  static obs::Counter* const exchanges_counter =
+      obs::Registry::Default().counter("sponge.tracker.gossip.exchanges");
+  static obs::Counter* const digest_bytes_counter =
+      obs::Registry::Default().counter("sponge.tracker.gossip.bytes");
+  obs::SpanGuard span(&obs::Tracer::Default(), engine_, a->home_node(), 0,
+                      "tracker", "tracker.gossip");
+  span.Arg("peer_rack", static_cast<uint64_t>(b->rack()));
+  uint64_t request = DigestWireBytes(*a);
+  uint64_t response = DigestWireBytes(*b);
+  co_await network_->Rpc(a->home_node(), b->home_node(), request, response);
+  // Full digest-set exchange (standard anti-entropy): both sides walk away
+  // with the element-wise newest of the two tables.
+  for (const RackDigest& digest : a->digests()) {
+    if (digest.version > 0) b->MergeDigest(digest);
+  }
+  for (const RackDigest& digest : b->digests()) {
+    if (digest.version > 0) a->MergeDigest(digest);
+  }
+  exchanges_counter->Increment();
+  digest_bytes_counter->Increment(request + response);
+}
+
+sim::Task<> ShardedMemoryTracker::GossipRound() {
+  static obs::Counter* const rounds_counter =
+      obs::Registry::Default().counter("sponge.tracker.gossip.rounds");
+  const size_t num = shards_.size();
+  if (num < 2) co_return;
+  const size_t step = gossip_step_;
+  gossip_step_ = gossip_step_ % (num - 1) + 1;
+  for (size_t i = 0; i < num; ++i) {
+    TrackerShard* a = shards_[i].get();
+    TrackerShard* b = shards_[(i + step) % num].get();
+    if (a->down() || b->down()) continue;
+    if (a->gossip_partitioned() || b->gossip_partitioned()) continue;
+    co_await Exchange(a, b);
+  }
+  ++gossip_rounds_;
+  rounds_counter->Increment();
+}
+
+sim::Task<> ShardedMemoryTracker::PollOnce() {
+  for (auto& shard : shards_) {
+    if (!shard->down() && !shard->poll_paused()) co_await shard->PollOnce();
+  }
+  co_await GossipRound();
+}
+
+sim::Task<Result<std::vector<FreeSpaceEntry>>> ShardedMemoryTracker::Query(
     size_t from_node) {
   static obs::Counter* const queries_counter =
       obs::Registry::Default().counter("sponge.tracker.queries");
   queries_counter->Increment();
   obs::SpanGuard span(&obs::Tracer::Default(), engine_, from_node, 0,
                       "tracker", "tracker.query");
-  if (from_node != home_node_) {
-    co_await network_->Rpc(from_node, home_node_, config_.rpc_message_bytes,
+  TrackerShard& shard = *shards_[network_->rack_of(from_node)];
+  span.Arg("rack", static_cast<uint64_t>(shard.rack()));
+  if (from_node != shard.home_node()) {
+    // Always a rack-local hop: the shard home lives on the caller's rack.
+    co_await network_->Rpc(from_node, shard.home_node(),
+                           config_.rpc_message_bytes,
                            config_.rpc_message_bytes * 4);
   }
-  if (down_) {
+  if (shard.down()) {
     // The caller paid the round trip only to find nobody home (in real
     // life a connection refusal / timeout).
-    co_return Unavailable("memory tracker down");
+    co_return Unavailable("memory tracker shard down");
   }
-  co_return free_list_;
+  shard.RecordQuery();
+  co_return shard.MergedView(engine_->now());
+}
+
+const std::vector<FreeSpaceEntry>& ShardedMemoryTracker::snapshot() const {
+  snapshot_cache_.clear();
+  for (const auto& shard : shards_) {
+    snapshot_cache_.insert(snapshot_cache_.end(), shard->rack_list().begin(),
+                           shard->rack_list().end());
+  }
+  SortFreeList(&snapshot_cache_);
+  return snapshot_cache_;
+}
+
+uint64_t ShardedMemoryTracker::polls_completed() const {
+  uint64_t min_polls = shards_.empty() ? 0 : shards_[0]->polls_completed();
+  for (const auto& shard : shards_) {
+    min_polls = std::min(min_polls, shard->polls_completed());
+  }
+  return min_polls;
+}
+
+void ShardedMemoryTracker::SetDown(bool down) {
+  for (auto& shard : shards_) shard->SetDown(down);
+}
+
+bool ShardedMemoryTracker::down() const {
+  for (const auto& shard : shards_) {
+    if (!shard->down()) return false;
+  }
+  return !shards_.empty();
+}
+
+void ShardedMemoryTracker::SetPollPaused(bool paused) {
+  for (auto& shard : shards_) shard->SetPollPaused(paused);
 }
 
 }  // namespace spongefiles::sponge

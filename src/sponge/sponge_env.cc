@@ -23,12 +23,13 @@ SpongeEnv::SpongeEnv(cluster::Cluster* cluster, cluster::Dfs* dfs,
     server_ptrs_.push_back(servers_.back().get());
   }
   for (auto& server : servers_) server->SetPeers(&server_ptrs_);
-  // The tracker runs on node 0 (any node works; it is stateless — the
-  // paper suggests leader election via ZooKeeper for placement).
+  // One tracker shard per rack, homed on the rack's lowest-numbered node
+  // (any node works; shards are stateless — the paper suggests leader
+  // election via ZooKeeper for placement). Single-rack clusters get
+  // exactly the old single tracker on node 0.
   tracker_ = std::make_unique<MemoryTracker>(cluster->engine(),
                                              &cluster->network(),
-                                             &server_ptrs_, 0,
-                                             tracker_config);
+                                             &server_ptrs_, tracker_config);
 }
 
 void SpongeEnv::StartServices() {

@@ -29,8 +29,12 @@ struct SpongeConfig {
   // server over a socket (Table 1's second column) instead of directly
   // through shared memory.
   bool direct_local_access = true;
-  // Remote chunks only on the same rack (oversubscribed cross-rack links).
-  bool restrict_to_rack = true;
+  // Adds the cross-rack rung to the cascade: local memory -> rack-local
+  // remote memory -> cross-rack remote memory -> disk. Off by default (the
+  // paper's rack-local policy, respecting oversubscribed cross-rack
+  // links); when on, cross-rack servers are tried only after every
+  // rack-local candidate is exhausted.
+  bool allow_cross_rack = false;
   // Prefer remote servers already hosting chunks of this task.
   bool affinity = true;
   // Prefetch the next non-local chunk during sequential reads.

@@ -61,11 +61,35 @@ obs::Counter* DecisionCounter(std::string_view reason) {
   return affinity_hit;
 }
 
+// Remote-memory placements split by rack locality (the cross-rack rung).
+const MediumMetrics& RemoteLocalityMetricsFor(bool cross_rack) {
+  static obs::Registry& registry = obs::Registry::Default();
+  static const MediumMetrics metrics[] = {
+      {registry.counter("sponge.spill.remote.bytes",
+                        {{"locality", "rack-local"}}),
+       registry.counter("sponge.spill.remote.chunks",
+                        {{"locality", "rack-local"}})},
+      {registry.counter("sponge.spill.remote.bytes",
+                        {{"locality", "cross-rack"}}),
+       registry.counter("sponge.spill.remote.chunks",
+                        {{"locality", "cross-rack"}})},
+  };
+  return metrics[cross_rack ? 1 : 0];
+}
+
 // Records why the allocation cascade moved past (or preferred) a placement:
-// a counter bump plus, when tracing, an instant event at the task's lane.
+// a counter bump (cluster-wide and per-rack) plus, when tracing, an instant
+// event at the task's lane.
 void SpillDecision(SpongeEnv* env, const TaskContext* task,
                    const char* reason) {
   DecisionCounter(reason)->Increment();
+  // The per-rack breakdown is what lets a tracker-shard outage be pinned
+  // to its rack: only that rack's tracker-down count moves.
+  obs::Registry::Default()
+      .counter("sponge.spill.reason",
+               {{"rack", std::to_string(env->cluster()->rack_of(task->node))},
+                {"reason", reason}})
+      ->Increment();
   obs::Tracer& tracer = obs::Tracer::Default();
   if (tracer.enabled()) {
     tracer.InstantEvent(env->engine()->now(), task->node, task->task_id,
@@ -232,47 +256,62 @@ sim::Task<Status> SpongeFile::StoreIntoRecord(size_t index, ByteRuns chunk) {
     SpillDecision(env_, task_, "pool-full");
   }
 
-  // 2. Remote sponge memory on the same rack. Each iteration allocates a
-  // slot somewhere and tries the (hardened) write; a server that accepts
+  // 2. Remote sponge memory: first the rack-local rung, then — only when
+  // the config allows it and every rack-local candidate is exhausted — the
+  // cross-rack rung over the oversubscribed core. Each iteration allocates
+  // a slot somewhere and tries the (hardened) write; a server that accepts
   // the allocation but then fails the write is bounced and the next
-  // candidate tried, until the free list runs dry and we fall to disk.
+  // candidate tried, until both rungs run dry and we fall to disk.
   if (config.allow_remote_memory) {
-    while (true) {
-      auto allocated = co_await AllocateRemote();
-      if (!allocated.ok()) break;
-      auto [target, remote_handle] = *allocated;
-      Status stored = co_await HardenedCall<Status>(
-          env_->engine(), &env_->health(), config.rpc, &env_->rpc_rng(),
-          target, [this, target, remote_handle, &owner, &chunk] {
-            return env_->server(target).RemoteWrite(task_->node,
-                                                    remote_handle, owner,
-                                                    chunk);
-          });
-      if (!stored.ok()) {
-        SpillDecision(env_, task_,
-                      IsRpcTimeout(stored) ? "rpc-timeout" : "server-sick");
-        if (std::find(bounced_nodes_.begin(), bounced_nodes_.end(), target) ==
-            bounced_nodes_.end()) {
-          bounced_nodes_.push_back(target);
+    const int passes = config.allow_cross_rack ? 2 : 1;
+    for (int pass = 0; pass < passes; ++pass) {
+      const bool cross_rack = pass == 1;
+      while (true) {
+        auto allocated = co_await AllocateRemote(cross_rack);
+        if (!allocated.ok()) break;
+        auto [target, remote_handle] = *allocated;
+        Status stored = co_await HardenedCall<Status>(
+            env_->engine(), &env_->health(), config.rpc, &env_->rpc_rng(),
+            target, [this, target, remote_handle, &owner, &chunk] {
+              return env_->server(target).RemoteWrite(task_->node,
+                                                      remote_handle, owner,
+                                                      chunk);
+            });
+        if (!stored.ok()) {
+          SpillDecision(env_, task_,
+                        IsRpcTimeout(stored) ? "rpc-timeout" : "server-sick");
+          if (std::find(bounced_nodes_.begin(), bounced_nodes_.end(),
+                        target) == bounced_nodes_.end()) {
+            bounced_nodes_.push_back(target);
+          }
+          continue;
         }
-        continue;
+        record.location = ChunkLocation::kRemoteMemory;
+        record.node = target;
+        record.handle = remote_handle;
+        if (std::find(task_->sponge_affinity.begin(),
+                      task_->sponge_affinity.end(),
+                      target) == task_->sponge_affinity.end()) {
+          task_->sponge_affinity.push_back(target);
+        }
+        ++stats_.chunks_remote_memory;
+        stats_.bytes_remote_memory += record.size;
+        if (cross_rack) {
+          ++stats_.chunks_remote_cross_rack;
+          stats_.bytes_remote_cross_rack += record.size;
+        }
+        stats_.fragmentation_bytes += config.chunk_size - record.size;
+        MediumMetricsFor(ChunkLocation::kRemoteMemory).bytes->Increment(
+            record.size);
+        MediumMetricsFor(ChunkLocation::kRemoteMemory).chunks->Increment();
+        RemoteLocalityMetricsFor(cross_rack).bytes->Increment(record.size);
+        RemoteLocalityMetricsFor(cross_rack).chunks->Increment();
+        span.Arg("medium", std::string("remote-memory"));
+        span.Arg("locality", std::string(cross_rack ? "cross-rack"
+                                                    : "rack-local"));
+        span.Arg("node", static_cast<uint64_t>(target));
+        co_return Status::OK();
       }
-      record.location = ChunkLocation::kRemoteMemory;
-      record.node = target;
-      record.handle = remote_handle;
-      if (std::find(task_->sponge_affinity.begin(), task_->sponge_affinity.end(),
-                    target) == task_->sponge_affinity.end()) {
-        task_->sponge_affinity.push_back(target);
-      }
-      ++stats_.chunks_remote_memory;
-      stats_.bytes_remote_memory += record.size;
-      stats_.fragmentation_bytes += config.chunk_size - record.size;
-      MediumMetricsFor(ChunkLocation::kRemoteMemory).bytes->Increment(
-          record.size);
-      MediumMetricsFor(ChunkLocation::kRemoteMemory).chunks->Increment();
-      span.Arg("medium", std::string("remote-memory"));
-      span.Arg("node", static_cast<uint64_t>(target));
-      co_return Status::OK();
     }
   }
 
@@ -340,7 +379,7 @@ sim::Task<Status> SpongeFile::StoreIntoRecord(size_t index, ByteRuns chunk) {
 }
 
 sim::Task<Result<std::pair<size_t, ChunkHandle>>>
-SpongeFile::AllocateRemote() {
+SpongeFile::AllocateRemote(bool cross_rack) {
   const SpongeConfig& config = env_->config();
   if (!free_list_loaded_) {
     Result<std::vector<FreeSpaceEntry>> list =
@@ -356,11 +395,18 @@ SpongeFile::AllocateRemote() {
     free_list_loaded_ = true;
   }
 
+  // Each pass walks one locality rung: the rack-local pass only considers
+  // same-rack servers, the cross-rack pass only off-rack ones (anything
+  // rack-local was already exhausted by then).
   auto eligible = [&](size_t node) {
     if (node == task_->node) return false;
-    if (config.restrict_to_rack &&
-        !env_->cluster()->SameRack(node, task_->node)) {
-      SpillDecision(env_, task_, "rack-restricted");
+    const bool same_rack = env_->cluster()->SameRack(node, task_->node);
+    if (same_rack == cross_rack) {
+      // An off-rack candidate skipped with no cross-rack rung to catch it
+      // later is the paper's rack restriction biting.
+      if (!cross_rack && !config.allow_cross_rack) {
+        SpillDecision(env_, task_, "rack-restricted");
+      }
       return false;
     }
     return true;

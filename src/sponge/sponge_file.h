@@ -29,6 +29,7 @@ const char* ChunkLocationName(ChunkLocation location);
 // back, closed, read back sequentially once, then deleted. Chunks are
 // placed by the cascade: local sponge memory -> remote sponge memory on
 // the same rack (servers already hosting this task's chunks first) ->
+// remote sponge memory across racks (only when allow_cross_rack is set) ->
 // local disk (coalescing consecutive disk chunks into one growing file) ->
 // the distributed filesystem as the last resort.
 //
@@ -49,6 +50,10 @@ class SpongeFile {
     uint64_t bytes_remote_memory = 0;
     uint64_t bytes_local_disk = 0;
     uint64_t bytes_dfs = 0;
+    // Cross-rack subset of the remote-memory totals above (the cascade's
+    // third rung; zero unless SpongeConfig::allow_cross_rack).
+    uint64_t chunks_remote_cross_rack = 0;
+    uint64_t bytes_remote_cross_rack = 0;
     uint64_t disk_files = 0;
     uint64_t stale_list_retries = 0;  // allocation attempts that bounced
     // Memory occupied by in-memory chunk slots beyond the logical bytes
@@ -132,7 +137,10 @@ class SpongeFile {
   // free list) issuing allocation RPCs until one succeeds; NOT_FOUND when
   // every candidate is full or ineligible. Bounced attempts (stale list)
   // are counted and the bounced server is skipped for later chunks.
-  sim::Task<Result<std::pair<size_t, ChunkHandle>>> AllocateRemote();
+  // `cross_rack` selects the locality rung: false walks same-rack
+  // candidates only, true off-rack only.
+  sim::Task<Result<std::pair<size_t, ChunkHandle>>> AllocateRemote(
+      bool cross_rack);
 
   sim::Task<Status> WaitForPendingStore();
 

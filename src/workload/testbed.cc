@@ -7,7 +7,12 @@ namespace spongefiles::workload {
 Testbed::Testbed(const TestbedConfig& config) {
   cluster::ClusterConfig cc;
   cc.num_nodes = config.num_nodes;
-  cc.nodes_per_rack = 40;  // single rack, like the 30-node testbed
+  cc.nodes_per_rack = config.nodes_per_rack;
+  if (config.oversubscription > 0) {
+    cc.network.cross_rack_bandwidth =
+        static_cast<double>(config.nodes_per_rack) * cc.network.bandwidth /
+        config.oversubscription;
+  }
   cc.node.physical_memory = config.node_memory;
   cc.node.map_slots = 2;
   cc.node.reduce_slots = 1;

@@ -19,6 +19,12 @@ namespace spongefiles::workload {
 // vary node memory (4 vs 16 GB), sponge size, and heap size.
 struct TestbedConfig {
   size_t num_nodes = 30;
+  // 40 keeps the default testbed single-rack like the paper's; smaller
+  // values split it into racks (tracker shards, rack-local spill rungs).
+  size_t nodes_per_rack = 40;
+  // 0 leaves the core non-blocking; > 0 meters cross-rack transfers at
+  // nodes_per_rack * bandwidth / oversubscription per rack uplink.
+  double oversubscription = 0;
   uint64_t node_memory = 16ull * 1024 * 1024 * 1024;
   uint64_t heap_per_slot = 1024ull * 1024 * 1024;
   uint64_t sponge_memory = 1024ull * 1024 * 1024;

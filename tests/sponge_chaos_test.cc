@@ -51,6 +51,11 @@ constexpr SimTime kFaultHorizon = Seconds(90);
 ChaosRun RunChaosJob(uint64_t seed, bool inject) {
   workload::TestbedConfig bed_config;
   bed_config.num_nodes = 8;
+  // Two racks behind a 4:1 core: the chaos sweep then also exercises
+  // tracker-shard outages, gossip partitions, and the cross-rack rung.
+  bed_config.nodes_per_rack = 4;
+  bed_config.oversubscription = 4.0;
+  bed_config.sponge.allow_cross_rack = true;
   bed_config.sponge_memory = MiB(64);
   // Hedged reads stay on for both the fault-free baseline and the chaos
   // runs (so their outputs stay comparable): slow-but-alive servers are

@@ -219,7 +219,7 @@ TEST(SpongeFileTest, AffinityPrefersServersAlreadyHoldingChunks) {
 TEST(SpongeFileTest, RackRestrictionKeepsChunksOnRack) {
   // 4 nodes, 2 racks. Task on node 0 (rack 0); only node 1 shares the rack.
   SpongeConfig config;
-  config.restrict_to_rack = true;
+  config.allow_cross_rack = false;
   SpongeFixture f(config, MiB(2), /*num_nodes=*/4, /*nodes_per_rack=*/2);
   SpongeFile file(f.env.get(), &f.task, "rack");
   auto run = [&]() -> sim::Task<> {
@@ -239,7 +239,7 @@ TEST(SpongeFileTest, RackRestrictionKeepsChunksOnRack) {
 
 TEST(SpongeFileTest, CrossRackAllowedWhenUnrestricted) {
   SpongeConfig config;
-  config.restrict_to_rack = false;
+  config.allow_cross_rack = true;
   SpongeFixture f(config, MiB(2), /*num_nodes=*/4, /*nodes_per_rack=*/2);
   SpongeFile file(f.env.get(), &f.task, "xrack");
   auto run = [&]() -> sim::Task<> {

@@ -2,9 +2,9 @@
 # Runs spongelint over the tree, then builds with ASan+UBSan (warnings as
 # errors) and runs the full test suite under it.
 # Usage: tools/check.sh [--perf] [build-dir]   (default: build-san)
-#   --perf  afterwards runs tools/perf.sh: the self-perf suite on both data
-#           planes, gating on byte-identical metrics/trace/sim snapshots
-#           between the fast path and the no-opt (legacy) build.
+#   --perf  afterwards runs tools/perf.sh: the self-perf suite run twice
+#           on one build, gating on byte-identical metrics/trace/sim
+#           snapshots between the runs.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -39,7 +39,9 @@ export ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1"
 # we spend the time on a wide seed sweep. Every chaos run (baseline and
 # injected) executes with speculation and hedged reads enabled, so the
 # sweep also shakes down backup attempts racing faults and hedge
-# duplicates landing after their primary was abandoned.
+# duplicates landing after their primary was abandoned. The chaos testbed
+# is multi-rack, so the seed sweep also draws tracker-shard outages,
+# stale-shard pauses, and gossip partitions from the fault mix.
 export SPONGE_CHAOS_SEEDS=20
 # Deep coroutine resumption chains (k-way merge driving a reducer driving
 # bag spills) fit the default 8 MB stack, but not with ASan's inflated
@@ -48,6 +50,14 @@ ulimit -s 131072
 
 ctest --test-dir "$build" --output-on-failure -j "$(nproc)"
 echo "sanitizer check passed"
+
+# Datacenter-replay smoke under the sanitizers: a small rack shape with
+# the mid-run tracker-shard outage. The binary exits nonzero unless every
+# task completed and the outage's tracker-down spill decisions stayed
+# isolated to the affected rack.
+"$build/bench/bench_datacenter" --racks=4 --nodes-per-rack=8 --jobs=80 \
+  --out="$build/BENCH_datacenter_smoke.json"
+echo "datacenter smoke passed"
 
 if [ "$perf" = 1 ]; then
   "$repo/tools/perf.sh"
