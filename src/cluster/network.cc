@@ -47,6 +47,16 @@ Network::Network(sim::Engine* engine, size_t num_nodes,
   downlink_bytes_.assign(num_racks, 0);
   uplink_busy_.assign(num_racks, 0);
   downlink_busy_.assign(num_racks, 0);
+  repair_uplink_bytes_.assign(num_racks, 0);
+}
+
+void Network::NoteRepairTraffic(size_t src, size_t dst, uint64_t bytes) {
+  SPONGE_CHECK(src < racks_.size() && dst < racks_.size());
+  static obs::Counter* const repair_counter =
+      obs::Registry::Default().counter("cluster.net.repair.bytes");
+  repair_counter->Increment(bytes);
+  repair_bytes_ += bytes;
+  repair_uplink_bytes_[racks_[src]] += bytes;
 }
 
 sim::Task<> Network::Transfer(size_t src, size_t dst, uint64_t bytes) {

@@ -64,6 +64,17 @@ class Network {
 
   uint64_t bytes_transferred() const { return bytes_transferred_; }
 
+  // Background-repair traffic accounting (re-replication after a sponge
+  // server death). The bytes already went through Transfer and paid their
+  // simulated time there; this tags them so operators — and the
+  // bench_recovery budget gate — can tell repair load apart from
+  // foreground spill traffic, per rack uplink.
+  void NoteRepairTraffic(size_t src, size_t dst, uint64_t bytes);
+  uint64_t repair_bytes() const { return repair_bytes_; }
+  uint64_t rack_repair_uplink_bytes(size_t rack) const {
+    return repair_uplink_bytes_[rack];
+  }
+
   size_t num_racks() const { return uplink_.size(); }
   size_t rack_of(size_t node) const { return racks_[node]; }
 
@@ -101,6 +112,8 @@ class Network {
   std::vector<Duration> link_extra_latency_;
   uint64_t bytes_transferred_ = 0;
   uint64_t cross_rack_bytes_ = 0;
+  uint64_t repair_bytes_ = 0;
+  std::vector<uint64_t> repair_uplink_bytes_;  // per source rack
 
  public:
   uint64_t cross_rack_bytes() const { return cross_rack_bytes_; }

@@ -161,6 +161,9 @@ sim::Task<> JobTracker::RunOneMap(const JobConfig* config, MapTaskState* state,
       }
     }
     if (state->attempts.primary_attempts() >= config->max_attempts) break;
+    // Falling through to another Launch: this is a real re-run, count it
+    // with the failure that caused it.
+    CountTaskRerun(last);
   }
   if (!last.ok()) state->attempts.KillAll();
   ReleaseMapSlot(node);
@@ -247,6 +250,7 @@ sim::Task<> JobTracker::RunOneReduce(const JobConfig* config,
       }
     }
     if (state->attempts.primary_attempts() >= config->max_attempts) break;
+    CountTaskRerun(last);
   }
   if (!last.ok()) state->attempts.KillAll();
   reduce_slots_[node]->Release();

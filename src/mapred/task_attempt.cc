@@ -1,8 +1,38 @@
 #include "mapred/task_attempt.h"
 
+#include <string>
+
 #include "obs/metrics.h"
+#include "sponge/rpc_client.h"
 
 namespace spongefiles::mapred {
+
+const char* TaskRerunReason(const Status& status) {
+  if (sponge::IsRpcTimeout(status)) return "timeout";
+  // Checksum mismatches surface as UNAVAILABLE too (the chunk is equally
+  // lost), but corruption and crashes are different operational problems;
+  // split them by the message the verifier attaches.
+  if (status.message().find("checksum") != std::string::npos) {
+    return "checksum";
+  }
+  switch (status.code()) {
+    case StatusCode::kUnavailable:
+      return "chunk-lost";
+    case StatusCode::kAborted:
+      return "aborted";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
+    default:
+      return "other";
+  }
+}
+
+void CountTaskRerun(const Status& status) {
+  obs::Registry::Default()
+      .counter("mapred.task.rerun.reason",
+               {{"reason", TaskRerunReason(status)}})
+      ->Increment();
+}
 
 namespace {
 

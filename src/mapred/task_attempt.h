@@ -6,10 +6,23 @@
 #include <string>
 #include <vector>
 
+#include "common/status.h"
 #include "common/units.h"
 #include "sponge/sponge_env.h"
 
 namespace spongefiles::mapred {
+
+// Classifies why a failed attempt is being re-run: "timeout" (RPC deadline
+// chains), "checksum" (corrupted data detected on read), "chunk-lost"
+// (other unavailable sponge data — crashed server, open breaker),
+// "aborted", "resource-exhausted", or "other".
+const char* TaskRerunReason(const Status& status);
+
+// Bumps mapred.task.rerun.reason{reason=...}. Called by the JobTracker
+// right before launching a sequential retry — backups and final failures
+// are not re-runs and stay uncounted, so the counter total equals
+// launched-minus-first attempts of the primary chains.
+void CountTaskRerun(const Status& status);
 
 enum class TaskKind { kMap, kReduce };
 

@@ -16,9 +16,16 @@ namespace spongefiles::sponge {
 struct ChunkOwner {
   uint64_t task_id = 0;  // 0 means the slot is free
   size_t node = 0;       // node where the owning task runs
+  // Marks a redundant second copy placed by the replication subsystem.
+  // Replicas share the owning task's id — GC liveness is keyed by task_id,
+  // so a dead attempt's replicas are reclaimed along with its primaries —
+  // but carry a distinct identity so diagnostics and ownership checks can
+  // tell the copies apart.
+  bool replica = false;
 
   bool operator==(const ChunkOwner& other) const {
-    return task_id == other.task_id && node == other.node;
+    return task_id == other.task_id && node == other.node &&
+           replica == other.replica;
   }
 };
 

@@ -1,6 +1,7 @@
 #include "sponge/failure.h"
 
 #include <cmath>
+#include <string>
 #include <utility>
 
 #include "sim/task.h"
@@ -31,6 +32,13 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kGossipPartition: return "gossip-partition";
   }
   return "?";
+}
+
+Result<FaultKind> FaultKindFromName(std::string_view name) {
+  for (FaultKind kind : kAllFaultKinds) {
+    if (name == FaultKindName(kind)) return kind;
+  }
+  return InvalidArgument("unknown fault kind: " + std::string(name));
 }
 
 namespace {
@@ -243,7 +251,8 @@ size_t FailureInjector::ScheduleChaos(const ChaosOptions& options) {
                         : options.min_duration;
     switch (kind) {
       case FaultKind::kCrash:
-        ScheduleCrash(node, at, /*downtime=*/span);
+        ScheduleCrash(node, at,
+                      options.fail_stop_crashes ? 0 : /*downtime=*/span);
         break;
       case FaultKind::kHang:
         ScheduleHang(node, at, span);

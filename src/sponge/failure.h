@@ -2,9 +2,11 @@
 #define SPONGEFILES_SPONGE_FAILURE_H_
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "common/random.h"
+#include "common/status.h"
 #include "common/units.h"
 #include "sponge/sponge_env.h"
 
@@ -36,7 +38,27 @@ enum class FaultKind {
   kGossipPartition,     // one shard stops exchanging digests
 };
 
+// Every fault kind, in declaration order. Kept next to the enum so adding
+// a kind updates both (the round-trip test catches a missed entry).
+inline constexpr FaultKind kAllFaultKinds[] = {
+    FaultKind::kCrash,
+    FaultKind::kHang,
+    FaultKind::kRpcDelay,
+    FaultKind::kDiskSlowdown,
+    FaultKind::kLinkDegradation,
+    FaultKind::kTrackerOutage,
+    FaultKind::kTrackerStale,
+    FaultKind::kBitRot,
+    FaultKind::kTrackerShardOutage,
+    FaultKind::kTrackerShardStale,
+    FaultKind::kGossipPartition,
+};
+
 const char* FaultKindName(FaultKind kind);
+
+// Inverse of FaultKindName (fault schedules read back from logs/configs);
+// INVALID_ARGUMENT for an unknown name.
+Result<FaultKind> FaultKindFromName(std::string_view name);
 
 // One scheduled fault, recorded so tests can assert determinism and logs
 // can explain a run. `severity` is the slowdown factor (kDiskSlowdown),
@@ -64,6 +86,10 @@ struct ChaosOptions {
   Duration min_duration = Millis(200);
   Duration max_duration = Seconds(5);
   bool crashes = true;
+  // When set, chaos crashes are fail-stop (the node never restarts) —
+  // the paper's failure model and what the replication subsystem is built
+  // to survive. Off, crashed nodes restart after the drawn span.
+  bool fail_stop_crashes = false;
   bool hangs = true;
   bool rpc_delays = true;
   bool disk_slowdowns = true;

@@ -33,6 +33,7 @@ TrackerShard::TrackerShard(sim::Engine* engine, cluster::Network* network,
       config_(config) {
   SPONGE_CHECK(!members_.empty()) << "rack " << rack << " has no servers";
   home_node_ = members_.front()->node_id();
+  member_alive_.assign(members_.size(), 1);
   digests_.resize(num_racks);
   for (size_t r = 0; r < num_racks; ++r) digests_[r].rack = r;
 }
@@ -43,9 +44,23 @@ sim::Task<> TrackerShard::PollOnce() {
   obs::SpanGuard span(&obs::Tracer::Default(), engine_, home_node_, 0,
                       "tracker", "tracker.poll");
   span.Arg("rack", static_cast<uint64_t>(rack_));
+  static obs::Counter* const deaths_counter =
+      obs::Registry::Default().counter("sponge.tracker.deaths_detected");
   std::vector<FreeSpaceEntry> fresh;
-  for (SpongeServer* server : members_) {
-    if (!server->alive()) continue;
+  for (size_t i = 0; i < members_.size(); ++i) {
+    SpongeServer* server = members_[i];
+    if (!server->alive()) {
+      // In real life this poll RPC would time out; the edge (server was
+      // alive last round, is not now) is the shard detecting a fail-stop
+      // crash. Fires the death listener exactly once per transition.
+      if (member_alive_[i] != 0) {
+        member_alive_[i] = 0;
+        deaths_counter->Increment();
+        if (death_listener_) death_listener_(server->node_id());
+      }
+      continue;
+    }
+    member_alive_[i] = 1;
     if (server->node_id() != home_node_) {
       co_await network_->Rpc(home_node_, server->node_id(),
                              config_->rpc_message_bytes,

@@ -2,7 +2,9 @@
 #define SPONGEFILES_SPONGE_MEMORY_TRACKER_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "cluster/network.h"
@@ -86,6 +88,16 @@ class TrackerShard {
   // the rack is omitted entirely. Sorted most-free-first, node-ascending.
   std::vector<FreeSpaceEntry> MergedView(SimTime now) const;
 
+  // Death detection: the poll loop is the one component that regularly
+  // talks to every server on the rack, so an alive -> dead transition
+  // observed by PollOnce (the sim's stand-in for a poll RPC timing out) is
+  // where a fail-stop crash becomes actionable. The listener fires once
+  // per transition, from inside the polling coroutine; a server that
+  // restarts and dies again fires again.
+  void SetDeathListener(std::function<void(size_t node)> listener) {
+    death_listener_ = std::move(listener);
+  }
+
   size_t rack() const { return rack_; }
   size_t home_node() const { return home_node_; }
   uint64_t polls_completed() const { return polls_completed_; }
@@ -123,6 +135,10 @@ class TrackerShard {
 
   std::vector<FreeSpaceEntry> rack_list_;
   std::vector<RackDigest> digests_;  // indexed by rack
+  // Last liveness observed per member (parallel to members_), for
+  // edge-triggered death detection.
+  std::vector<uint8_t> member_alive_;
+  std::function<void(size_t node)> death_listener_;
   bool down_ = false;
   bool poll_paused_ = false;
   bool gossip_partitioned_ = false;
@@ -169,6 +185,11 @@ class ShardedMemoryTracker {
   // Complete cluster-coverage rounds: the minimum over shards, so a wedged
   // shard shows up as the whole tracker falling behind.
   uint64_t polls_completed() const;
+
+  // Installs `listener` on every shard (each shard watches its own rack).
+  void SetDeathListener(std::function<void(size_t node)> listener) {
+    for (auto& shard : shards_) shard->SetDeathListener(listener);
+  }
 
   size_t num_shards() const { return shards_.size(); }
   TrackerShard& shard(size_t rack) { return *shards_[rack]; }

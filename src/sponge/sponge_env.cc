@@ -1,6 +1,10 @@
 #include "sponge/sponge_env.h"
 
+#include "sponge/repair.h"
+
 namespace spongefiles::sponge {
+
+SpongeEnv::~SpongeEnv() = default;
 
 SpongeEnv::SpongeEnv(cluster::Cluster* cluster, cluster::Dfs* dfs,
                      const SpongeConfig& config,
@@ -30,16 +34,26 @@ SpongeEnv::SpongeEnv(cluster::Cluster* cluster, cluster::Dfs* dfs,
   tracker_ = std::make_unique<MemoryTracker>(cluster->engine(),
                                              &cluster->network(),
                                              &server_ptrs_, tracker_config);
+  repair_ = std::make_unique<RepairService>(this);
 }
 
 void SpongeEnv::StartServices() {
   tracker_->Start();
   for (auto& server : servers_) server->StartGc(&server_ptrs_);
+  if (config_.replication.enabled) {
+    // Crash recovery rides on the tracker's poll loop: the shard that
+    // stops hearing from a server reports the death, the repair service
+    // restores the two-copy invariant for its chunks.
+    RepairService* repair = repair_.get();
+    tracker_->SetDeathListener(
+        [repair](size_t node) { repair->NotifyServerDeath(node); });
+  }
 }
 
 void SpongeEnv::StopServices() {
   tracker_->Shutdown();
   for (auto& server : servers_) server->Shutdown();
+  repair_->Shutdown();
 }
 
 TaskContext SpongeEnv::StartTask(size_t node) {

@@ -17,6 +17,31 @@
 
 namespace spongefiles::sponge {
 
+class RepairService;
+
+// Chunk replication: place a second copy of every memory-resident chunk on
+// another server when pool pressure allows, so a fail-stop crash of the
+// holder costs a failover read instead of a task re-run. Off by default —
+// it spends memory and network to buy durability, the opposite trade from
+// the paper's baseline.
+struct ReplicationConfig {
+  bool enabled = false;
+  // Pressure gate: a candidate server qualifies as a replica target only
+  // while its digest-reported free space is at least this fraction of a
+  // node's pool. Replication is strictly best-effort — under pressure the
+  // spare copy is skipped rather than crowding out foreground spills.
+  double min_free_fraction = 0.25;
+  // Prefer a replica on a different rack from the primary (survives
+  // rack-correlated failures); falls back to same-rack when no off-rack
+  // candidate passes the pressure gate.
+  bool prefer_rack_diverse = true;
+  // Re-replication repair budget, as a fraction of the rack uplink rate
+  // (the NIC rate when the core is unmetered): after copying a chunk the
+  // repair loop idles long enough that its average throughput never
+  // exceeds this, so repair cannot starve foreground spills.
+  double repair_bandwidth_fraction = 0.10;
+};
+
 // Knobs governing SpongeFile behaviour; defaults match the paper's
 // implementation choices (1 MB chunks, rack-local remote spilling, chunk
 // prefetch on read, asynchronous writes to non-local media, direct
@@ -62,6 +87,8 @@ struct SpongeConfig {
   RpcPolicy rpc;
   // Seeds the deterministic backoff jitter.
   uint64_t rpc_jitter_seed = 0x5f0a9e;
+  // Chunk replication and crash recovery (see ReplicationConfig above).
+  ReplicationConfig replication;
 };
 
 // The per-task view a SpongeFile needs: identity for chunk ownership and
@@ -92,8 +119,11 @@ class SpongeEnv {
 
   SpongeEnv(const SpongeEnv&) = delete;
   SpongeEnv& operator=(const SpongeEnv&) = delete;
+  ~SpongeEnv();  // defined in .cc: RepairService is incomplete here
 
-  // Starts the tracker poll loop and each server's GC loop.
+  // Starts the tracker poll loop, each server's GC loop, and (when
+  // replication is enabled) hooks the tracker's death detection up to the
+  // repair service.
   void StartServices();
   // Stops the loops (lets Engine::Run drain).
   void StopServices();
@@ -110,6 +140,8 @@ class SpongeEnv {
   // this environment, and the seeded Rng their backoff jitter draws from.
   HealthBoard& health() { return *health_; }
   Rng& rpc_rng() { return rpc_rng_; }
+  ReplicaDirectory& replicas() { return registry_.replicas(); }
+  RepairService& repair() { return *repair_; }
 
   // Registers a task with the registry and hands out its context.
   TaskContext StartTask(size_t node);
@@ -128,6 +160,7 @@ class SpongeEnv {
   std::vector<SpongeServer*> server_ptrs_;
   std::unique_ptr<MemoryTracker> tracker_;
   std::unique_ptr<HealthBoard> health_;
+  std::unique_ptr<RepairService> repair_;
   Rng rpc_rng_;
 };
 

@@ -77,6 +77,44 @@ const MediumMetrics& RemoteLocalityMetricsFor(bool cross_rack) {
   return metrics[cross_rack ? 1 : 0];
 }
 
+// Replication write-path accounting.
+struct ReplicaMetrics {
+  obs::Counter* stored;
+  obs::Counter* bytes;
+  obs::Counter* skipped;
+};
+
+const ReplicaMetrics& ReplicaMetricsAll() {
+  static obs::Registry& registry = obs::Registry::Default();
+  static const ReplicaMetrics metrics = {
+      registry.counter("sponge.replica.stored"),
+      registry.counter("sponge.replica.bytes"),
+      registry.counter("sponge.replica.skipped"),
+  };
+  return metrics;
+}
+
+// Read-failover accounting: attempted = primary lost with a replica on
+// record, won = the replica served the bytes, exhausted = every copy gone.
+obs::Counter* FailoverCounter(std::string_view which) {
+  static obs::Registry& registry = obs::Registry::Default();
+  static obs::Counter* const attempted =
+      registry.counter("sponge.read.failover.attempted");
+  static obs::Counter* const won =
+      registry.counter("sponge.read.failover.won");
+  static obs::Counter* const exhausted =
+      registry.counter("sponge.read.failover.exhausted");
+  if (which == "attempted") return attempted;
+  if (which == "won") return won;
+  return exhausted;
+}
+
+obs::Counter* CorruptionCounter() {
+  static obs::Counter* const counter =
+      obs::Registry::Default().counter("sponge.chunk.corruptions");
+  return counter;
+}
+
 // Records why the allocation cascade moved past (or preferred) a placement:
 // a counter bump (cluster-wide and per-rack) plus, when tracing, an instant
 // event at the task's lane.
@@ -211,6 +249,12 @@ sim::Task<Status> SpongeFile::StoreIntoRecord(size_t index, ByteRuns chunk) {
   // copy, so no simulated time is charged.
   record.checksum = chunk.Checksum64();
 
+  // Copy-on-write view of the stored representation, kept only when
+  // replication is on: memory placements below may move `chunk` into a
+  // pool slot, and the replica write needs the bytes afterwards.
+  ByteRuns replica_copy;
+  if (config.replication.enabled) replica_copy = chunk;
+
   // 1. Local sponge memory.
   Result<ChunkHandle> handle = local.LocalAllocate(owner);
   if (handle.ok()) {
@@ -250,6 +294,11 @@ sim::Task<Status> SpongeFile::StoreIntoRecord(size_t index, ByteRuns chunk) {
           record.size);
       MediumMetricsFor(ChunkLocation::kLocalMemory).chunks->Increment();
       span.Arg("medium", std::string("local-memory"));
+      // A crash wipes the local pool even though (in this sim) the task
+      // itself keeps running, so local-memory chunks want a replica too.
+      if (config.replication.enabled) {
+        co_await ReplicateChunk(index, std::move(replica_copy));
+      }
       co_return Status::OK();
     }
   } else {
@@ -310,6 +359,9 @@ sim::Task<Status> SpongeFile::StoreIntoRecord(size_t index, ByteRuns chunk) {
         span.Arg("locality", std::string(cross_rack ? "cross-rack"
                                                     : "rack-local"));
         span.Arg("node", static_cast<uint64_t>(target));
+        if (config.replication.enabled) {
+          co_await ReplicateChunk(index, std::move(replica_copy));
+        }
         co_return Status::OK();
       }
     }
@@ -508,18 +560,34 @@ sim::Task<Status> SpongeFile::Close() {
 
 sim::Task<Result<ByteRuns>> SpongeFile::FetchChunk(size_t index) {
   Result<ByteRuns> fetched = co_await FetchChunkRaw(index);
-  if (!fetched.ok()) co_return fetched;
   const SpongeConfig& config = env_->config();
-  if (config.verify_checksums &&
+  if (fetched.ok() && config.verify_checksums &&
       fetched->Checksum64() != chunks_[index].checksum) {
     // Bit rot, a stolen pool slot, a buggy server — whatever happened,
-    // the chunk is gone. Surface it as lost (UNAVAILABLE) so the
-    // framework's task retry regenerates it; never return bad bytes.
-    static obs::Counter* const corruption_counter =
-        obs::Registry::Default().counter("sponge.chunk.corruptions");
-    corruption_counter->Increment();
-    co_return Unavailable("chunk checksum mismatch");
+    // the chunk is gone. Surface it as lost (UNAVAILABLE) so failover —
+    // and failing that, the framework's task retry — regenerates it;
+    // never return bad bytes.
+    CorruptionCounter()->Increment();
+    fetched = Unavailable("chunk checksum mismatch");
   }
+  // Failover: a primary lost to a crash, an open breaker, or corruption
+  // is served from the replica before the loss reaches the framework (and
+  // turns into a task re-run). Only UNAVAILABLE qualifies — other errors
+  // (aborted task, corrupt record) are not a lost copy.
+  if (!fetched.ok() &&
+      fetched.status().code() == StatusCode::kUnavailable &&
+      chunks_[index].replica_id != 0) {
+    FailoverCounter("attempted")->Increment();
+    Result<ByteRuns> replica = co_await FetchFromReplica(index);
+    if (replica.ok()) {
+      FailoverCounter("won")->Increment();
+      ++stats_.replica_failovers;
+      fetched = std::move(replica);
+    } else {
+      FailoverCounter("exhausted")->Increment();
+    }
+  }
+  if (!fetched.ok()) co_return fetched;
   if (config.encrypt) {
     XteaCtr cipher(XteaCtr::DeriveKey(config.encryption_passphrase));
     cipher.ApplyToLiterals(ChunkNonce(index), &*fetched);
@@ -527,6 +595,156 @@ sim::Task<Result<ByteRuns>> SpongeFile::FetchChunk(size_t index) {
         TransferTime(fetched->size(), config.cipher_bandwidth));
   }
   co_return fetched;
+}
+
+sim::Task<> SpongeFile::ReplicateChunk(size_t index, ByteRuns chunk) {
+  ChunkRecord& record = chunks_[index];
+  const SpongeConfig& config = env_->config();
+
+  // Pressure gate and candidate list both come from the same tracker
+  // snapshot the cascade uses, so replication never queries twice.
+  if (!free_list_loaded_) {
+    Result<std::vector<FreeSpaceEntry>> list =
+        co_await env_->tracker().Query(task_->node);
+    if (list.ok()) {
+      free_list_ = std::move(*list);
+    } else {
+      free_list_.clear();
+    }
+    free_list_loaded_ = true;
+  }
+
+  // Candidate order: rack-diverse servers first (a whole-rack failure —
+  // the switch, a PDU — then still leaves one copy), same-rack as the
+  // fallback pass. The pressure gate keeps replication from competing
+  // with foreground spills: a server must advertise at least
+  // min_free_fraction of its pool free, so replicas only consume slack.
+  const size_t primary_rack = env_->cluster()->rack_of(record.node);
+  std::vector<size_t> candidates;
+  const int passes = config.replication.prefer_rack_diverse ? 2 : 1;
+  for (int pass = 0; pass < passes; ++pass) {
+    for (const FreeSpaceEntry& entry : free_list_) {
+      if (entry.node == record.node || entry.node == task_->node) continue;
+      if (std::find(bounced_nodes_.begin(), bounced_nodes_.end(),
+                    entry.node) != bounced_nodes_.end()) {
+        continue;
+      }
+      if (config.replication.prefer_rack_diverse) {
+        const bool diverse =
+            env_->cluster()->rack_of(entry.node) != primary_rack;
+        if ((pass == 0) != diverse) continue;
+      }
+      const uint64_t capacity =
+          env_->server(entry.node).pool().total_chunks() * config.chunk_size;
+      const uint64_t min_free = static_cast<uint64_t>(
+          config.replication.min_free_fraction * capacity);
+      if (entry.free_bytes < min_free ||
+          entry.free_bytes < config.chunk_size) {
+        continue;
+      }
+      candidates.push_back(entry.node);
+    }
+  }
+
+  obs::SpanGuard span(&obs::Tracer::Default(), env_->engine(), task_->node,
+                      task_->task_id, "sponge", "chunk.replicate");
+  span.Arg("bytes", record.size);
+
+  // Replicas share the task's id (GC reclaims them with the attempt) but
+  // carry the replica mark so their ownership is distinct from the
+  // primary's.
+  ChunkOwner replica_owner{task_->task_id, task_->node, /*replica=*/true};
+  for (size_t node : candidates) {
+    if (!env_->health().AllowRequest(node)) continue;
+    Result<ChunkHandle> handle = co_await HardenedCall<Result<ChunkHandle>>(
+        env_->engine(), &env_->health(), config.rpc, &env_->rpc_rng(), node,
+        [this, node, &replica_owner] {
+          return env_->server(node).RemoteAllocate(task_->node,
+                                                   replica_owner);
+        });
+    if (!handle.ok()) continue;
+    // `slot`, not `handle`: factory captures must be trivially
+    // destructible — see rpc_client.h.
+    ChunkHandle slot = *handle;
+    Status stored = co_await HardenedCall<Status>(
+        env_->engine(), &env_->health(), config.rpc, &env_->rpc_rng(), node,
+        [this, node, slot, &replica_owner, &chunk] {
+          return env_->server(node).RemoteWrite(task_->node, slot,
+                                                replica_owner, chunk);
+        });
+    // A half-written slot is GC fodder; move to the next candidate.
+    if (!stored.ok()) continue;
+    for (FreeSpaceEntry& entry : free_list_) {
+      if (entry.node == node && entry.free_bytes >= config.chunk_size) {
+        entry.free_bytes -= config.chunk_size;
+        break;
+      }
+    }
+    ReplicaDirectory& directory = env_->replicas();
+    record.replica_id =
+        directory.Register(task_->task_id, record.size, record.checksum);
+    directory.AddLocation(
+        record.replica_id,
+        {record.node, record.handle,
+         ChunkOwner{task_->task_id, task_->node, /*replica=*/false}});
+    directory.AddLocation(record.replica_id, {node, slot, replica_owner});
+    ++stats_.chunks_replicated;
+    stats_.bytes_replicated += record.size;
+    ReplicaMetricsAll().stored->Increment();
+    ReplicaMetricsAll().bytes->Increment(record.size);
+    span.Arg("node", static_cast<uint64_t>(node));
+    co_return;
+  }
+  // Best effort only: under pressure (or with every candidate sick) the
+  // chunk simply stays single-copy and a loss falls back to a task re-run.
+  ReplicaMetricsAll().skipped->Increment();
+}
+
+sim::Task<Result<ByteRuns>> SpongeFile::FetchFromReplica(size_t index) {
+  ChunkRecord& record = chunks_[index];
+  const SpongeConfig& config = env_->config();
+  const ReplicatedChunk* entry = env_->replicas().Find(record.replica_id);
+  if (entry == nullptr) {
+    co_return Unavailable("replica directory entry gone");
+  }
+  // Copy: repair and GC mutate the directory across the awaits below.
+  const std::vector<ReplicaLocation> locations = entry->locations;
+  for (const ReplicaLocation& location : locations) {
+    if (location.node == record.node && location.handle == record.handle) {
+      continue;  // the copy that just failed
+    }
+    SpongeServer& server = env_->server(location.node);
+    if (!server.alive()) continue;
+    if (!env_->health().AllowRequest(location.node)) continue;
+    // Named locals: factory captures must be trivially destructible — see
+    // rpc_client.h.
+    const ChunkHandle slot = location.handle;
+    const ChunkOwner owner = location.owner;
+    Result<ByteRuns> fetched{ByteRuns{}};
+    if (config.rpc.hedge_reads) {
+      fetched = co_await HedgedCall<Result<ByteRuns>>(
+          env_->engine(), &env_->health(), config.rpc, location.node,
+          [this, &server, slot, owner] {
+            return server.RemoteRead(task_->node, slot, owner);
+          });
+    } else {
+      fetched = co_await HardenedCall<Result<ByteRuns>>(
+          env_->engine(), &env_->health(), config.rpc, &env_->rpc_rng(),
+          location.node, [this, &server, slot, owner] {
+            return server.RemoteRead(task_->node, slot, owner);
+          });
+    }
+    if (!fetched.ok()) continue;
+    // The replica is verified independently of the primary read: a
+    // corrupted primary must not be "rescued" by an equally bad copy.
+    if (config.verify_checksums &&
+        fetched->Checksum64() != record.checksum) {
+      CorruptionCounter()->Increment();
+      continue;
+    }
+    co_return fetched;
+  }
+  co_return Unavailable("all replica copies lost");
 }
 
 uint64_t SpongeFile::ChunkNonce(size_t index) const {
@@ -706,6 +924,37 @@ sim::Task<> SpongeFile::Delete() {
         (void)env_->dfs()->Delete(record.dfs_name);
         record.data.Clear();
         break;
+    }
+    if (record.replica_id != 0) {
+      // Free the extra copies (the primary was handled above) and drop the
+      // directory entry so repair stops maintaining it. Best effort like
+      // the primary frees: GC is the backstop.
+      const ReplicatedChunk* entry = env_->replicas().Find(record.replica_id);
+      if (entry != nullptr) {
+        const std::vector<ReplicaLocation> locations = entry->locations;
+        for (const ReplicaLocation& location : locations) {
+          if (location.node == record.node &&
+              location.handle == record.handle) {
+            continue;  // the primary copy, already freed
+          }
+          if (location.node == task_->node) {
+            (void)env_->server(location.node).LocalFree(location.handle,
+                                                        location.owner);
+            continue;
+          }
+          if (!env_->server(location.node).alive() ||
+              env_->health().IsOpen(location.node)) {
+            continue;
+          }
+          // Named local, not a temporary argument (see rpc_client.h).
+          sim::Task<Status> free_op = env_->server(location.node)
+              .RemoteFree(task_->node, location.handle, location.owner);
+          (void)co_await CallWithDeadline<Status>(
+              env_->engine(), env_->config().rpc.deadline,
+              std::move(free_op));
+        }
+      }
+      env_->replicas().Forget(record.replica_id);
     }
   }
 }

@@ -56,6 +56,12 @@ class SpongeFile {
     uint64_t bytes_remote_cross_rack = 0;
     uint64_t disk_files = 0;
     uint64_t stale_list_retries = 0;  // allocation attempts that bounced
+    // Replication: memory chunks that got a second copy, the logical bytes
+    // those copies carry, and reads served from a replica after the
+    // primary copy was lost.
+    uint64_t chunks_replicated = 0;
+    uint64_t bytes_replicated = 0;
+    uint64_t replica_failovers = 0;
     // Memory occupied by in-memory chunk slots beyond the logical bytes
     // stored in them (internal fragmentation, paper section 4.2.3).
     uint64_t fragmentation_bytes = 0;
@@ -123,6 +129,9 @@ class SpongeFile {
     // Checksum of the stored representation (post-encryption), verified
     // on every read; a mismatch means the chunk is lost.
     uint64_t checksum = 0;
+    // ReplicaDirectory entry id when this chunk has a second copy;
+    // 0 means unreplicated (reads have no failover).
+    uint64_t replica_id = 0;
   };
 
   // Decides placement for one full buffer and stores it (possibly
@@ -144,10 +153,23 @@ class SpongeFile {
 
   sim::Task<Status> WaitForPendingStore();
 
+  // Best-effort second copy of a memory-resident chunk on another server
+  // (rack-diverse from the primary when possible, pressure-gated by the
+  // tracker's free-space digests). On success, registers the pair in the
+  // replica directory and stamps the record's replica_id. Failure is
+  // silent — the chunk simply stays single-copy.
+  sim::Task<> ReplicateChunk(size_t index, ByteRuns chunk);
+
   // Fetches chunk `index`'s content, charging media time and decrypting
-  // when encryption is enabled.
+  // when encryption is enabled. A primary lost to a crash, open breaker,
+  // or checksum mismatch fails over to the replica before surfacing
+  // UNAVAILABLE.
   sim::Task<Result<ByteRuns>> FetchChunk(size_t index);
   sim::Task<Result<ByteRuns>> FetchChunkRaw(size_t index);
+
+  // Reads the surviving copy of a replicated chunk, checksum-verified
+  // independently of the primary read.
+  sim::Task<Result<ByteRuns>> FetchFromReplica(size_t index);
 
   // Deterministic per-chunk cipher nonce.
   uint64_t ChunkNonce(size_t index) const;

@@ -68,8 +68,10 @@ void SpongeServer::SetHung(bool hung) {
 bool SpongeServer::QuotaAllows(const ChunkOwner& owner) const {
   if (config_.quota_chunks_per_task == 0) return true;
   uint64_t held = 0;
+  // Count by task id, not full owner identity: a task's replicas share its
+  // quota — replication must not double a misbehaving task's footprint.
   for (const auto& [handle, chunk_owner] : pool_->AllocatedChunks()) {
-    if (chunk_owner == owner) ++held;
+    if (chunk_owner.task_id == owner.task_id) ++held;
   }
   return held < config_.quota_chunks_per_task;
 }

@@ -61,6 +61,10 @@ ChaosRun RunChaosJob(uint64_t seed, bool inject) {
   // runs (so their outputs stay comparable): slow-but-alive servers are
   // raced instead of ridden into the breaker.
   bed_config.sponge.rpc.hedge_reads = true;
+  // Replication is on for the whole sweep: replica writes, read failover,
+  // and the tracker-driven repair loop all run under every fault schedule
+  // and must never change the answer or leak a chunk.
+  bed_config.sponge.replication.enabled = true;
   workload::Testbed bed(bed_config);
   workload::NumbersDatasetConfig data;
   data.count = 50001;
@@ -72,6 +76,10 @@ ChaosRun RunChaosJob(uint64_t seed, bool inject) {
     options.start = Seconds(2);
     options.horizon = kFaultHorizon;
     options.num_faults = 10;
+    // Fail-stop crashes (no restart): the paper's failure model, and the
+    // scenario replication exists for — a crashed server's chunks must be
+    // served from replicas and re-replicated by the repair loop.
+    options.fail_stop_crashes = true;
     injector.ScheduleChaos(options);
   }
 

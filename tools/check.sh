@@ -41,7 +41,9 @@ export ASAN_OPTIONS="strict_string_checks=1:detect_stack_use_after_return=1"
 # sweep also shakes down backup attempts racing faults and hedge
 # duplicates landing after their primary was abandoned. The chaos testbed
 # is multi-rack, so the seed sweep also draws tracker-shard outages,
-# stale-shard pauses, and gossip partitions from the fault mix.
+# stale-shard pauses, and gossip partitions from the fault mix. Chunk
+# replication is on and crashes are fail-stop, so replica writes, read
+# failover, and the repair loop all run under every schedule.
 export SPONGE_CHAOS_SEEDS=20
 # Deep coroutine resumption chains (k-way merge driving a reducer driving
 # bag spills) fit the default 8 MB stack, but not with ASan's inflated
@@ -58,6 +60,15 @@ echo "sanitizer check passed"
 "$build/bench/bench_datacenter" --racks=4 --nodes-per-rack=8 --jobs=80 \
   --out="$build/BENCH_datacenter_smoke.json"
 echo "datacenter smoke passed"
+
+# Crash-recovery smoke under the sanitizers: fail-stop crashes mid-run on
+# a small shape. The binary exits nonzero unless the replicated run
+# finishes with zero chunk-lost re-runs and byte-identical output, the
+# unreplicated run pays visible re-runs, nothing leaks, and the repair
+# loop stays within its bandwidth budget.
+"$build/bench/bench_recovery" --racks=4 --nodes-per-rack=8 --jobs=60 \
+  --crashes=3 --out="$build/BENCH_recovery_smoke.json"
+echo "recovery smoke passed"
 
 if [ "$perf" = 1 ]; then
   "$repo/tools/perf.sh"
