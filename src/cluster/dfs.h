@@ -19,6 +19,7 @@ namespace spongefiles::cluster {
 //     Hadoop-style locality: a split is read from the local disk when a
 //     replica is local, otherwise fetched over the network), and
 //   * the last-resort spill target in the SpongeFile allocation cascade.
+// lint: shard(global: central namenode and block placement; block data motion already pays Disk and Network time)
 class Dfs {
  public:
   static constexpr uint64_t kBlockSize = 128ull * 1024 * 1024;

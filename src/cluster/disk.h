@@ -13,6 +13,7 @@ namespace spongefiles::cluster {
 // Mechanical-disk timing model (one spindle, one head). Matches the paper's
 // testbed: 7200 RPM SATA drives whose throughput collapses under concurrent
 // streams because every stream switch costs a seek.
+// lint: shard(value)
 struct DiskConfig {
   // Average seek (arm movement) plus controller overhead.
   Duration avg_seek = Micros(8000);
@@ -26,6 +27,7 @@ struct DiskConfig {
 // next sequential offset continues without a seek; anything else pays
 // seek + rotation. Contention between streams therefore degrades the disk
 // into random IO, which is the effect Table 1 and Figures 4-6 hinge on.
+// lint: shard(node)
 class Disk {
  public:
   // `node` is the owning node's id, used only to label trace spans.
@@ -49,6 +51,9 @@ class Disk {
 
   // Pending + in-service request count (for load-aware callers and tests).
   size_t queue_depth() const { return queue_.waiters() + busy_; }
+
+  // Owning node id (labels trace spans and access-set records).
+  size_t node() const { return node_; }
 
   // Gray-failure injection: multiplies every request's service time
   // (seek + rotation + transfer) by `factor` >= 1 — a sick spindle,

@@ -19,6 +19,7 @@ namespace spongefiles::cluster {
 // does not touch the NIC; it pays IPC copy bandwidth plus per-message
 // overhead — this is what separates the 7 ms "local sponge server" column
 // of Table 1 from the 1 ms shared-memory column.
+// lint: shard(value)
 struct NetworkConfig {
   double bandwidth = 125.0 * 1024 * 1024;  // 1 Gb Ethernet, bytes/second
   Duration latency = Micros(300);          // one-way message latency
@@ -32,6 +33,7 @@ struct NetworkConfig {
   Duration cross_rack_latency = Micros(200);  // extra hop latency
 };
 
+// lint: shard(channel)
 class Network {
  public:
   // `racks[i]` is node i's rack; empty means everything on one rack.

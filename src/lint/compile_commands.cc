@@ -37,7 +37,8 @@ std::string ReadJsonString(std::string_view json, size_t* pos) {
 }
 
 // Splits a shell-ish command string into arguments (whitespace separated,
-// honoring double and single quotes and backslash escapes).
+// honoring double and single quotes and backslash escapes). Newlines count
+// as separators: response files are one-argument-per-line by convention.
 std::vector<std::string> SplitCommand(const std::string& command) {
   std::vector<std::string> args;
   std::string cur;
@@ -59,7 +60,8 @@ std::vector<std::string> SplitCommand(const std::string& command) {
       any = true;
       continue;
     }
-    if ((c == ' ' || c == '\t') && !in_double && !in_single) {
+    if ((c == ' ' || c == '\t' || c == '\n' || c == '\r') && !in_double &&
+        !in_single) {
       if (any) args.push_back(cur);
       cur.clear();
       any = false;
@@ -78,8 +80,39 @@ std::string Absolutize(const std::string& path, const std::string& dir) {
   return dir.back() == '/' ? dir + path : dir + "/" + path;
 }
 
-void ExtractIncludeDirs(const std::vector<std::string>& args,
+// Expands @file arguments (compiler response files, which CMake emits for
+// long link/include lines on some generators) in place: each @file is
+// replaced by the file's contents split like a command line, resolved
+// relative to the entry's directory. Unreadable files drop the argument —
+// a stale database must not fail the whole load. Response files may nest;
+// depth is bounded to break reference cycles.
+constexpr int kMaxResponseDepth = 8;
+
+std::vector<std::string> ExpandResponseFiles(std::vector<std::string> args,
+                                             const std::string& dir,
+                                             int depth) {
+  std::vector<std::string> out;
+  out.reserve(args.size());
+  for (std::string& a : args) {
+    if (a.size() < 2 || a[0] != '@' || depth >= kMaxResponseDepth) {
+      out.push_back(std::move(a));
+      continue;
+    }
+    std::ifstream in(Absolutize(a.substr(1), dir));
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::vector<std::string> expanded =
+        ExpandResponseFiles(SplitCommand(buf.str()), dir, depth + 1);
+    for (std::string& e : expanded) out.push_back(std::move(e));
+  }
+  return out;
+}
+
+void ExtractIncludeDirs(std::vector<std::string> raw_args,
                         const std::string& dir, CompileEntry* entry) {
+  std::vector<std::string> args =
+      ExpandResponseFiles(std::move(raw_args), dir, 0);
   for (size_t i = 0; i < args.size(); ++i) {
     const std::string& a = args[i];
     std::string inc;
@@ -96,7 +129,8 @@ void ExtractIncludeDirs(const std::vector<std::string>& args,
 
 }  // namespace
 
-Result<CompileCommands> CompileCommands::Parse(std::string_view json) {
+Result<CompileCommands> CompileCommands::Parse(std::string_view json,
+                                               const std::string& base_dir) {
   CompileCommands db;
   size_t pos = 0;
   auto skip_ws = [&] {
@@ -172,9 +206,13 @@ Result<CompileCommands> CompileCommands::Parse(std::string_view json) {
         }
       }
     }
+    // The spec allows a relative `directory` (relative to the database's
+    // own location); resolve it first so file and include paths chain off
+    // an absolute root.
+    entry.directory = Absolutize(entry.directory, base_dir);
     entry.file = Absolutize(entry.file, entry.directory);
     if (!arguments.empty()) {
-      ExtractIncludeDirs(arguments, entry.directory, &entry);
+      ExtractIncludeDirs(std::move(arguments), entry.directory, &entry);
     } else if (!command.empty()) {
       ExtractIncludeDirs(SplitCommand(command), entry.directory, &entry);
     }
@@ -188,7 +226,10 @@ Result<CompileCommands> CompileCommands::Load(const std::string& path) {
   if (!in) return NotFound("cannot open " + path);
   std::ostringstream buf;
   buf << in.rdbuf();
-  return Parse(buf.str());
+  // Relative `directory` entries resolve against the database's location.
+  size_t slash = path.find_last_of('/');
+  return Parse(buf.str(),
+               slash == std::string::npos ? "" : path.substr(0, slash));
 }
 
 std::vector<std::string> CompileCommands::AllIncludeDirs() const {

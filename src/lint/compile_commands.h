@@ -24,10 +24,15 @@ struct CompileEntry {
 class CompileCommands {
  public:
   // Parses the JSON text. Returns InvalidArgument on input that is not a
-  // JSON array of objects; unknown keys are ignored.
-  static Result<CompileCommands> Parse(std::string_view json);
+  // JSON array of objects; unknown keys are ignored. A relative
+  // `directory` entry resolves against `base_dir` (the database's own
+  // location); @response-file arguments are expanded relative to the
+  // entry's directory.
+  static Result<CompileCommands> Parse(std::string_view json,
+                                       const std::string& base_dir = "");
 
-  // Reads and parses the file at `path`.
+  // Reads and parses the file at `path`; relative `directory` entries
+  // resolve against the directory containing `path`.
   static Result<CompileCommands> Load(const std::string& path);
 
   const std::vector<CompileEntry>& entries() const { return entries_; }

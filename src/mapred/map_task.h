@@ -16,6 +16,7 @@ namespace spongefiles::mapred {
 // The sorted, partitioned output of one completed map task, left on the
 // map node's local disk for reduce tasks to fetch (stock Hadoop behaviour;
 // the paper's modification is on the reduce side).
+// lint: shard(value)
 struct MapOutput {
   size_t node = 0;
   // One sorted run per reduce partition; null when the partition is empty.
@@ -27,6 +28,7 @@ struct MapOutput {
 
 // Everything one successful map attempt produces; the attempt's driver
 // moves it into the logical task's slot when the attempt commits.
+// lint: shard(value)
 struct MapAttemptResult {
   MapOutput output;
   TaskStats stats;
@@ -39,6 +41,7 @@ struct MapAttemptResult {
 // are attempt-unique, so concurrent attempts never collide), the kill
 // flag checked at operation boundaries, and the progress counters the
 // speculation monitor reads.
+// lint: shard(value)
 class MapTask {
  public:
   MapTask(sponge::SpongeEnv* env, cluster::Dfs* dfs, const JobConfig* config,

@@ -40,6 +40,7 @@ namespace {
 // provides timing and capacity accounting.
 class DiskSpillFile;
 
+// lint: shard(value)
 class DiskSpillReader : public SpillReader {
  public:
   explicit DiskSpillReader(DiskSpillFile* file) : file_(file) {}
@@ -50,6 +51,7 @@ class DiskSpillReader : public SpillReader {
   uint64_t offset_ = 0;
 };
 
+// lint: shard(value)
 class DiskSpillFile : public SpillFile {
  public:
   DiskSpillFile(cluster::LocalFs* fs, uint64_t file_id, SpillStats* stats)
@@ -125,6 +127,7 @@ sim::Task<Result<ByteRuns>> DiskSpillReader::ReadNext() {
 }
 
 // SpongeFile-backed spill file.
+// lint: shard(value)
 class SpongeSpillFile : public SpillFile {
  public:
   SpongeSpillFile(sponge::SpongeEnv* env, sponge::TaskContext* task,
@@ -228,6 +231,7 @@ Status MemorySpillFile::Rewind() {
   return Status::OK();
 }
 
+// lint: shard(value)
 class MemorySpillFile::Reader : public SpillReader {
  public:
   explicit Reader(MemorySpillFile* file) : file_(file) {}

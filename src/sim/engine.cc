@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "sim/access.h"
 
 namespace spongefiles::sim {
 
@@ -193,6 +194,7 @@ uint64_t Engine::Run() {
     }
     ++processed;
     ++events_processed_;
+    if (recorder_ != nullptr) recorder_->BeginEvent(now_);
     h.resume();
   }
   return processed;
@@ -214,6 +216,7 @@ uint64_t Engine::RunUntil(SimTime deadline) {
     }
     ++processed;
     ++events_processed_;
+    if (recorder_ != nullptr) recorder_->BeginEvent(now_);
     h.resume();
   }
   if (now_ < deadline) now_ = deadline;

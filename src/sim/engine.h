@@ -25,6 +25,8 @@ namespace spongefiles::sim {
 // event at time T was scheduled before now() reached T, so it precedes
 // every ring event (all enqueued at now() == T). Both structures recycle
 // their slabs — steady-state scheduling allocates nothing.
+class AccessRecorder;  // sim/access.h
+
 class Engine {
  public:
   Engine() = default;
@@ -90,6 +92,14 @@ class Engine {
   // Number of events processed so far (diagnostics).
   uint64_t events_processed() const { return events_processed_; }
 
+  // Opt-in access-set recording (see sim/access.h): when a recorder is
+  // attached, the engine announces each event to it before resuming the
+  // event's continuation chain, and the SIM_READ/SIM_WRITE hooks in the
+  // components feed it. Pass nullptr to detach. Off by default; the only
+  // hot-path cost when off is one null check per event and per hook.
+  void RecordAccessSets(AccessRecorder* recorder) { recorder_ = recorder; }
+  AccessRecorder* access_recorder() const { return recorder_; }
+
  private:
   struct Event {
     SimTime at;
@@ -129,6 +139,7 @@ class Engine {
   uint64_t next_seq_ = 0;
   uint64_t next_detached_id_ = 0;
   uint64_t events_processed_ = 0;
+  AccessRecorder* recorder_ = nullptr;
 
   std::vector<Event> heap_;  // 4-ary min-heap by (at, seq)
 

@@ -8,6 +8,7 @@ namespace spongefiles::sponge {
 
 namespace {
 
+// lint: shard(value)
 struct PoolMetrics {
   obs::Counter* allocs;
   obs::Counter* alloc_failures;

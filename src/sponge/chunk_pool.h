@@ -13,6 +13,7 @@ namespace spongefiles::sponge {
 // Identifies the task that owns a chunk: the analogue of the (process id,
 // IP address) pair the paper stores per chunk slot, used by the garbage
 // collector to detect chunks orphaned by dead tasks.
+// lint: shard(value)
 struct ChunkOwner {
   uint64_t task_id = 0;  // 0 means the slot is free
   size_t node = 0;       // node where the owning task runs
@@ -30,6 +31,7 @@ struct ChunkOwner {
 };
 
 // A handle to one chunk slot: segment index + slot index within segment.
+// lint: shard(value)
 struct ChunkHandle {
   uint32_t segment = 0;
   uint32_t index = 0;
@@ -39,6 +41,7 @@ struct ChunkHandle {
   }
 };
 
+// lint: shard(value)
 struct ChunkPoolConfig {
   uint64_t pool_size = 1024ull * 1024 * 1024;  // 1 GB sponge per node
   uint64_t chunk_size = 1024ull * 1024;        // fixed 1 MB chunks
@@ -52,6 +55,7 @@ struct ChunkPoolConfig {
 // the node use it directly through mapped memory; remote tasks go through
 // the node's SpongeServer. The pool itself is a passive data structure —
 // timing for copies in and out of it is charged by the callers.
+// lint: shard(node)
 class ChunkPool {
  public:
   explicit ChunkPool(const ChunkPoolConfig& config);

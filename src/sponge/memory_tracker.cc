@@ -5,6 +5,7 @@
 #include "common/logging.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/access.h"
 
 namespace spongefiles::sponge {
 
@@ -49,26 +50,45 @@ sim::Task<> TrackerShard::PollOnce() {
   std::vector<FreeSpaceEntry> fresh;
   for (size_t i = 0; i < members_.size(); ++i) {
     SpongeServer* server = members_[i];
+    // The failure detector's view of a remote node, not shared data
+    // state: in a real deployment this is the poll RPC timing out.
+    // lint: shard-ok(liveness observed via poll timeout, not shared data)
     if (!server->alive()) {
       // In real life this poll RPC would time out; the edge (server was
       // alive last round, is not now) is the shard detecting a fail-stop
       // crash. Fires the death listener exactly once per transition.
       if (member_alive_[i] != 0) {
+        SIM_WRITE(engine_, this, "TrackerShard", "membership",
+                  sim::AccessRecorder::RackDomain(rack_));
         member_alive_[i] = 0;
         deaths_counter->Increment();
         if (death_listener_) death_listener_(server->node_id());
       }
       continue;
     }
+    SIM_WRITE(engine_, this, "TrackerShard", "membership",
+              sim::AccessRecorder::RackDomain(rack_));
     member_alive_[i] = 1;
+    // The poll is a request hop, the member filling in its free-byte
+    // count, and a response hop (the same two Transfers Network::Rpc is
+    // made of, so the timing is unchanged); the read sits between the
+    // hops because that is when the member composes the response.
     if (server->node_id() != home_node_) {
-      co_await network_->Rpc(home_node_, server->node_id(),
-                             config_->rpc_message_bytes,
-                             config_->rpc_message_bytes);
+      co_await network_->Transfer(home_node_, server->node_id(),
+                                  config_->rpc_message_bytes);
     }
+    SIM_READ(engine_, server, "SpongeServer", "pool",
+             sim::AccessRecorder::NodeDomain(server->node_id()));
+    // lint: shard-ok(poll response payload, read at the member between hops)
     uint64_t free = server->free_bytes();
+    if (server->node_id() != home_node_) {
+      co_await network_->Transfer(server->node_id(), home_node_,
+                                  config_->rpc_message_bytes);
+    }
     if (free > 0) fresh.push_back({server->node_id(), free, rack_});
   }
+  SIM_WRITE(engine_, this, "TrackerShard", "state",
+            sim::AccessRecorder::RackDomain(rack_));
   SortFreeList(&fresh);
   rack_list_ = std::move(fresh);
   ++polls_completed_;
@@ -88,6 +108,8 @@ sim::Task<> TrackerShard::PollOnce() {
 }
 
 void TrackerShard::MergeDigest(const RackDigest& digest) {
+  SIM_WRITE(engine_, this, "TrackerShard", "state",
+            sim::AccessRecorder::RackDomain(rack_));
   if (digest.rack == rack_) return;  // own rack is always poll-fresh
   RackDigest& held = digests_[digest.rack];
   if (digest.version <= held.version) return;
@@ -163,15 +185,31 @@ sim::Task<> ShardedMemoryTracker::Exchange(TrackerShard* a, TrackerShard* b) {
   obs::SpanGuard span(&obs::Tracer::Default(), engine_, a->home_node(), 0,
                       "tracker", "tracker.gossip");
   span.Arg("peer_rack", static_cast<uint64_t>(b->rack()));
-  uint64_t request = DigestWireBytes(*a);
-  uint64_t response = DigestWireBytes(*b);
-  co_await network_->Rpc(a->home_node(), b->home_node(), request, response);
+  // Zero-cost yield: each exchange initiation is its own event, anchored at
+  // the initiating shard, rather than a continuation of the previous
+  // exchange's completion (which ends at a *different* shard's home). The
+  // parallel port sends exchange kick-offs as messages for the same reason.
+  co_await engine_->Delay(0);
   // Full digest-set exchange (standard anti-entropy): both sides walk away
-  // with the element-wise newest of the two tables.
-  for (const RackDigest& digest : a->digests()) {
+  // with the element-wise newest of the two tables. a's table is snapshotted
+  // before the first hop (it is the request payload), each merge happens
+  // when its message arrives at the destination shard, and the two
+  // Transfers are exactly what Network::Rpc was made of, so the timing is
+  // unchanged.
+  SIM_READ(engine_, a, "TrackerShard", "state",
+           sim::AccessRecorder::RackDomain(a->rack()));
+  uint64_t request = DigestWireBytes(*a);
+  std::vector<RackDigest> a_table = a->digests();
+  co_await network_->Transfer(a->home_node(), b->home_node(), request);
+  for (const RackDigest& digest : a_table) {
     if (digest.version > 0) b->MergeDigest(digest);
   }
-  for (const RackDigest& digest : b->digests()) {
+  SIM_READ(engine_, b, "TrackerShard", "state",
+           sim::AccessRecorder::RackDomain(b->rack()));
+  uint64_t response = DigestWireBytes(*b);
+  std::vector<RackDigest> b_table = b->digests();
+  co_await network_->Transfer(b->home_node(), a->home_node(), response);
+  for (const RackDigest& digest : b_table) {
     if (digest.version > 0) a->MergeDigest(digest);
   }
   exchanges_counter->Increment();
@@ -223,6 +261,8 @@ sim::Task<Result<std::vector<FreeSpaceEntry>>> ShardedMemoryTracker::Query(
     // life a connection refusal / timeout).
     co_return Unavailable("memory tracker shard down");
   }
+  SIM_READ(engine_, &shard, "TrackerShard", "state",
+           sim::AccessRecorder::RackDomain(shard.rack()));
   shard.RecordQuery();
   co_return shard.MergedView(engine_->now());
 }

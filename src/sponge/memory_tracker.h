@@ -17,12 +17,14 @@ namespace spongefiles::sponge {
 
 // Free-space snapshot for one sponge server, as reported by a poll (or, for
 // cross-rack entries, by a gossiped digest).
+// lint: shard(value)
 struct FreeSpaceEntry {
   size_t node = 0;
   uint64_t free_bytes = 0;
   size_t rack = 0;
 };
 
+// lint: shard(value)
 struct MemoryTrackerConfig {
   Duration poll_period = Seconds(1);
   uint64_t rpc_message_bytes = 256;
@@ -47,6 +49,7 @@ struct MemoryTrackerConfig {
 // during anti-entropy gossip. `version` is the owning shard's poll counter;
 // merges keep the higher version, so digests only move forward no matter
 // what order gossip delivers them in.
+// lint: shard(value)
 struct RackDigest {
   size_t rack = 0;
   uint64_t version = 0;
@@ -59,6 +62,7 @@ struct RackDigest {
 // servers, and keeps a digest table for every other rack fed by gossip.
 // The shard home is the rack's lowest-numbered node, so queries from rack
 // members never cross the core.
+// lint: shard(rack)
 class TrackerShard {
  public:
   TrackerShard(sim::Engine* engine, cluster::Network* network,
@@ -155,6 +159,7 @@ class TrackerShard {
 // gracefully through the digest staleness bound instead of failing whole.
 // On a single-rack cluster this degenerates to exactly the old tracker:
 // one shard on node 0, no gossip.
+// lint: shard(global: facade routing queries to rack shards; snapshot and poll aggregation are control-plane only)
 class ShardedMemoryTracker {
  public:
   ShardedMemoryTracker(sim::Engine* engine, cluster::Network* network,

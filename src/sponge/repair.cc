@@ -11,6 +11,7 @@ namespace spongefiles::sponge {
 
 namespace {
 
+// lint: shard(value)
 struct RepairMetrics {
   obs::Counter* chunks;
   obs::Counter* bytes;

@@ -15,6 +15,7 @@ SpongeEnv::SpongeEnv(cluster::Cluster* cluster, cluster::Dfs* dfs,
       dfs_(dfs),
       config_(config),
       rpc_rng_(config.rpc_jitter_seed) {
+  registry_.AttachEngine(cluster->engine());
   health_ = std::make_unique<HealthBoard>(cluster->engine(), &config_.rpc);
   servers_.reserve(cluster->size());
   for (size_t i = 0; i < cluster->size(); ++i) {

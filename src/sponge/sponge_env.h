@@ -24,6 +24,7 @@ class RepairService;
 // holder costs a failover read instead of a task re-run. Off by default —
 // it spends memory and network to buy durability, the opposite trade from
 // the paper's baseline.
+// lint: shard(value)
 struct ReplicationConfig {
   bool enabled = false;
   // Pressure gate: a candidate server qualifies as a replica target only
@@ -46,6 +47,7 @@ struct ReplicationConfig {
 // implementation choices (1 MB chunks, rack-local remote spilling, chunk
 // prefetch on read, asynchronous writes to non-local media, direct
 // shared-memory access for local chunks).
+// lint: shard(value)
 struct SpongeConfig {
   uint64_t chunk_size = 1024ull * 1024;
   // Raw copy rate into the node's mapped shared-memory pool.
@@ -98,6 +100,7 @@ struct SpongeConfig {
 // this task's chunks — the paper's allocation preference that keeps a
 // task's failure footprint small; it is task-wide, shared by all of the
 // task's SpongeFiles.
+// lint: shard(value)
 struct TaskContext {
   uint64_t task_id = 0;
   size_t node = 0;
@@ -109,6 +112,7 @@ struct TaskContext {
 // server per node, the memory tracker, the task registry, and the DFS
 // last-resort target. Owns the sponge services; the cluster substrate is
 // borrowed.
+// lint: shard(global: wiring facade that owns the sponge services; construction and control-plane only)
 class SpongeEnv {
  public:
   SpongeEnv(cluster::Cluster* cluster, cluster::Dfs* dfs,

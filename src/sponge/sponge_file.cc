@@ -15,6 +15,7 @@ namespace {
 // Per-medium spill accounting. These are the counters the benches check
 // against the SpillStats the tasks report: both are incremented on the same
 // code path, once per stored chunk.
+// lint: shard(value)
 struct MediumMetrics {
   obs::Counter* bytes;
   obs::Counter* chunks;
@@ -78,6 +79,7 @@ const MediumMetrics& RemoteLocalityMetricsFor(bool cross_rack) {
 }
 
 // Replication write-path accounting.
+// lint: shard(value)
 struct ReplicaMetrics {
   obs::Counter* stored;
   obs::Counter* bytes;

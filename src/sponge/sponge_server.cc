@@ -4,10 +4,20 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/access.h"
 
 namespace spongefiles::sponge {
 
 namespace {
+
+// The liveness flag is deliberately shared state: trackers and peers
+// observe it as the stand-in for probe timeouts (see the shard-ok
+// waivers at those sites), and the chaos controller writes it.
+sim::AccessRecorder::Domain AliveDomain() {
+  return sim::AccessRecorder::GlobalDomain(
+      "failure-detector state: remote reads model probe timeouts, writes "
+      "are fault injection");
+}
 
 obs::Counter* RpcCounter(const char* op) {
   static obs::Registry& registry = obs::Registry::Default();
@@ -82,20 +92,30 @@ sim::Task<Result<ChunkHandle>> SpongeServer::RemoteAllocate(
   obs::SpanGuard span(&obs::Tracer::Default(), engine_, node_id_,
                       owner.task_id, "rpc", "rpc.alloc");
   span.Arg("from", static_cast<uint64_t>(from));
-  co_await network_->Rpc(from, node_id_, config_.rpc_message_bytes,
-                         config_.rpc_message_bytes);
+  // Request hop, server-side work, response hop: the two Transfers are
+  // exactly what Network::Rpc was made of, so the timing is unchanged,
+  // but the pool mutation now happens *at the server* (between the hops)
+  // — an error response still pays the return trip.
+  co_await network_->Transfer(from, node_id_, config_.rpc_message_bytes);
   co_await FaultPoint();
-  if (!alive_) co_return Unavailable("sponge server down");
-  if (!QuotaAllows(owner)) {
-    ++failed_allocations_;
-    co_return ResourceExhausted("task over quota");
+  SIM_READ(engine_, &alive_, "SpongeServer.alive", "flag", AliveDomain());
+  Result<ChunkHandle> handle = Unavailable("sponge server down");
+  if (alive_) {
+    SIM_WRITE(engine_, this, "SpongeServer", "pool",
+              sim::AccessRecorder::NodeDomain(node_id_));
+    if (!QuotaAllows(owner)) {
+      ++failed_allocations_;
+      handle = ResourceExhausted("task over quota");
+    } else {
+      handle = pool_->Allocate(owner);
+      if (handle.ok()) {
+        ++remote_allocations_;
+      } else {
+        ++failed_allocations_;
+      }
+    }
   }
-  Result<ChunkHandle> handle = pool_->Allocate(owner);
-  if (handle.ok()) {
-    ++remote_allocations_;
-  } else {
-    ++failed_allocations_;
-  }
+  co_await network_->Transfer(node_id_, from, config_.rpc_message_bytes);
   co_return handle;
 }
 
@@ -116,7 +136,10 @@ sim::Task<Status> SpongeServer::RemoteWrite(size_t from, ChunkHandle handle,
   // slot representation) is gone.
   co_await network_->Transfer(from, node_id_, data.size());
   co_await FaultPoint();
+  SIM_READ(engine_, &alive_, "SpongeServer.alive", "flag", AliveDomain());
   if (!alive_) co_return Unavailable("sponge server down");
+  SIM_WRITE(engine_, this, "SpongeServer", "pool",
+            sim::AccessRecorder::NodeDomain(node_id_));
   auto holder = pool_->OwnerOf(handle);
   if (!holder.ok() || !(*holder == owner)) {
     co_return FailedPrecondition("chunk not owned by caller");
@@ -137,7 +160,10 @@ sim::Task<Result<ByteRuns>> SpongeServer::RemoteRead(size_t from,
   // Request message to the server.
   co_await network_->Transfer(from, node_id_, config_.rpc_message_bytes);
   co_await FaultPoint();
+  SIM_READ(engine_, &alive_, "SpongeServer.alive", "flag", AliveDomain());
   if (!alive_) co_return Unavailable("sponge server down");
+  SIM_READ(engine_, this, "SpongeServer", "pool",
+           sim::AccessRecorder::NodeDomain(node_id_));
   auto holder = pool_->OwnerOf(handle);
   if (!holder.ok() || !(*holder == owner)) {
     co_return FailedPrecondition("chunk not owned by caller");
@@ -158,11 +184,16 @@ sim::Task<Status> SpongeServer::RemoteFree(size_t from, ChunkHandle handle,
   obs::SpanGuard span(&obs::Tracer::Default(), engine_, node_id_,
                       owner.task_id, "rpc", "rpc.free");
   span.Arg("from", static_cast<uint64_t>(from));
-  co_await network_->Rpc(from, node_id_, config_.rpc_message_bytes,
-                         config_.rpc_message_bytes);
+  // Request hop, free at the server, response hop (see RemoteAllocate).
+  co_await network_->Transfer(from, node_id_, config_.rpc_message_bytes);
   co_await FaultPoint();
-  if (!alive_) co_return Unavailable("sponge server down");
-  co_return pool_->Free(handle, owner);
+  SIM_READ(engine_, &alive_, "SpongeServer.alive", "flag", AliveDomain());
+  SIM_WRITE(engine_, this, "SpongeServer", "pool",
+            sim::AccessRecorder::NodeDomain(node_id_));
+  Status result = alive_ ? pool_->Free(handle, owner)
+                         : Unavailable("sponge server down");
+  co_await network_->Transfer(node_id_, from, config_.rpc_message_bytes);
+  co_return result;
 }
 
 sim::Task<bool> SpongeServer::RemoteIsTaskAlive(size_t from,
@@ -171,11 +202,14 @@ sim::Task<bool> SpongeServer::RemoteIsTaskAlive(size_t from,
   obs::SpanGuard span(&obs::Tracer::Default(), engine_, node_id_, task_id,
                       "rpc", "rpc.is_task_alive");
   span.Arg("from", static_cast<uint64_t>(from));
-  co_await network_->Rpc(from, node_id_, config_.rpc_message_bytes,
-                         config_.rpc_message_bytes);
+  // Request hop, registry lookup at the server, response hop (see
+  // RemoteAllocate).
+  co_await network_->Transfer(from, node_id_, config_.rpc_message_bytes);
   co_await FaultPoint();
-  if (!alive_) co_return false;
-  co_return registry_->IsAliveOn(task_id, node_id_);
+  SIM_READ(engine_, &alive_, "SpongeServer.alive", "flag", AliveDomain());
+  bool task_alive = alive_ && registry_->IsAliveOn(task_id, node_id_);
+  co_await network_->Transfer(node_id_, from, config_.rpc_message_bytes);
+  co_return task_alive;
 }
 
 void SpongeServer::StartGc(std::vector<SpongeServer*>* peers) {
@@ -204,6 +238,8 @@ sim::Task<uint64_t> SpongeServer::GcSweep() {
   // Cache liveness verdicts per owner so a task holding many chunks costs
   // one probe, not one per chunk.
   std::unordered_map<uint64_t, bool> verdicts;
+  SIM_READ(engine_, this, "SpongeServer", "pool",
+           sim::AccessRecorder::NodeDomain(node_id_));
   for (const auto& [handle, owner] : pool_->AllocatedChunks()) {
     auto it = verdicts.find(owner.task_id);
     bool live;
@@ -227,6 +263,8 @@ sim::Task<uint64_t> SpongeServer::GcSweep() {
     }
     if (!live) {
       // The owner may have freed this chunk while we awaited the probe.
+      SIM_WRITE(engine_, this, "SpongeServer", "pool",
+                sim::AccessRecorder::NodeDomain(node_id_));
       auto still_owned = pool_->OwnerOf(handle);
       if (still_owned.ok() && *still_owned == owner) {
         (void)pool_->ForceFree(handle);
@@ -247,6 +285,8 @@ uint64_t SpongeServer::EnforceQuotas() {
   // will read first).
   std::unordered_map<uint64_t, uint64_t> held;
   uint64_t reclaimed = 0;
+  SIM_WRITE(engine_, this, "SpongeServer", "pool",
+            sim::AccessRecorder::NodeDomain(node_id_));
   for (const auto& [handle, owner] : pool_->AllocatedChunks()) {
     uint64_t count = ++held[owner.task_id];
     if (count > config_.quota_chunks_per_task) {
@@ -259,10 +299,16 @@ uint64_t SpongeServer::EnforceQuotas() {
 }
 
 void SpongeServer::Crash() {
+  SIM_WRITE(engine_, &alive_, "SpongeServer.alive", "flag", AliveDomain());
+  SIM_WRITE(engine_, this, "SpongeServer", "pool",
+            sim::AccessRecorder::NodeDomain(node_id_));
   alive_ = false;
   pool_->Reset();
 }
 
-void SpongeServer::Restart() { alive_ = true; }
+void SpongeServer::Restart() {
+  SIM_WRITE(engine_, &alive_, "SpongeServer.alive", "flag", AliveDomain());
+  alive_ = true;
+}
 
 }  // namespace spongefiles::sponge

@@ -8,6 +8,7 @@
 #include "common/byte_runs.h"
 #include "common/status.h"
 #include "common/units.h"
+#include "sim/access.h"
 #include "sim/engine.h"
 #include "sim/sync.h"
 #include "sim/task.h"
@@ -16,6 +17,7 @@
 
 namespace spongefiles::sponge {
 
+// lint: shard(value)
 struct SpongeServerConfig {
   // Size of control messages (allocate/free/liveness requests and
   // responses) on the wire.
@@ -34,6 +36,7 @@ struct SpongeServerConfig {
 // write / read / free requests from remote tasks, and garbage-collects
 // chunks owned by dead tasks. The server is stateless: all durable state
 // is the pool metadata itself.
+// lint: shard(node)
 class SpongeServer {
  public:
   SpongeServer(sim::Engine* engine, cluster::Network* network,
@@ -83,11 +86,15 @@ class SpongeServer {
   // --- server involvement, hence no IPC cost — the SpongeFile charges the
   // --- raw memory copy itself) ---
   Result<ChunkHandle> LocalAllocate(const ChunkOwner& owner) {
+    SIM_WRITE(engine_, this, "SpongeServer", "pool",
+              sim::AccessRecorder::NodeDomain(node_id_));
     if (!alive_) return Unavailable("sponge server down");
     if (!QuotaAllows(owner)) return ResourceExhausted("task over quota");
     return pool_->Allocate(owner);
   }
   Status LocalFree(ChunkHandle handle, const ChunkOwner& owner) {
+    SIM_WRITE(engine_, this, "SpongeServer", "pool",
+              sim::AccessRecorder::NodeDomain(node_id_));
     return pool_->Free(handle, owner);
   }
 

@@ -4,8 +4,27 @@
 
 namespace spongefiles::sponge {
 
+void ReplicaDirectory::NoteAccess(bool write) const {
+  if (engine_ == nullptr) return;
+  SIM_ACCESS(engine_, this, "ReplicaDirectory", "chunks", write,
+             sim::AccessRecorder::GlobalDomain(
+                 "chunk-to-replica map shared by the write, read-failover, "
+                 "and repair paths; shard or message it before going "
+                 "parallel"));
+}
+
+void TaskRegistry::NoteAccess(bool write) const {
+  if (engine_ == nullptr) return;
+  SIM_ACCESS(engine_, this, "TaskRegistry", "tasks", write,
+             sim::AccessRecorder::GlobalDomain(
+                 "attempt-liveness oracle consulted by every node's GC "
+                 "sweep; becomes per-shard caches fed by liveness "
+                 "messages"));
+}
+
 uint64_t ReplicaDirectory::Register(uint64_t owner_task, uint64_t size,
                                     uint64_t checksum) {
+  NoteAccess(/*write=*/true);
   uint64_t id = next_id_++;
   ReplicatedChunk& entry = chunks_[id];
   entry.chunk_id = id;
@@ -17,6 +36,7 @@ uint64_t ReplicaDirectory::Register(uint64_t owner_task, uint64_t size,
 
 void ReplicaDirectory::AddLocation(uint64_t chunk_id,
                                    const ReplicaLocation& location) {
+  NoteAccess(/*write=*/true);
   auto it = chunks_.find(chunk_id);
   if (it == chunks_.end()) return;
   for (const ReplicaLocation& held : it->second.locations) {
@@ -26,6 +46,7 @@ void ReplicaDirectory::AddLocation(uint64_t chunk_id,
 }
 
 void ReplicaDirectory::DropLocation(uint64_t chunk_id, size_t node) {
+  NoteAccess(/*write=*/true);
   auto it = chunks_.find(chunk_id);
   if (it == chunks_.end()) return;
   auto& locations = it->second.locations;
@@ -36,14 +57,19 @@ void ReplicaDirectory::DropLocation(uint64_t chunk_id, size_t node) {
                   locations.end());
 }
 
-void ReplicaDirectory::Forget(uint64_t chunk_id) { chunks_.erase(chunk_id); }
+void ReplicaDirectory::Forget(uint64_t chunk_id) {
+  NoteAccess(/*write=*/true);
+  chunks_.erase(chunk_id);
+}
 
 const ReplicatedChunk* ReplicaDirectory::Find(uint64_t chunk_id) const {
+  NoteAccess(/*write=*/false);
   auto it = chunks_.find(chunk_id);
   return it == chunks_.end() ? nullptr : &it->second;
 }
 
 std::vector<uint64_t> ReplicaDirectory::ChunksOn(size_t node) const {
+  NoteAccess(/*write=*/false);
   std::vector<uint64_t> ids;
   for (const auto& [id, entry] : chunks_) {
     for (const ReplicaLocation& location : entry.locations) {
@@ -57,19 +83,25 @@ std::vector<uint64_t> ReplicaDirectory::ChunksOn(size_t node) const {
 }
 
 uint64_t TaskRegistry::Register(size_t node) {
+  NoteAccess(/*write=*/true);
   uint64_t id = next_id_++;
   tasks_[id] = node;
   return id;
 }
 
-void TaskRegistry::Deregister(uint64_t task_id) { tasks_.erase(task_id); }
+void TaskRegistry::Deregister(uint64_t task_id) {
+  NoteAccess(/*write=*/true);
+  tasks_.erase(task_id);
+}
 
 bool TaskRegistry::IsAliveOn(uint64_t task_id, size_t node) const {
+  NoteAccess(/*write=*/false);
   auto it = tasks_.find(task_id);
   return it != tasks_.end() && it->second == node;
 }
 
 Result<size_t> TaskRegistry::NodeOf(uint64_t task_id) const {
+  NoteAccess(/*write=*/false);
   auto it = tasks_.find(task_id);
   if (it == tasks_.end()) return NotFound("task not alive");
   return it->second;

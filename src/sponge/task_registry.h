@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "common/status.h"
+#include "sim/access.h"
+#include "sim/engine.h"
 #include "sponge/chunk_pool.h"
 
 namespace spongefiles::sponge {
@@ -15,6 +17,7 @@ namespace spongefiles::sponge {
 // under what slot and owner identity. The owner identity is stored in full
 // (including the replica flag) so reads and frees of the copy pass the
 // server-side ownership check.
+// lint: shard(value)
 struct ReplicaLocation {
   size_t node = 0;
   ChunkHandle handle;
@@ -24,6 +27,7 @@ struct ReplicaLocation {
 // Directory entry for one chunk that has (or had) a second copy. The
 // checksum is the stored representation's — any location whose content no
 // longer hashes to it is corrupt and unusable.
+// lint: shard(value)
 struct ReplicatedChunk {
   uint64_t chunk_id = 0;
   uint64_t owner_task = 0;
@@ -39,9 +43,14 @@ struct ReplicatedChunk {
 // still owned by the chunks' tasks, and the GC sweep (keyed on task
 // liveness) reclaims them with or without a directory entry. A std::map
 // keeps iteration order deterministic.
+// lint: shard(global: chunk-to-replica map shared by the write, read-failover, and repair paths; shard or message it before going parallel)
 class ReplicaDirectory {
  public:
   ReplicaDirectory() = default;
+
+  // Wires up access-set recording (sim/access.h); optional — the
+  // directory works unattached (unit tests construct it bare).
+  void AttachEngine(sim::Engine* engine) { engine_ = engine; }
 
   // Creates an entry and returns its id (never 0; 0 in a chunk record
   // means "not replicated").
@@ -67,6 +76,9 @@ class ReplicaDirectory {
   }
 
  private:
+  void NoteAccess(bool write) const;
+
+  sim::Engine* engine_ = nullptr;
   uint64_t next_id_ = 1;
   std::map<uint64_t, ReplicatedChunk> chunks_;
 };
@@ -75,9 +87,17 @@ class ReplicaDirectory {
 // process table each sponge server consults to decide whether a local
 // process still exists; the garbage collector uses it to find chunks
 // owned by dead tasks.
+// lint: shard(global: attempt-liveness oracle consulted by every node's GC sweep; becomes per-shard caches fed by liveness messages)
 class TaskRegistry {
  public:
   TaskRegistry() = default;
+
+  // Wires up access-set recording for the registry and its replica
+  // directory; optional (unit tests construct the registry bare).
+  void AttachEngine(sim::Engine* engine) {
+    engine_ = engine;
+    replicas_.AttachEngine(engine);
+  }
 
   // Registers a live task running on `node`; returns a fresh task id
   // (never 0; 0 marks a free chunk slot).
@@ -109,6 +129,9 @@ class TaskRegistry {
   const ReplicaDirectory& replicas() const { return replicas_; }
 
  private:
+  void NoteAccess(bool write) const;
+
+  sim::Engine* engine_ = nullptr;
   uint64_t next_id_ = 1;
   std::unordered_map<uint64_t, size_t> tasks_;  // id -> node
   ReplicaDirectory replicas_;

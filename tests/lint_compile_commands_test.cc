@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -7,6 +9,21 @@
 
 namespace spongefiles::lint {
 namespace {
+
+// A scratch file under the test's temp dir, removed on destruction.
+class TempFile {
+ public:
+  TempFile(const std::string& name, const std::string& contents)
+      : path_(::testing::TempDir() + name) {
+    std::ofstream out(path_);
+    out << contents;
+  }
+  ~TempFile() { std::remove(path_.c_str()); }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;
+};
 
 TEST(CompileCommandsTest, ParsesCommandString) {
   auto db = CompileCommands::Parse(R"json([
@@ -67,6 +84,115 @@ TEST(CompileCommandsTest, IgnoresUnknownKeysAndScalars) {
   ])json");
   ASSERT_TRUE(db.ok());
   EXPECT_EQ(db->entries().size(), 1u);
+}
+
+TEST(CompileCommandsTest, EscapedQuotesInCommandStrings) {
+  // The JSON layer escapes the quote; the shell layer must then keep the
+  // quoted span (with its space) as one argument.
+  auto db = CompileCommands::Parse(R"json([
+    {"directory": "/b",
+     "command": "cc -I\"/opt/my inc\" -I'/opt/other inc' -I/plain -c a.cc",
+     "file": "a.cc"}
+  ])json");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_EQ(db->entries().size(), 1u);
+  EXPECT_EQ(db->entries()[0].include_dirs,
+            (std::vector<std::string>{"/opt/my inc", "/opt/other inc",
+                                      "/plain"}));
+}
+
+TEST(CompileCommandsTest, BackslashEscapedSpaceInCommand) {
+  auto db = CompileCommands::Parse(R"json([
+    {"directory": "/b",
+     "command": "cc -I/opt/my\\ inc -c a.cc",
+     "file": "a.cc"}
+  ])json");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db->entries()[0].include_dirs,
+            (std::vector<std::string>{"/opt/my inc"}));
+}
+
+TEST(CompileCommandsTest, ExpandsResponseFiles) {
+  TempFile rsp("cc_test.rsp", "-I/from/rsp\n-isystem\n/rsp/sys\n");
+  auto db = CompileCommands::Parse(
+      R"json([
+        {"directory": "/b",
+         "command": "cc -I/direct @)json" +
+      rsp.path() + R"json( -c a.cc",
+         "file": "a.cc"}
+      ])json");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db->entries()[0].include_dirs,
+            (std::vector<std::string>{"/direct", "/from/rsp", "/rsp/sys"}));
+}
+
+TEST(CompileCommandsTest, ResponseFileRelativeToEntryDirectory) {
+  TempFile rsp("cc_rel.rsp", "-Irsp_rel");
+  std::string dir = ::testing::TempDir();
+  while (!dir.empty() && dir.back() == '/') dir.pop_back();
+  auto db = CompileCommands::Parse(R"json([
+    {"directory": ")json" + dir + R"json(",
+     "command": "cc @cc_rel.rsp -c a.cc",
+     "file": "a.cc"}
+  ])json");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  // The -I from the response file is itself relative, so it chains off the
+  // entry directory too.
+  EXPECT_EQ(db->entries()[0].include_dirs,
+            (std::vector<std::string>{dir + "/rsp_rel"}));
+}
+
+TEST(CompileCommandsTest, MissingResponseFileIsDropped) {
+  auto db = CompileCommands::Parse(R"json([
+    {"directory": "/b",
+     "command": "cc -I/keep @/no/such/file.rsp -c a.cc",
+     "file": "a.cc"}
+  ])json");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  EXPECT_EQ(db->entries()[0].include_dirs,
+            (std::vector<std::string>{"/keep"}));
+}
+
+TEST(CompileCommandsTest, SelfReferencingResponseFileTerminates) {
+  // A response file that names itself must not loop forever; the depth
+  // bound cuts the cycle and the remaining args still parse.
+  std::string name = "cc_cycle.rsp";
+  TempFile rsp(name, "-I/cycle\n@" + ::testing::TempDir() + name + "\n");
+  auto db = CompileCommands::Parse(R"json([
+    {"directory": "/b",
+     "command": "cc @)json" + rsp.path() + R"json( -c a.cc",
+     "file": "a.cc"}
+  ])json");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  ASSERT_FALSE(db->entries()[0].include_dirs.empty());
+  EXPECT_EQ(db->entries()[0].include_dirs[0], "/cycle");
+}
+
+TEST(CompileCommandsTest, RelativeDirectoryResolvesAgainstBaseDir) {
+  auto db = CompileCommands::Parse(R"json([
+    {"directory": "out/debug",
+     "command": "cc -Iinc -c a.cc",
+     "file": "a.cc"}
+  ])json",
+                                   "/repo");
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  const CompileEntry& e = db->entries()[0];
+  EXPECT_EQ(e.directory, "/repo/out/debug");
+  EXPECT_EQ(e.file, "/repo/out/debug/a.cc");
+  EXPECT_EQ(e.include_dirs,
+            (std::vector<std::string>{"/repo/out/debug/inc"}));
+}
+
+TEST(CompileCommandsTest, LoadResolvesRelativeDirectory) {
+  TempFile json("cc_db.json", R"json([
+    {"directory": "sub", "command": "cc -Iinc -c a.cc", "file": "a.cc"}
+  ])json");
+  auto db = CompileCommands::Load(json.path());
+  ASSERT_TRUE(db.ok()) << db.status().ToString();
+  std::string dir = ::testing::TempDir();
+  while (!dir.empty() && dir.back() == '/') dir.pop_back();
+  EXPECT_EQ(db->entries()[0].directory, dir + "/sub");
+  EXPECT_EQ(db->entries()[0].file, dir + "/sub/a.cc");
 }
 
 }  // namespace

@@ -1,0 +1,277 @@
+// Tests for the shard-affinity ownership pass (the static half of the
+// shard-safety analysis; the dynamic half lives in sim_access_test.cc).
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "lint/analyzer.h"
+#include "lint/diagnostic.h"
+
+namespace spongefiles::lint {
+namespace {
+
+// Check ids of the UNWAIVED diagnostics, in line order.
+std::vector<std::string> Ids(const FileReport& report) {
+  std::vector<std::string> out;
+  for (const Diagnostic& d : report.diagnostics) {
+    if (!d.waived) out.push_back(CheckId(d.check));
+  }
+  return out;
+}
+
+FileReport Analyze(const std::string& source,
+                   const std::string& path = "src/sponge/fake.cc") {
+  return AnalyzeSource(path, source);
+}
+
+// ---- annotation parsing ---------------------------------------------------
+
+TEST(ShardAffinityTest, AllAffinityKindsParse) {
+  FileReport r = Analyze(R"cc(
+    // lint: shard(node)
+    class NodeThing { int x_; };
+    // lint: shard(rack)
+    class RackThing { int x_; };
+    // lint: shard(value)
+    struct ValueThing { int x; };
+    // lint: shard(channel)
+    class ChannelThing { int x_; };
+    // lint: shard(global: the one sanctioned shared thing)
+    class GlobalThing { int x_; };
+  )cc");
+  EXPECT_TRUE(Ids(r).empty()) << r.diagnostics.size();
+}
+
+TEST(ShardAffinityTest, GlobalWithoutReasonIsFlagged) {
+  FileReport r = Analyze(R"cc(
+    // lint: shard(global)
+    class Board { int x_; };
+  )cc");
+  EXPECT_EQ(Ids(r), (std::vector<std::string>{"affinity"}));
+}
+
+TEST(ShardAffinityTest, UnknownAffinityKindIsFlagged) {
+  // Two diagnostics: the malformed clause, and the class it failed to
+  // annotate (which is therefore missing an annotation).
+  FileReport r = Analyze(R"cc(
+    // lint: shard(planet)
+    class Board { int x_; };
+  )cc");
+  EXPECT_EQ(Ids(r), (std::vector<std::string>{"affinity", "affinity"}));
+}
+
+TEST(ShardAffinityTest, ClauseAttachedToNothingIsFlagged) {
+  FileReport r = Analyze(R"cc(
+    // lint: shard(node)
+    int free_function() { return 0; }
+  )cc");
+  EXPECT_EQ(Ids(r), (std::vector<std::string>{"affinity"}));
+}
+
+// ---- missing annotations --------------------------------------------------
+
+TEST(ShardAffinityTest, UnannotatedComponentClassIsFlagged) {
+  FileReport r = Analyze(R"cc(
+    class Widget {
+     public:
+      int x() const { return x_; }
+     private:
+      int x_;
+    };
+  )cc");
+  EXPECT_EQ(Ids(r), (std::vector<std::string>{"affinity"}));
+}
+
+TEST(ShardAffinityTest, UnannotatedClassOutsideComponentLayerPasses) {
+  FileReport r = Analyze(R"cc(
+    class Widget { int x_; };
+  )cc",
+                         "src/common/fake.cc");
+  EXPECT_TRUE(Ids(r).empty());
+}
+
+TEST(ShardAffinityTest, NestedClassInheritsEnclosingAffinity) {
+  FileReport r = Analyze(R"cc(
+    // lint: shard(node)
+    class Pool {
+     public:
+      struct Slot { int index; };
+     private:
+      int x_;
+    };
+  )cc");
+  EXPECT_TRUE(Ids(r).empty());
+}
+
+// ---- cross-domain accesses ------------------------------------------------
+
+TEST(ShardAffinityTest, CrossShardMemberAccessIsFlagged) {
+  FileReport r = Analyze(R"cc(
+    // lint: shard(node)
+    class Server {
+     public:
+      bool alive() const { return alive_; }
+     private:
+      bool alive_;
+    };
+    // lint: shard(rack)
+    class Tracker {
+     public:
+      void Poll() {
+        if (!server_->alive()) { return; }
+      }
+     private:
+      Server* server_;
+    };
+  )cc");
+  EXPECT_EQ(Ids(r), (std::vector<std::string>{"shard"}));
+}
+
+TEST(ShardAffinityTest, SameDomainAccessPasses) {
+  FileReport r = Analyze(R"cc(
+    // lint: shard(node)
+    class Disk { public: void Seek(); };
+    // lint: shard(node)
+    class Cache {
+     public:
+      void Flush() { disk_->Seek(); }
+     private:
+      Disk* disk_;
+    };
+  )cc");
+  EXPECT_TRUE(Ids(r).empty());
+}
+
+TEST(ShardAffinityTest, ValueChannelAndGlobalTargetsPass) {
+  FileReport r = Analyze(R"cc(
+    // lint: shard(value)
+    struct Config { int chunk_size; };
+    // lint: shard(channel)
+    class Network { public: void Transfer(); };
+    // lint: shard(global: sanctioned oracle)
+    class Registry { public: bool IsAlive(); };
+    // lint: shard(node)
+    class Server {
+     public:
+      void Op() {
+        int n = config_->chunk_size;
+        network_->Transfer();
+        registry_->IsAlive();
+      }
+     private:
+      Config* config_;
+      Network* network_;
+      Registry* registry_;
+    };
+  )cc");
+  EXPECT_TRUE(Ids(r).empty());
+}
+
+TEST(ShardAffinityTest, IdentityMembersNeverFlag) {
+  FileReport r = Analyze(R"cc(
+    // lint: shard(node)
+    class Server {
+     public:
+      size_t node_id() const { return node_id_; }
+     private:
+      size_t node_id_;
+    };
+    // lint: shard(rack)
+    class Tracker {
+     public:
+      size_t HomeOf() { return server_->node_id(); }
+     private:
+      Server* server_;
+    };
+  )cc");
+  EXPECT_TRUE(Ids(r).empty());
+}
+
+TEST(ShardAffinityTest, AccessorChainBindsThroughReturnType) {
+  FileReport r = Analyze(R"cc(
+    // lint: shard(node)
+    class Node {
+     public:
+      int free_slots() const { return free_slots_; }
+     private:
+      int free_slots_;
+    };
+    // lint: shard(global: the cluster owns the node table)
+    class Cluster {
+     public:
+      Node& node(size_t i);
+    };
+    // lint: shard(rack)
+    class Tracker {
+     public:
+      int Probe(size_t i) { return cluster_->node(i).free_slots(); }
+     private:
+      Cluster* cluster_;
+    };
+  )cc");
+  EXPECT_EQ(Ids(r), (std::vector<std::string>{"shard"}));
+}
+
+// ---- waivers --------------------------------------------------------------
+
+TEST(ShardAffinityTest, ShardOkWaiverSuppresses) {
+  FileReport r = Analyze(R"cc(
+    // lint: shard(node)
+    class Server {
+     public:
+      bool alive() const { return alive_; }
+     private:
+      bool alive_;
+    };
+    // lint: shard(rack)
+    class Tracker {
+     public:
+      void Poll() {
+        // lint: shard-ok(liveness observed via poll timeout)
+        if (!server_->alive()) { return; }
+      }
+     private:
+      Server* server_;
+    };
+  )cc");
+  EXPECT_TRUE(Ids(r).empty());
+  // The waived diagnostic is still present, carrying its reason.
+  bool found = false;
+  for (const Diagnostic& d : r.diagnostics) {
+    if (d.waived && d.check == Check::kShardCross) {
+      found = true;
+      EXPECT_EQ(d.waiver_reason, "liveness observed via poll timeout");
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ShardAffinityTest, OrphanWaiverIsFlagged) {
+  FileReport r = Analyze(R"cc(
+    // lint: shard(node)
+    class Server {
+     public:
+      void Op() {
+        // lint: shard-ok(this matches nothing)
+        int x = 1;
+      }
+    };
+  )cc");
+  EXPECT_EQ(Ids(r), (std::vector<std::string>{"orphan"}));
+}
+
+TEST(ShardAffinityTest, ShardClauseIsNotAnOrphanWaiver) {
+  // A shard(...) clause must parse as an affinity annotation, not as an
+  // unknown waiver tag (the orphan pass would otherwise flag every
+  // annotation in the tree).
+  FileReport r = Analyze(R"cc(
+    // lint: shard(value)
+    struct Config { int x; };
+  )cc");
+  EXPECT_TRUE(Ids(r).empty());
+}
+
+}  // namespace
+}  // namespace spongefiles::lint

@@ -1,0 +1,230 @@
+// Tests for the access-set recorder (the dynamic half of the shard-safety
+// analysis; the static half lives in lint_shard_test.cc). Each test drives
+// a real engine in instrumented mode and asserts on the census — the same
+// artifact tools/shardcheck.sh gates on.
+
+#include "sim/access.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/task.h"
+
+namespace spongefiles::sim {
+namespace {
+
+using Home = AccessRecorder::Home;
+
+// One instrumented event: sleep to `at`, anchor at `anchor_node` (the
+// recorder derives an event's home from its first non-global touch), then
+// touch the shared object.
+Task<> TouchAt(Engine* engine, Duration at, int* anchor, size_t anchor_node,
+               int* shared, bool write) {
+  co_await engine->Delay(at);
+  SIM_READ(engine, anchor, "Anchor", "id",
+           AccessRecorder::NodeDomain(anchor_node));
+  SIM_ACCESS(engine, shared, "Shared", "state", write,
+             AccessRecorder::NodeDomain(0));
+}
+
+TEST(AccessRecorderTest, CrossNodeConflictWithinLookaheadIsReported) {
+  Engine engine;
+  AccessRecorder rec;
+  engine.RecordAccessSets(&rec);
+  int anchor0 = 0, anchor1 = 0, shared = 0;
+  // A write from a node0-homed event, then a read from a node1-homed event
+  // 100us later — inside the 300us node lookahead, so the parallel engine
+  // could interleave them.
+  engine.Spawn(TouchAt(&engine, 0, &anchor0, 0, &shared, /*write=*/true));
+  engine.Spawn(TouchAt(&engine, Micros(100), &anchor1, 1, &shared,
+                       /*write=*/false));
+  engine.Run();
+  rec.Finish();
+  ASSERT_EQ(rec.unexplained_conflicts(), 1u);
+  const AccessRecorder::Conflict& c = rec.census().conflicts[0];
+  EXPECT_EQ(c.object, "Shared@node0");
+  EXPECT_EQ(c.group, "state");
+  EXPECT_EQ(c.projection, "node");
+  EXPECT_EQ(c.home_a, "node0");
+  EXPECT_EQ(c.home_b, "node1");
+  EXPECT_TRUE(c.write_a);
+  EXPECT_FALSE(c.write_b);
+  EXPECT_EQ(c.time_b - c.time_a, Micros(100));
+  // The census JSON carries the go/no-go number.
+  EXPECT_NE(rec.CensusJson().find("\"unexplained_conflicts\": 1"),
+            std::string::npos);
+}
+
+TEST(AccessRecorderTest, PairAtLookaheadBoundaryIsCausal) {
+  // At exactly one lookahead apart the pair is causally ordered — a
+  // message sent by the first event has already arrived — so the parallel
+  // engine can never interleave them and no conflict is reported.
+  Engine engine;
+  AccessRecorder rec;
+  engine.RecordAccessSets(&rec);
+  int anchor0 = 0, anchor1 = 0, shared = 0;
+  engine.Spawn(TouchAt(&engine, 0, &anchor0, 0, &shared, /*write=*/true));
+  engine.Spawn(TouchAt(&engine, Micros(300), &anchor1, 1, &shared,
+                       /*write=*/false));
+  engine.Run();
+  rec.Finish();
+  EXPECT_EQ(rec.unexplained_conflicts(), 0u);
+}
+
+TEST(AccessRecorderTest, RackProjectionUsesRackLookahead) {
+  // 400us apart: outside the node lookahead (300us) but inside the rack
+  // lookahead (500us). With the two anchors in different racks the pair
+  // only conflicts under the rack-sharded projection.
+  Engine engine;
+  AccessRecorder rec;
+  rec.SetRacks({0, 1});  // node0 -> rack0, node1 -> rack1
+  engine.RecordAccessSets(&rec);
+  int anchor0 = 0, anchor1 = 0, shared = 0;
+  engine.Spawn(TouchAt(&engine, 0, &anchor0, 0, &shared, /*write=*/true));
+  engine.Spawn(TouchAt(&engine, Micros(400), &anchor1, 1, &shared,
+                       /*write=*/true));
+  engine.Run();
+  rec.Finish();
+  ASSERT_EQ(rec.unexplained_conflicts(), 1u);
+  const AccessRecorder::Conflict& c = rec.census().conflicts[0];
+  EXPECT_EQ(c.projection, "rack");
+  EXPECT_EQ(c.home_a, "rack0");
+  EXPECT_EQ(c.home_b, "rack1");
+  EXPECT_TRUE(c.write_a);
+  EXPECT_TRUE(c.write_b);
+}
+
+TEST(AccessRecorderTest, SameHomeEventsNeverConflict) {
+  // Two events on the same shard are serialized by that shard's loop no
+  // matter how close their timestamps are.
+  Engine engine;
+  AccessRecorder rec;
+  engine.RecordAccessSets(&rec);
+  int anchor_a = 0, anchor_b = 0, shared = 0;
+  engine.Spawn(TouchAt(&engine, 0, &anchor_a, 0, &shared, /*write=*/true));
+  engine.Spawn(TouchAt(&engine, Micros(50), &anchor_b, 0, &shared,
+                       /*write=*/true));
+  engine.Run();
+  rec.Finish();
+  EXPECT_EQ(rec.unexplained_conflicts(), 0u);
+  EXPECT_EQ(rec.census().touched_events, 2u);
+}
+
+Task<> TouchGlobal(Engine* engine, Duration at, int* anchor, size_t node,
+                   int* board, bool write) {
+  co_await engine->Delay(at);
+  SIM_READ(engine, anchor, "Anchor", "id", AccessRecorder::NodeDomain(node));
+  SIM_ACCESS(engine, board, "Board", "flag", write,
+             AccessRecorder::GlobalDomain("sanctioned oracle"));
+}
+
+TEST(AccessRecorderTest, GlobalObjectsAreCensusedNeverConflicted) {
+  Engine engine;
+  AccessRecorder rec;
+  engine.RecordAccessSets(&rec);
+  int anchor0 = 0, anchor1 = 0, board = 0;
+  // Write and read of a declared-global object from two homes, well inside
+  // the lookahead: explained shared state, not a conflict.
+  engine.Spawn(TouchGlobal(&engine, 0, &anchor0, 0, &board, /*write=*/true));
+  engine.Spawn(TouchGlobal(&engine, Micros(100), &anchor1, 1, &board,
+                           /*write=*/false));
+  engine.Run();
+  rec.Finish();
+  EXPECT_EQ(rec.unexplained_conflicts(), 0u);
+  EXPECT_EQ(rec.census().global_accesses, 2u);
+  auto it = rec.census().global_objects.find("Board@global");
+  ASSERT_NE(it, rec.census().global_objects.end());
+  EXPECT_EQ(it->second, "sanctioned oracle");
+}
+
+Task<> ReadThenWrite(Engine* engine, int* anchor, int* shared) {
+  co_await engine->Delay(0);
+  SIM_READ(engine, anchor, "Anchor", "id", AccessRecorder::NodeDomain(0));
+  SIM_READ(engine, shared, "Shared", "state", AccessRecorder::NodeDomain(0));
+  SIM_WRITE(engine, shared, "Shared", "state", AccessRecorder::NodeDomain(0));
+}
+
+TEST(AccessRecorderTest, WithinEventDedupKeepsStrongestKind) {
+  // One event reads then writes the same (object, group): its footprint is
+  // a single write entry, so a later cross-home read sees exactly one
+  // conflict, with write_a = true.
+  Engine engine;
+  AccessRecorder rec;
+  engine.RecordAccessSets(&rec);
+  int anchor0 = 0, anchor1 = 0, shared = 0;
+  engine.Spawn(ReadThenWrite(&engine, &anchor0, &shared));
+  engine.Spawn(TouchAt(&engine, Micros(100), &anchor1, 1, &shared,
+                       /*write=*/false));
+  engine.Run();
+  rec.Finish();
+  ASSERT_EQ(rec.unexplained_conflicts(), 1u);
+  EXPECT_TRUE(rec.census().conflicts[0].write_a);
+  EXPECT_EQ(rec.census().accesses, 5u);  // raw touches, before dedup
+}
+
+Task<> TouchTwoNodes(Engine* engine, int* a, int* b) {
+  co_await engine->Delay(Micros(10));
+  SIM_WRITE(engine, a, "A", "x", AccessRecorder::NodeDomain(0));
+  SIM_WRITE(engine, b, "B", "x", AccessRecorder::NodeDomain(1));
+}
+
+TEST(AccessRecorderTest, MultiHomedEventIsCensusedAsSplit) {
+  // An event touching state homed at two nodes marks a point the parallel
+  // port must cut with a message; the census counts it.
+  Engine engine;
+  AccessRecorder rec;
+  engine.RecordAccessSets(&rec);
+  int a = 0, b = 0;
+  engine.Spawn(TouchTwoNodes(&engine, &a, &b));
+  engine.Run();
+  rec.Finish();
+  EXPECT_EQ(rec.census().split_events, 1u);
+  EXPECT_EQ(rec.unexplained_conflicts(), 0u);
+}
+
+TEST(AccessRecorderTest, RecordingIsOffByDefault) {
+  Engine engine;
+  EXPECT_EQ(engine.access_recorder(), nullptr);
+  // The hooks are a pointer load and a branch when no recorder is set.
+  int obj = 0;
+  SIM_WRITE(&engine, &obj, "Obj", "x", AccessRecorder::NodeDomain(0));
+}
+
+TEST(AccessRecorderTest, DetachingStopsRecording) {
+  Engine engine;
+  AccessRecorder rec;
+  engine.RecordAccessSets(&rec);
+  int anchor = 0, shared = 0;
+  engine.Spawn(TouchAt(&engine, 0, &anchor, 0, &shared, /*write=*/true));
+  engine.Run();
+  rec.Finish();
+  const uint64_t events = rec.census().events;
+  EXPECT_GT(events, 0u);
+  engine.RecordAccessSets(nullptr);
+  engine.Spawn(TouchAt(&engine, Micros(10), &anchor, 0, &shared,
+                       /*write=*/true));
+  engine.Run();
+  EXPECT_EQ(rec.census().events, events);
+}
+
+TEST(AccessRecorderTest, CensusJsonIsDeterministic) {
+  auto run = [] {
+    Engine engine;
+    AccessRecorder rec;
+    engine.RecordAccessSets(&rec);
+    int anchor0 = 0, anchor1 = 0, shared = 0, board = 0;
+    engine.Spawn(TouchAt(&engine, 0, &anchor0, 0, &shared, true));
+    engine.Spawn(TouchAt(&engine, Micros(100), &anchor1, 1, &shared, false));
+    engine.Spawn(TouchGlobal(&engine, Micros(5), &anchor0, 0, &board, true));
+    engine.Run();
+    rec.Finish();
+    return rec.CensusJson();
+  };
+  EXPECT_EQ(run(), run());
+}
+
+}  // namespace
+}  // namespace spongefiles::sim

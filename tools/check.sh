@@ -23,6 +23,12 @@ build="${build:-$repo/build-san}"
 # run anyway.
 "$repo/tools/lint/run.sh" "$build-lint"
 
+# Shard-safety conflict census right after lint (same reasoning: it is
+# sub-second once built, and an unexplained conflict is a design finding
+# that invalidates the parallel-engine roadmap item, not just this run).
+# Reuses the lint build tree; the merged census is published next to it.
+"$repo/tools/shardcheck.sh" "$build-lint" "$build-lint/SHARDCHECK.json"
+
 cmake -B "$build" -S "$repo" \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DSPONGEFILES_WERROR=ON \

@@ -6,7 +6,13 @@
 // the exit status non-zero, which is how the `lint_repo` ctest fails.
 //
 // Usage:
-//   spongelint [--root DIR] [--compile-commands FILE] [--verbose] [dirs...]
+//   spongelint [--root DIR] [--compile-commands FILE] [--verbose]
+//              [--format=text|json] [dirs...]
+//
+// --format=json emits one JSON object on stdout with per-diagnostic
+// records (stable check id, file, line, message, waived, waiver_reason)
+// for CI and tools/shardcheck.sh to consume; the exit status contract is
+// unchanged (non-zero iff any unwaived diagnostic).
 //
 // --compile-commands points at a CMake-exported compile_commands.json;
 // its -I roots are used to resolve quoted #includes so the cross-file
@@ -78,12 +84,37 @@ std::string ResolveInclude(const std::string& quoted, const fs::path& includer,
   return "";
 }
 
+// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   fs::path root = ".";
   std::string compile_commands_path;
   bool verbose = false;
+  bool json = false;
   std::vector<std::string> dirs;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -91,12 +122,24 @@ int main(int argc, char** argv) {
       root = argv[++i];
     } else if (arg == "--compile-commands" && i + 1 < argc) {
       compile_commands_path = argv[++i];
+    } else if (arg.rfind("--format", 0) == 0) {
+      std::string fmt;
+      if (arg.rfind("--format=", 0) == 0) {
+        fmt = arg.substr(9);
+      } else if (arg == "--format" && i + 1 < argc) {
+        fmt = argv[++i];
+      }
+      if (fmt != "text" && fmt != "json") {
+        std::fprintf(stderr, "spongelint: unknown format '%s'\n", fmt.c_str());
+        return 2;
+      }
+      json = fmt == "json";
     } else if (arg == "--verbose" || arg == "-v") {
       verbose = true;
     } else if (arg == "--help" || arg == "-h") {
       std::printf(
           "usage: spongelint [--root DIR] [--compile-commands FILE] "
-          "[--verbose] [dirs...]\n");
+          "[--verbose] [--format=text|json] [dirs...]\n");
       return 0;
     } else {
       dirs.push_back(arg);
@@ -179,6 +222,7 @@ int main(int argc, char** argv) {
   // closure (self + transitively included project files).
   AnalyzerOptions opts;
   size_t total = 0, waived = 0, files_with_findings = 0;
+  std::vector<Diagnostic> all_diags;
   for (const auto& u : units) {
     SymbolIndex scoped;
     std::set<std::string> visited;
@@ -201,20 +245,37 @@ int main(int argc, char** argv) {
     for (const Diagnostic& d : report.diagnostics) {
       if (d.waived) {
         ++waived;
-        if (verbose) std::printf("%s\n", d.ToString().c_str());
-        continue;
+        if (verbose && !json) std::printf("%s\n", d.ToString().c_str());
+      } else {
+        ++total;
+        printed = true;
+        if (!json) std::printf("%s\n", d.ToString().c_str());
       }
-      ++total;
-      printed = true;
-      std::printf("%s\n", d.ToString().c_str());
+      if (json) all_diags.push_back(d);
     }
     if (printed) ++files_with_findings;
   }
 
-  std::printf(
-      "spongelint: %zu files, %zu unwaived diagnostic%s in %zu file%s, "
-      "%zu waived\n",
-      units.size(), total, total == 1 ? "" : "s", files_with_findings,
-      files_with_findings == 1 ? "" : "s", waived);
+  if (json) {
+    std::printf("{\n  \"files\": %zu,\n  \"unwaived\": %zu,\n"
+                "  \"waived\": %zu,\n  \"diagnostics\": [",
+                units.size(), total, waived);
+    for (size_t i = 0; i < all_diags.size(); ++i) {
+      const Diagnostic& d = all_diags[i];
+      std::printf(
+          "%s\n    {\"check\": \"%s\", \"file\": \"%s\", \"line\": %d, "
+          "\"message\": \"%s\", \"waived\": %s, \"waiver_reason\": \"%s\"}",
+          i == 0 ? "" : ",", spongefiles::lint::CheckId(d.check),
+          JsonEscape(d.file).c_str(), d.line, JsonEscape(d.message).c_str(),
+          d.waived ? "true" : "false", JsonEscape(d.waiver_reason).c_str());
+    }
+    std::printf("%s]\n}\n", all_diags.empty() ? "" : "\n  ");
+  } else {
+    std::printf(
+        "spongelint: %zu files, %zu unwaived diagnostic%s in %zu file%s, "
+        "%zu waived\n",
+        units.size(), total, total == 1 ? "" : "s", files_with_findings,
+        files_with_findings == 1 ? "" : "s", waived);
+  }
   return total == 0 ? 0 : 1;
 }

@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# Shard-safety conflict census (the dynamic half of the shard analysis;
+# the static half is spongelint's ownership pass). Builds the shardcheck
+# driver, runs every workload shape under the engine's instrumented
+# access-set mode, and merges the per-shape censuses into one JSON
+# artifact — the go/no-go evidence for the parallel engine: zero
+# unexplained conflicts means no event pair the lookahead rule would run
+# concurrently shares non-sanctioned state.
+#
+# Usage: tools/shardcheck.sh [build-dir] [artifact]
+#   build-dir  default: build        (reused if already configured)
+#   artifact   default: <build-dir>/SHARDCHECK.json
+# Exit: 0 when every shape is conflict-free, 1 otherwise.
+set -euo pipefail
+
+repo="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$repo/build}"
+artifact="${2:-$build/SHARDCHECK.json}"
+
+cmake -B "$build" -S "$repo" >/dev/null
+cmake --build "$build" -j "$(nproc)" --target shardcheck >/dev/null
+
+mkdir -p "$(dirname "$artifact")"
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+status=0
+for shape in chaos datacenter recovery; do
+  if ! "$build/tools/shardcheck/shardcheck" --shape="$shape" \
+      --out="$tmpdir/$shape.json"; then
+    status=1
+  fi
+done
+
+# Merge the three shape reports into one artifact (pure text splice; the
+# per-shape JSON is already deterministic).
+{
+  echo '{'
+  echo '  "shapes": ['
+  first=1
+  for shape in chaos datacenter recovery; do
+    if [ "$first" = 1 ]; then first=0; else echo ','; fi
+    sed -e 's/^/    /' -e '$d' "$tmpdir/$shape.json" | sed -e '1s/^    {/    {/'
+    printf '    }'
+  done
+  echo
+  echo '  ]'
+  echo '}'
+} > "$artifact"
+
+if [ "$status" = 0 ]; then
+  echo "shardcheck: all shapes conflict-free; census at $artifact"
+else
+  echo "shardcheck: UNEXPLAINED CONFLICTS — see $artifact" >&2
+fi
+exit "$status"
