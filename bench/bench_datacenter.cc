@@ -18,6 +18,12 @@
 //   --out=PATH       wall-clock + full report (default BENCH_datacenter.json)
 //   --sim-out=PATH   simulated quantities only; byte-identical per seed
 //   --racks=N --nodes-per-rack=N --jobs=N --seed=N   scenario shape
+//   --engine=legacy|seq|par   event-loop driver: the legacy single queue,
+//                    the rack-sharded serial schedule, or the rack-sharded
+//                    threaded schedule (byte-identical to seq; see
+//                    DESIGN.md §13). Replay tasks are homed on their
+//                    rack's lane, so par runs the racks concurrently.
+//   --threads=N      worker threads for --engine=par (default: host cores)
 //   (plus the standard --trace-out= / --metrics-out= observability flags)
 //
 // The default shape (16 racks x 32 nodes, 1200 jobs) satisfies the
@@ -38,6 +44,7 @@
 #include "cluster/topology.h"
 #include "common/random.h"
 #include "obs/json.h"
+#include "sim/parallel.h"
 #include "sponge/failure.h"
 #include "sponge/sponge_file.h"
 #include "workload/trace.h"
@@ -76,6 +83,8 @@ struct Options {
   size_t jobs = 1200;
   uint64_t seed = 14;
   size_t max_tasks_per_job = 50;
+  std::string engine_mode = "legacy";  // legacy | seq | par
+  unsigned threads = 0;                // 0 = host cores (par only)
   std::string out = "BENCH_datacenter.json";
   std::string sim_out;
 };
@@ -118,24 +127,37 @@ struct RackAgg {
   uint64_t bytes_dfs = 0;
 };
 
-struct ReplayState {
-  sponge::SpongeEnv* env = nullptr;
-  std::vector<std::unique_ptr<sim::Semaphore>>* slots = nullptr;
-  std::vector<RackAgg>* agg = nullptr;
-  std::vector<uint32_t>* job_remaining = nullptr;
-  std::vector<uint8_t>* job_started = nullptr;
+// Job/task progress tallies, striped by lane: a job's tasks are all homed
+// on one rack (hence one lane under the rack-sharded engine), so the
+// per-job arrays are single-lane by construction, but these cluster-wide
+// counters are touched by every lane and must not share cache lines.
+// Legacy engine: one entry, identical to the old shared scalars.
+struct alignas(64) LaneTally {
   size_t active_jobs = 0;
   size_t peak_jobs = 0;
   size_t tasks_done = 0;
   size_t tasks_failed = 0;
 };
 
+struct ReplayState {
+  sim::Engine* engine = nullptr;
+  sponge::SpongeEnv* env = nullptr;
+  std::vector<std::unique_ptr<sim::Semaphore>>* slots = nullptr;
+  std::vector<RackAgg>* agg = nullptr;
+  std::vector<uint32_t>* job_remaining = nullptr;
+  std::vector<uint8_t>* job_started = nullptr;
+  std::vector<LaneTally> tally;  // indexed by lane
+};
+
 sim::Task<> RunReplayTask(ReplayState* state, size_t job, size_t index,
                           size_t node, uint64_t bytes) {
+  // The task never migrates lanes (RPC hops always return home), so its
+  // tally stripe is stable across every await below.
+  LaneTally& tally = state->tally[state->engine->current_lane()];
   if ((*state->job_started)[job] == 0) {
     (*state->job_started)[job] = 1;
-    ++state->active_jobs;
-    state->peak_jobs = std::max(state->peak_jobs, state->active_jobs);
+    ++tally.active_jobs;
+    tally.peak_jobs = std::max(tally.peak_jobs, tally.active_jobs);
   }
   sim::Semaphore* slot = (*state->slots)[node].get();
   co_await slot->Acquire();
@@ -165,13 +187,13 @@ sim::Task<> RunReplayTask(ReplayState* state, size_t job, size_t index,
     agg.bytes_disk += s.bytes_local_disk;
     agg.bytes_dfs += s.bytes_dfs;
   } else {
-    ++state->tasks_failed;
+    ++tally.tasks_failed;
   }
   co_await file.Delete();
   env->EndTask(task);
   slot->Release();
-  if (--(*state->job_remaining)[job] == 0) --state->active_jobs;
-  ++state->tasks_done;
+  if (--(*state->job_remaining)[job] == 0) --tally.active_jobs;
+  ++tally.tasks_done;
 }
 
 uint64_t TrackerDownCount(size_t rack) {
@@ -187,9 +209,13 @@ struct RunResult {
   size_t tasks_total = 0;
   size_t tasks_done = 0;
   size_t tasks_failed = 0;
+  // Under the sharded engine this is the sum of per-lane peaks (each
+  // rack's tasks stay on one lane): an upper bound on the true cluster
+  // peak, equal to it on the legacy engine. Deterministic either way.
   size_t peak_concurrent_jobs = 0;
   SimTime makespan = 0;
   uint64_t engine_events = 0;
+  std::vector<uint64_t> per_lane_events;  // [global, rack 0, rack 1, ...]
   uint64_t spill_bytes_total = 0;
   std::vector<RackAgg> agg;
   std::vector<uint64_t> tracker_down;    // per rack
@@ -204,8 +230,10 @@ struct RunResult {
   bool outage_isolated = false;
   bool ok = false;
   uint64_t digest = 0;
-  // Wall clock (not deterministic; kept out of --sim-out).
+  // Wall clock and host facts (not deterministic; kept out of --sim-out —
+  // the seq/par differential gate byte-compares sim snapshots).
   double wall_ms = 0;
+  unsigned threads_used = 0;
 };
 
 RunResult RunReplay(const Options& options) {
@@ -220,7 +248,31 @@ RunResult RunReplay(const Options& options) {
   result.num_nodes = topo.num_racks * topo.nodes_per_rack;
 
   sim::Engine engine;
-  cluster::Cluster cluster(&engine, cluster::MakeClusterConfig(topo));
+  cluster::ClusterConfig cc = cluster::MakeClusterConfig(topo);
+  // Sharded drivers: one lane per rack plus the global lane. The
+  // lookahead is the minimum cross-rack message delay — no event on one
+  // rack can affect another sooner than the core's latency, which is what
+  // lets a whole window of each rack's events run without coordination.
+  std::unique_ptr<sim::Sharding> sharding;
+  if (options.engine_mode != "legacy") {
+    std::vector<size_t> rack_of;
+    rack_of.reserve(result.num_nodes);
+    for (size_t i = 0; i < result.num_nodes; ++i) {
+      rack_of.push_back(i / options.nodes_per_rack);
+    }
+    unsigned threads = 0;
+    if (options.engine_mode == "par") {
+      threads = options.threads > 0 ? options.threads : sim::HostCores();
+    }
+    result.threads_used = threads;
+    sharding = std::make_unique<sim::Sharding>(
+        &engine,
+        sim::RackShardPlan(rack_of, options.racks,
+                           cc.network.latency +
+                               cc.network.cross_rack_latency),
+        threads);
+  }
+  cluster::Cluster cluster(&engine, cc);
   cluster::Dfs dfs(&cluster);
   sponge::SpongeConfig sponge_config;
   sponge_config.allow_cross_rack = true;
@@ -275,26 +327,41 @@ RunResult RunReplay(const Options& options) {
   std::vector<RackAgg> agg(options.racks);
   std::vector<uint8_t> job_started(jobs.size(), 0);
   ReplayState state;
+  state.engine = &engine;
   state.env = &env;
   state.slots = &slots;
   state.agg = &agg;
   state.job_remaining = &job_remaining;
   state.job_started = &job_started;
+  state.tally.resize(engine.lane_count());
 
+  // Home each task on its rack's lane (lane 0 on the legacy engine, where
+  // SpawnOnShard from the driver is exactly SpawnAt).
   for (const TaskPlan& task : plan) {
-    engine.SpawnAt(task.at, RunReplayTask(&state, task.job, task.index,
-                                          task.node, task.bytes));
+    engine.SpawnOnShard(engine.lane_of_node(task.node), task.at,
+                        RunReplayTask(&state, task.job, task.index,
+                                      task.node, task.bytes));
   }
 
+  auto tasks_done = [&state] {
+    size_t n = 0;
+    for (const LaneTally& tally : state.tally) n += tally.tasks_done;
+    return n;
+  };
   const SimTime deadline = Minutes(24 * 60.0);
-  while (state.tasks_done < result.tasks_total && engine.now() < deadline) {
+  while (tasks_done() < result.tasks_total && engine.now() < deadline) {
     engine.RunUntil(engine.now() + Seconds(10));
   }
   result.makespan = engine.now();
-  result.tasks_done = state.tasks_done;
-  result.tasks_failed = state.tasks_failed;
-  result.peak_concurrent_jobs = state.peak_jobs;
+  result.tasks_done = tasks_done();
+  for (const LaneTally& tally : state.tally) {
+    result.tasks_failed += tally.tasks_failed;
+    result.peak_concurrent_jobs += tally.peak_jobs;
+  }
   result.engine_events = engine.events_processed();
+  for (uint32_t l = 0; l < engine.lane_count(); ++l) {
+    result.per_lane_events.push_back(engine.lane_events(l));
+  }
 
   result.agg = agg;
   for (size_t r = 0; r < options.racks; ++r) {
@@ -431,6 +498,10 @@ std::string SimJson(const Options& options, const RunResult& r) {
   AppendRackArray(&out, "uplink_bytes", r.uplink_bytes);
   out += ",\n";
   AppendRackArray(&out, "downlink_bytes", r.downlink_bytes);
+  out += ",\n";
+  // Identical between the seq and par drivers (same windowed schedule);
+  // [total] on the legacy engine.
+  AppendRackArray(&out, "per_lane_events", r.per_lane_events);
   out += ",\n  \"uplink_utilization\": [";
   for (size_t i = 0; i < r.uplink_busy.size(); ++i) {
     if (i > 0) out += ", ";
@@ -461,6 +532,12 @@ std::string FullJson(const Options& options, const RunResult& r) {
   std::string sim = SimJson(options, r);
   // Splice the wall-clock section in before the closing brace.
   std::string out = sim.substr(0, sim.rfind("\n}\n"));
+  out += ",\n  \"engine\": \"";
+  out += options.engine_mode;
+  out += "\",\n  \"threads\": ";
+  obs::AppendJsonUint(&out, r.threads_used);
+  out += ",\n  \"host_cores\": ";
+  obs::AppendJsonUint(&out, sim::HostCores());
   out += ",\n  \"wall_ms\": ";
   obs::AppendJsonDouble(&out, r.wall_ms);
   double secs = r.wall_ms / 1000.0;
@@ -502,16 +579,28 @@ int main(int argc, char** argv) {
       options.jobs = static_cast<size_t>(std::atoll(arg.c_str() + 7));
     } else if (arg.rfind("--seed=", 0) == 0) {
       options.seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      options.engine_mode = arg.substr(9);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      options.threads = static_cast<unsigned>(std::atoll(arg.c_str() + 10));
     }
   }
   if (options.racks < 2 || options.nodes_per_rack < 1 || options.jobs < 1) {
     std::fprintf(stderr, "need --racks>=2, --nodes-per-rack>=1, --jobs>=1\n");
     return 2;
   }
+  if (options.engine_mode != "legacy" && options.engine_mode != "seq" &&
+      options.engine_mode != "par") {
+    std::fprintf(stderr, "--engine must be legacy, seq, or par\n");
+    return 2;
+  }
 
-  std::printf("datacenter replay: %zu racks x %zu nodes, %zu jobs, seed %llu\n\n",
-              options.racks, options.nodes_per_rack, options.jobs,
-              static_cast<unsigned long long>(options.seed));
+  std::printf(
+      "datacenter replay: %zu racks x %zu nodes, %zu jobs, seed %llu, "
+      "engine %s\n\n",
+      options.racks, options.nodes_per_rack, options.jobs,
+      static_cast<unsigned long long>(options.seed),
+      options.engine_mode.c_str());
 
   RunResult r = RunReplay(options);
 

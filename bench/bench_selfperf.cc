@@ -27,6 +27,12 @@
 //   --baseline=PATH a prior --out file; its totals are embedded next to
 //                   ours and the ratio computed (regression tracking
 //                   across commits).
+//   --engine=MODE   legacy (default): the single-queue engine, bit-exact
+//                   old behaviour. seq: the sharded engine (node
+//                   projection) on the serial reference driver. par: the
+//                   same sharded schedule on the thread pool — tools/
+//                   perf.sh byte-compares seq and par --sim-out snapshots.
+//   --threads=N     pool size under --engine=par (default: host cores).
 
 #include <sys/resource.h>
 
@@ -39,6 +45,7 @@
 
 #include "bench_util.h"
 #include "obs/json.h"
+#include "sim/parallel.h"
 #include "sponge/failure.h"
 
 using namespace spongefiles;
@@ -61,6 +68,23 @@ uint64_t PeakRssBytes() {
   return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
 }
 
+// Engine mode for every scenario (--engine / --threads), set once in main
+// before any scenario runs. The testbeds here are single-rack, so seq/par
+// use the node projection (one worker lane per node) — the rack projection
+// would degenerate to a single worker lane.
+std::string g_engine_mode = "legacy";
+unsigned g_engine_threads = 0;  // --engine=par pool size; 0 = host cores
+
+workload::ShardProjection Projection() {
+  return g_engine_mode == "legacy" ? workload::ShardProjection::kNone
+                                   : workload::ShardProjection::kNode;
+}
+
+unsigned ShardThreads() {
+  if (g_engine_mode != "par") return 0;
+  return g_engine_threads > 0 ? g_engine_threads : sim::HostCores();
+}
+
 struct ScenarioResult {
   std::string name;
   double wall_ms = 0;
@@ -70,7 +94,18 @@ struct ScenarioResult {
                                // plane moved (spill accounting)
   uint64_t digest = 0;         // deterministic: FNV over scenario outputs
   bool ok = false;             // deterministic
+  // Events per engine lane, summed elementwise over the scenario's engines
+  // ([total] on the legacy engine). Identical between seq and par — the
+  // sharded schedule is the same either way.
+  std::vector<uint64_t> per_lane_events;
 };
+
+void FoldLaneEvents(const std::vector<uint64_t>& lanes, ScenarioResult* r) {
+  if (r->per_lane_events.size() < lanes.size()) {
+    r->per_lane_events.resize(lanes.size(), 0);
+  }
+  for (size_t l = 0; l < lanes.size(); ++l) r->per_lane_events[l] += lanes[l];
+}
 
 // FNV-1a 64 over arbitrary stuff, for the per-scenario output digest.
 struct Digest {
@@ -96,6 +131,13 @@ sim::Task<> StormLane(sim::Engine* engine, uint64_t lane, uint64_t yields,
   }
 }
 
+// Per-storm-lane accumulator: padded to a cache line so the threaded
+// driver's worker lanes never false-share (each engine lane touches only
+// its own entry, so there is no cross-lane data race to begin with).
+struct alignas(64) StormAcc {
+  uint64_t v = 0;
+};
+
 ScenarioResult RunEventStorm() {
   ScenarioResult r;
   r.name = "event_storm";
@@ -103,13 +145,31 @@ ScenarioResult RunEventStorm() {
   constexpr uint64_t kYields = 125000;  // 8 * 125k = 1M events
   double start = WallMs();
   sim::Engine engine;
-  uint64_t acc = 0;
+  // seq/par: one engine lane per storm lane. The storm lanes never talk to
+  // each other, so any positive lookahead is conservative; one microsecond
+  // matches the smallest timed delay in the mix.
+  std::unique_ptr<sim::Sharding> sharding;
+  if (g_engine_mode != "legacy") {
+    sharding = std::make_unique<sim::Sharding>(
+        &engine, sim::NodeShardPlan(kLanes, Micros(1)), ShardThreads());
+  }
+  std::vector<StormAcc> accs(kLanes);
   for (uint64_t lane = 0; lane < kLanes; ++lane) {
-    engine.Spawn(StormLane(&engine, lane, kYields, &acc));
+    if (sharding != nullptr) {
+      engine.SpawnOnShard(static_cast<uint32_t>(lane) + 1, 0,
+                          StormLane(&engine, lane, kYields, &accs[lane].v));
+    } else {
+      engine.Spawn(StormLane(&engine, lane, kYields, &accs[lane].v));
+    }
   }
   engine.Run();
+  uint64_t acc = 0;
+  for (const StormAcc& a : accs) acc += a.v;
   r.engine_events = engine.events_processed();
   r.sim_time = engine.now();
+  for (uint32_t l = 0; l < engine.lane_count(); ++l) {
+    r.per_lane_events.push_back(engine.lane_events(l));
+  }
   r.wall_ms = WallMs() - start;
   Digest d;
   d.U64(acc);
@@ -131,10 +191,13 @@ MacroOptions PinnedOptions() {
   options.median_count = 200001;
   options.web_bytes = MiB(256);
   options.grep_bytes = GiB(1);
+  options.shard_projection = Projection();
+  options.shard_threads = ShardThreads();
   return options;
 }
 
 void FoldRun(const MacroRun& run, ScenarioResult* r, Digest* d) {
+  FoldLaneEvents(run.lane_events, r);
   r->engine_events += run.engine_events;
   r->sim_time += run.sim_now;
   r->sim_bytes += run.total_spill.bytes_spilled + run.straggler.input_bytes;
@@ -188,6 +251,7 @@ struct ChaosOutcome {
   SimTime sim_now = 0;
   uint64_t spilled_bytes = 0;
   bool ok = false;
+  std::vector<uint64_t> lane_events;
 };
 
 constexpr SimTime kFaultHorizon = Seconds(90);
@@ -201,6 +265,8 @@ ChaosOutcome RunChaosJob(uint64_t seed, bool inject) {
   bed_config.num_nodes = 8;
   bed_config.sponge_memory = MiB(64);
   bed_config.sponge.rpc.hedge_reads = true;
+  bed_config.shard_projection = Projection();
+  bed_config.shard_threads = ShardThreads();
   workload::Testbed bed(bed_config);
   workload::NumbersDatasetConfig data;
   data.count = 50001;
@@ -252,6 +318,9 @@ ChaosOutcome RunChaosJob(uint64_t seed, bool inject) {
   bed.engine().RunUntil(bed.engine().now() + Seconds(10));
   out.engine_events = bed.engine().events_processed();
   out.sim_now = bed.engine().now();
+  for (uint32_t l = 0; l < bed.engine().lane_count(); ++l) {
+    out.lane_events.push_back(bed.engine().lane_events(l));
+  }
   out.ok = swept && out.output.size() == 1 &&
            out.output[0].number == numbers.expected_median();
   return out;
@@ -270,6 +339,7 @@ ScenarioResult RunChaosSweep(int seeds) {
                                        /*inject=*/true);
     r.ok = r.ok && chaotic.ok && chaotic.leaked_chunks == 0 &&
            chaotic.output == baseline.output;
+    FoldLaneEvents(chaotic.lane_events, &r);
     r.engine_events += chaotic.engine_events;
     r.sim_time += chaotic.sim_now;
     r.sim_bytes += chaotic.spilled_bytes;
@@ -278,6 +348,7 @@ ScenarioResult RunChaosSweep(int seeds) {
     d.U64(chaotic.leaked_chunks);
     d.U64(chaotic.engine_events);
   }
+  FoldLaneEvents(baseline.lane_events, &r);
   r.engine_events += baseline.engine_events;
   r.sim_time += baseline.sim_now;
   r.sim_bytes += baseline.spilled_bytes;
@@ -344,7 +415,13 @@ std::string WallJson(const std::vector<ScenarioResult>& results,
   }
   std::string out = "{\n  \"bench\": \"selfperf\",\n  \"flavor\": \"";
   out += flavor;
-  out += "\",\n  \"scenarios\": [\n";
+  out += "\",\n  \"engine\": \"";
+  out += g_engine_mode;
+  out += "\",\n  \"threads\": ";
+  obs::AppendJsonUint(&out, ShardThreads());
+  out += ",\n  \"host_cores\": ";
+  obs::AppendJsonUint(&out, sim::HostCores());
+  out += ",\n  \"scenarios\": [\n";
   for (size_t i = 0; i < results.size(); ++i) {
     const ScenarioResult& r = results[i];
     double secs = r.wall_ms / 1000.0;
@@ -360,7 +437,12 @@ std::string WallJson(const std::vector<ScenarioResult>& results,
     obs::AppendJsonUint(&out, r.sim_bytes);
     out += ", \"sim_bytes_per_sec\": ";
     obs::AppendJsonDouble(&out, secs > 0 ? r.sim_bytes / secs : 0);
-    out += ", \"ok\": ";
+    out += ", \"per_lane_events\": [";
+    for (size_t l = 0; l < r.per_lane_events.size(); ++l) {
+      if (l > 0) out += ", ";
+      obs::AppendJsonUint(&out, r.per_lane_events[l]);
+    }
+    out += "], \"ok\": ";
     out += r.ok ? "true" : "false";
     out += "}";
     if (i + 1 < results.size()) out += ",";
@@ -410,10 +492,22 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--chaos-seeds=", 0) == 0) {
       chaos_seeds = std::atoi(arg.c_str() + 14);
       if (chaos_seeds < 1) chaos_seeds = 1;
+    } else if (arg.rfind("--engine=", 0) == 0) {
+      g_engine_mode = arg.substr(9);
+    } else if (arg.rfind("--threads=", 0) == 0) {
+      g_engine_threads =
+          static_cast<unsigned>(std::atoi(arg.c_str() + 10));
     }
   }
+  if (g_engine_mode != "legacy" && g_engine_mode != "seq" &&
+      g_engine_mode != "par") {
+    std::fprintf(stderr, "unknown --engine=%s (legacy|seq|par)\n",
+                 g_engine_mode.c_str());
+    return 2;
+  }
 
-  std::printf("self-perf suite (fast-path data plane)\n\n");
+  std::printf("self-perf suite (fast-path data plane, engine=%s)\n\n",
+              g_engine_mode.c_str());
 
   std::vector<ScenarioResult> results;
   results.push_back(RunEventStorm());

@@ -6,7 +6,15 @@
 //                  [--spill disk|sponge]
 //                  [--memory-gb N] [--sponge-gb N]
 //                  [--background-grep] [--scale N] [--seed N]
+//                  [--engine legacy|seq|par] [--projection node|rack]
+//                  [--threads N]
 //                  [--trace-out FILE] [--metrics-out FILE]
+//
+// --engine picks the event-loop driver (DESIGN.md §13): legacy is the
+// single-queue engine, seq the sharded engine on the serial reference
+// driver, par the same schedule on a thread pool (N threads, default host
+// cores). --projection picks how the cluster maps onto lanes (default:
+// node — the testbed is single-rack unless you also shrink nodes_per_rack).
 
 #include <cstdio>
 #include <cstring>
@@ -15,6 +23,7 @@
 #include "common/units.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/parallel.h"
 #include "workload/testbed.h"
 
 using namespace spongefiles;
@@ -29,6 +38,9 @@ struct Options {
   bool background_grep = false;
   uint64_t scale = 10;  // datasets = paper size / scale
   uint64_t seed = 2014;
+  std::string engine = "legacy";     // legacy | seq | par
+  std::string projection = "node";   // node | rack
+  unsigned threads = 0;              // par pool size; 0 = host cores
   std::string trace_out;
   std::string metrics_out;
 };
@@ -71,6 +83,19 @@ bool Parse(int argc, char** argv, Options* options) {
       const char* v = next();
       if (v == nullptr) return false;
       options->seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--engine") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->engine = v;
+    } else if (arg == "--projection") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->projection = v;
+    } else if (arg == "--threads") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->threads =
+          static_cast<unsigned>(std::strtoull(v, nullptr, 10));
     } else if (arg == "--trace-out") {
       const char* v = next();
       if (v == nullptr) return false;
@@ -82,6 +107,13 @@ bool Parse(int argc, char** argv, Options* options) {
     } else {
       return false;
     }
+  }
+  if (options->engine != "legacy" && options->engine != "seq" &&
+      options->engine != "par") {
+    return false;
+  }
+  if (options->projection != "node" && options->projection != "rack") {
+    return false;
   }
   return options->job == "median" || options->job == "anchortext" ||
          options->job == "quantiles";
@@ -96,7 +128,9 @@ int main(int argc, char** argv) {
         stderr,
         "usage: %s [--job median|anchortext|quantiles] [--spill "
         "disk|sponge] [--memory-gb N] [--sponge-gb N] [--background-grep] "
-        "[--scale N] [--seed N] [--trace-out FILE] [--metrics-out FILE]\n",
+        "[--scale N] [--seed N] [--engine legacy|seq|par] "
+        "[--projection node|rack] [--threads N] [--trace-out FILE] "
+        "[--metrics-out FILE]\n",
         argv[0]);
     return 2;
   }
@@ -107,6 +141,15 @@ int main(int argc, char** argv) {
   workload::TestbedConfig bed_config;
   bed_config.node_memory = GiB(options.memory_gb);
   bed_config.sponge_memory = GiB(options.sponge_gb);
+  if (options.engine != "legacy") {
+    bed_config.shard_projection = options.projection == "rack"
+                                      ? workload::ShardProjection::kRack
+                                      : workload::ShardProjection::kNode;
+    if (options.engine == "par") {
+      bed_config.shard_threads =
+          options.threads > 0 ? options.threads : sim::HostCores();
+    }
+  }
   workload::Testbed bed(bed_config);
 
   std::unique_ptr<workload::WebDataset> web;

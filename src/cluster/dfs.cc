@@ -71,6 +71,19 @@ Status Dfs::CreateFile(const std::string& name, uint64_t size) {
 
 sim::Task<Status> Dfs::AppendBlock(std::string name, size_t writer,
                                    uint64_t bytes) {
+  sim::Engine* engine = cluster_->engine();
+  if (engine->current_lane() != 0) {
+    const uint32_t home = engine->current_lane();
+    co_await engine->HopToLane(0);
+    Status result = co_await AppendBlockBody(std::move(name), writer, bytes);
+    co_await engine->HopToLane(home);
+    co_return result;
+  }
+  co_return co_await AppendBlockBody(std::move(name), writer, bytes);
+}
+
+sim::Task<Status> Dfs::AppendBlockBody(std::string name, size_t writer,
+                                       uint64_t bytes) {
   if (bytes > kBlockSize) {
     co_return InvalidArgument("block larger than DFS block size");
   }
@@ -110,6 +123,19 @@ sim::Task<Status> Dfs::AppendBlock(std::string name, size_t writer,
 
 sim::Task<Status> Dfs::Read(std::string name, size_t reader,
                             uint64_t offset, uint64_t bytes) {
+  sim::Engine* engine = cluster_->engine();
+  if (engine->current_lane() != 0) {
+    const uint32_t home = engine->current_lane();
+    co_await engine->HopToLane(0);
+    Status result = co_await ReadBody(std::move(name), reader, offset, bytes);
+    co_await engine->HopToLane(home);
+    co_return result;
+  }
+  co_return co_await ReadBody(std::move(name), reader, offset, bytes);
+}
+
+sim::Task<Status> Dfs::ReadBody(std::string name, size_t reader,
+                                uint64_t offset, uint64_t bytes) {
   NoteNamespaceAccess(cluster_->engine(), this, /*write=*/false);
   auto it = files_.find(name);
   if (it == files_.end()) co_return NotFound("no DFS file: " + name);
@@ -141,6 +167,15 @@ sim::Task<Status> Dfs::Read(std::string name, size_t reader,
 }
 
 Status Dfs::Delete(const std::string& name) {
+  sim::Engine* engine = cluster_->engine();
+  if (engine->current_lane() != 0) {
+    engine->DeferToBarrier([this, name] { (void)DeleteBody(name); });
+    return Status::OK();
+  }
+  return DeleteBody(name);
+}
+
+Status Dfs::DeleteBody(const std::string& name) {
   NoteNamespaceAccess(cluster_->engine(), this, /*write=*/true);
   auto it = files_.find(name);
   if (it == files_.end()) return NotFound("no DFS file: " + name);

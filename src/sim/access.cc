@@ -31,12 +31,18 @@ void AppendJsonString(std::string* out, const std::string& s) {
 
 }  // namespace
 
-void AccessRecorder::BeginEvent(SimTime now) {
+void AccessRecorder::BeginEvent(SimTime now, uint32_t lane) {
   FlushEvent();
   in_event_ = true;
   event_time_ = now;
+  event_lane_ = lane;
   ++event_id_;
   ++census_.events;
+}
+
+void AccessRecorder::BeginWindow(uint64_t id) {
+  FlushEvent();
+  window_id_ = id;
 }
 
 void AccessRecorder::Record(const void* obj, const char* object_name,
@@ -115,11 +121,37 @@ void AccessRecorder::FlushEvent() {
   for (const EventAccess& a : event_accesses_) {
     const ObjectInfo& info = objects_.at(a.obj);
     auto& window = windows_[{a.obj, a.group}];
-    while (!window.empty() && event_time_ - window.front().time >= max_window) {
+    while (!window.empty() && event_time_ - window.front().time >= max_window &&
+           !(window_id_ != 0 && window.front().window == window_id_)) {
       window.pop_front();
     }
     for (const WindowEntry& e : window) {
       if (!e.write && !a.write) continue;  // read-read never conflicts
+      // Lane projection (sharded runs only): two worker lanes touching the
+      // same (object, group) inside one conservative window is exactly the
+      // pair the threaded driver would run concurrently. The global lane
+      // (lane 0) runs in its own exclusive phase and never conflicts.
+      if (window_id_ != 0 && e.window == window_id_ && e.lane != event_lane_ &&
+          e.lane >= 1 && event_lane_ >= 1) {
+        std::string key = info.label + "/" + std::string(a.group) + "/lane/" +
+                          "lane" + std::to_string(e.lane) + "/lane" +
+                          std::to_string(event_lane_);
+        if (reported_.insert(key).second) {
+          Conflict c;
+          c.object = info.label;
+          c.group = a.group;
+          c.projection = "lane";
+          c.event_a = e.event_id;
+          c.event_b = event_id_;
+          c.time_a = e.time;
+          c.time_b = event_time_;
+          c.home_a = "lane" + std::to_string(e.lane);
+          c.home_b = "lane" + std::to_string(event_lane_);
+          c.write_a = e.write;
+          c.write_b = a.write;
+          census_.conflicts.push_back(std::move(c));
+        }
+      }
       const Duration dt = event_time_ - e.time;
       struct Projection {
         const char* name;
@@ -156,7 +188,8 @@ void AccessRecorder::FlushEvent() {
       }
     }
     window.push_back(WindowEntry{event_time_, event_id_, a.write, has_node,
-                                 anchor_node, anchor_rack});
+                                 anchor_node, anchor_rack, event_lane_,
+                                 window_id_});
   }
   event_accesses_.clear();
 }

@@ -110,8 +110,19 @@ class AccessRecorder {
     rack_of_node_ = std::move(rack_of_node);
   }
 
-  // Called by the engine before resuming each scheduled event.
-  void BeginEvent(SimTime now);
+  // Called by the engine before resuming each scheduled event. `lane` is
+  // the shard lane executing the event (0 on an unsharded engine and on
+  // the global lane).
+  void BeginEvent(SimTime now, uint32_t lane = 0);
+
+  // Called by the sharded serial driver at each conservative window start.
+  // Once windows are announced, the recorder additionally reports a "lane"
+  // projection conflict for every (object, group) touched from two
+  // distinct *worker* lanes inside one window with at least one write —
+  // the accesses the threaded driver would actually run concurrently. A
+  // clean sequential census predicts zero of these; any hit is a shard
+  // assignment the static analysis missed.
+  void BeginWindow(uint64_t id);
 
   // Called by components via SIM_READ / SIM_WRITE. `object_name` and
   // `group` must be literals (or otherwise outlive the recorder). The
@@ -153,6 +164,8 @@ class AccessRecorder {
     bool has_node;   // anchored event had a node home (node projection)
     size_t node;     // anchor node (when has_node)
     size_t rack;     // anchor rack (always)
+    uint32_t lane;   // executing shard lane (sharded runs; 0 otherwise)
+    uint64_t window; // conservative window id (0 = no window announced)
   };
 
   void FlushEvent();
@@ -175,6 +188,8 @@ class AccessRecorder {
   bool in_event_ = false;
   SimTime event_time_ = 0;
   uint64_t event_id_ = 0;
+  uint32_t event_lane_ = 0;
+  uint64_t window_id_ = 0;  // current conservative window (0 = none)
   std::vector<EventAccess> event_accesses_;
 };
 

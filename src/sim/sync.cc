@@ -6,7 +6,8 @@ void Event::Set() {
   if (set_) return;
   set_ = true;
   while (!waiters_.empty()) {
-    engine_->ScheduleHandle(engine_->now(), waiters_.front());
+    const LaneWaiter& waiter = waiters_.front();
+    engine_->ScheduleHandleOnLane(engine_->now(), waiter.handle, waiter.lane);
     waiters_.pop_front();
   }
 }
@@ -16,7 +17,9 @@ void Semaphore::Release(int64_t n) {
     if (!waiters_.empty()) {
       // Hand the permit directly to the longest waiter; permits_ stays
       // unchanged so late arrivals cannot barge past it.
-      engine_->ScheduleHandle(engine_->now(), waiters_.front());
+      const LaneWaiter& waiter = waiters_.front();
+      engine_->ScheduleHandleOnLane(engine_->now(), waiter.handle,
+                                    waiter.lane);
       waiters_.pop_front();
     } else {
       ++permits_;

@@ -13,6 +13,18 @@ namespace spongefiles::sim {
 // Synchronization primitives for simulated tasks. All wake-ups go through
 // the engine's event queue at the current simulated time, so resumption
 // order is deterministic (FIFO) and never re-enters the caller's stack.
+//
+// Sharded engines: every waiter records the lane it suspended on, and the
+// wake is scheduled back onto that lane (ScheduleHandleOnLane) — a
+// coroutine never migrates lanes through a sync primitive, only through an
+// explicit Engine::HopToLane. Cross-lane wakes are delivered at the next
+// window barrier, clamped to the window edge.
+
+// A suspended coroutine plus the lane it must resume on.
+struct LaneWaiter {
+  std::coroutine_handle<> handle;
+  uint32_t lane = 0;
+};
 
 // A level-triggered one-shot event. Waiters block until Set() is called;
 // once set, Wait() completes immediately.
@@ -28,7 +40,8 @@ class Event {
       Event* event;
       bool await_ready() const { return event->set_; }
       void await_suspend(std::coroutine_handle<> h) {
-        event->waiters_.push_back(h);
+        event->waiters_.push_back(
+            LaneWaiter{h, event->engine_->current_lane()});
       }
       void await_resume() const {}
     };
@@ -38,7 +51,7 @@ class Event {
  private:
   Engine* engine_;
   bool set_ = false;
-  std::deque<std::coroutine_handle<>> waiters_;
+  std::deque<LaneWaiter> waiters_;
 };
 
 // A counting semaphore with FIFO handoff: Release wakes the longest-waiting
@@ -74,7 +87,7 @@ class Semaphore {
         return false;
       }
       void await_suspend(std::coroutine_handle<> h) {
-        sem->waiters_.push_back(h);
+        sem->waiters_.push_back(LaneWaiter{h, sem->engine_->current_lane()});
       }
       void await_resume() const {}
     };
@@ -84,7 +97,7 @@ class Semaphore {
  private:
   Engine* engine_;
   int64_t permits_;
-  std::deque<std::coroutine_handle<>> waiters_;
+  std::deque<LaneWaiter> waiters_;
 };
 
 // A FIFO mutex for simulated tasks.
@@ -131,7 +144,8 @@ class Channel {
       PopAwaiter* waiter = waiters_.front();
       waiters_.pop_front();
       waiter->item = std::move(item);
-      engine_->ScheduleHandle(engine_->now(), waiter->handle);
+      engine_->ScheduleHandleOnLane(engine_->now(), waiter->handle,
+                                    waiter->lane);
       return;
     }
     items_.push_back(std::move(item));
@@ -142,7 +156,8 @@ class Channel {
     while (!waiters_.empty()) {
       PopAwaiter* waiter = waiters_.front();
       waiters_.pop_front();
-      engine_->ScheduleHandle(engine_->now(), waiter->handle);
+      engine_->ScheduleHandleOnLane(engine_->now(), waiter->handle,
+                                    waiter->lane);
     }
   }
 
@@ -150,12 +165,13 @@ class Channel {
   size_t size() const { return items_.size(); }
 
   // Awaitable returning std::optional<T>; nullopt means closed-and-empty.
-  auto Pop() { return PopAwaiter{this, {}, {}}; }
+  auto Pop() { return PopAwaiter{this, {}, 0, {}}; }
 
  private:
   struct PopAwaiter {
     Channel* ch;
     std::coroutine_handle<> handle;
+    uint32_t lane;
     std::optional<T> item;
 
     bool await_ready() const {
@@ -163,6 +179,7 @@ class Channel {
     }
     void await_suspend(std::coroutine_handle<> h) {
       handle = h;
+      lane = ch->engine_->current_lane();
       ch->waiters_.push_back(this);
     }
     std::optional<T> await_resume() {

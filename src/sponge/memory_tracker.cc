@@ -243,6 +243,19 @@ sim::Task<> ShardedMemoryTracker::PollOnce() {
 
 sim::Task<Result<std::vector<FreeSpaceEntry>>> ShardedMemoryTracker::Query(
     size_t from_node) {
+  if (engine_->OnForeignLane(shards_[network_->rack_of(from_node)]
+                                 ->home_node())) {
+    const uint32_t home = engine_->current_lane();
+    co_await engine_->HopToLane(0);
+    Result<std::vector<FreeSpaceEntry>> result = co_await QueryBody(from_node);
+    co_await engine_->HopToLane(home);
+    co_return result;
+  }
+  co_return co_await QueryBody(from_node);
+}
+
+sim::Task<Result<std::vector<FreeSpaceEntry>>> ShardedMemoryTracker::QueryBody(
+    size_t from_node) {
   static obs::Counter* const queries_counter =
       obs::Registry::Default().counter("sponge.tracker.queries");
   queries_counter->Increment();

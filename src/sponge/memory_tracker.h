@@ -181,6 +181,12 @@ class ShardedMemoryTracker {
   // shard, answered from the shard's bounded-staleness merged view.
   // UNAVAILABLE while that shard is down — callers degrade to an empty
   // free list (spills fall through to disk) rather than blocking.
+  //
+  // Sharded engine: when the shard's home node lives on a foreign lane
+  // (node projection; never the rack projection, where the rack-local
+  // shard shares the caller's lane), the query hops to the global lane
+  // and back, like every other cross-lane RPC. The reply is a value
+  // vector — nothing shared crosses the boundary.
   sim::Task<Result<std::vector<FreeSpaceEntry>>> Query(size_t from_node);
 
   // Union of all shards' fresh rack lists, without RPC cost (tests and
@@ -220,6 +226,7 @@ class ShardedMemoryTracker {
   }
 
  private:
+  sim::Task<Result<std::vector<FreeSpaceEntry>>> QueryBody(size_t from_node);
   sim::Task<> ShardPollLoop(TrackerShard* shard);
   sim::Task<> GossipLoop();
   // One anti-entropy round: shard i exchanges full digest sets with shard

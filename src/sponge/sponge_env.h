@@ -142,8 +142,12 @@ class SpongeEnv {
   const SpongeConfig& config() const { return config_; }
   // Shared per-server circuit-breaker state for every SpongeFile client in
   // this environment, and the seeded Rng their backoff jitter draws from.
-  HealthBoard& health() { return *health_; }
-  Rng& rpc_rng() { return rpc_rng_; }
+  // Sharded engine: one board and one rng per lane — clients on a worker
+  // lane observe (and record) server health locally, so no lane ever
+  // touches another's breaker state. On the legacy engine (one lane) this
+  // is exactly the old single shared board.
+  HealthBoard& health() { return *health_[engine()->current_lane()]; }
+  Rng& rpc_rng() { return *rpc_rngs_[engine()->current_lane()]; }
   ReplicaDirectory& replicas() { return registry_.replicas(); }
   RepairService& repair() { return *repair_; }
 
@@ -163,9 +167,9 @@ class SpongeEnv {
   std::vector<std::unique_ptr<SpongeServer>> servers_;
   std::vector<SpongeServer*> server_ptrs_;
   std::unique_ptr<MemoryTracker> tracker_;
-  std::unique_ptr<HealthBoard> health_;
+  std::vector<std::unique_ptr<HealthBoard>> health_;   // indexed by lane
+  std::vector<std::unique_ptr<Rng>> rpc_rngs_;         // indexed by lane
   std::unique_ptr<RepairService> repair_;
-  Rng rpc_rng_;
 };
 
 }  // namespace spongefiles::sponge

@@ -86,8 +86,86 @@ bool SpongeServer::QuotaAllows(const ChunkOwner& owner) const {
   return held < config_.quota_chunks_per_task;
 }
 
-sim::Task<Result<ChunkHandle>> SpongeServer::RemoteAllocate(
-    size_t from, ChunkOwner owner) {
+// ---- cross-lane hop wrappers ----------------------------------------------
+//
+// Sharded engine only (OnForeignLane is constant-false otherwise): the
+// operation executes at the global lane, which phase-exclusively may touch
+// this server's pool even though the server's node lives on another worker
+// lane. Payloads are detached at the boundary — a ByteRuns crossing lanes
+// must not share buffers with state the source lane keeps mutating.
+
+sim::Task<Result<ChunkHandle>> SpongeServer::RemoteAllocate(size_t from,
+                                                            ChunkOwner owner) {
+  if (engine_->OnForeignLane(node_id_)) {
+    const uint32_t home = engine_->current_lane();
+    co_await engine_->HopToLane(0);
+    Result<ChunkHandle> result = co_await AllocateBody(from, owner);
+    co_await engine_->HopToLane(home);
+    co_return result;
+  }
+  co_return co_await AllocateBody(from, owner);
+}
+
+sim::Task<Status> SpongeServer::RemoteWrite(size_t from, ChunkHandle handle,
+                                            ChunkOwner owner, ByteRuns data) {
+  if (engine_->OnForeignLane(node_id_)) {
+    const uint32_t home = engine_->current_lane();
+    co_await engine_->HopToLane(0);
+    // Detach on the global lane: phase B is exclusive, so reading the
+    // source lane's buffers here cannot race with their owner.
+    Status result =
+        co_await WriteBody(from, handle, owner, data.Detached());
+    data.Clear();
+    co_await engine_->HopToLane(home);
+    co_return result;
+  }
+  co_return co_await WriteBody(from, handle, owner, std::move(data));
+}
+
+sim::Task<Result<ByteRuns>> SpongeServer::RemoteRead(size_t from,
+                                                     ChunkHandle handle,
+                                                     ChunkOwner owner) {
+  if (engine_->OnForeignLane(node_id_)) {
+    const uint32_t home = engine_->current_lane();
+    co_await engine_->HopToLane(0);
+    Result<ByteRuns> result = co_await ReadBody(from, handle, owner);
+    // Detach before carrying the payload home: the pool slot's buffers
+    // stay with the server's lane.
+    if (result.ok()) result = result.value().Detached();
+    co_await engine_->HopToLane(home);
+    co_return result;
+  }
+  co_return co_await ReadBody(from, handle, owner);
+}
+
+sim::Task<Status> SpongeServer::RemoteFree(size_t from, ChunkHandle handle,
+                                           ChunkOwner owner) {
+  if (engine_->OnForeignLane(node_id_)) {
+    const uint32_t home = engine_->current_lane();
+    co_await engine_->HopToLane(0);
+    Status result = co_await FreeBody(from, handle, owner);
+    co_await engine_->HopToLane(home);
+    co_return result;
+  }
+  co_return co_await FreeBody(from, handle, owner);
+}
+
+sim::Task<bool> SpongeServer::RemoteIsTaskAlive(size_t from,
+                                                uint64_t task_id) {
+  if (engine_->OnForeignLane(node_id_)) {
+    const uint32_t home = engine_->current_lane();
+    co_await engine_->HopToLane(0);
+    bool result = co_await IsTaskAliveBody(from, task_id);
+    co_await engine_->HopToLane(home);
+    co_return result;
+  }
+  co_return co_await IsTaskAliveBody(from, task_id);
+}
+
+// ---- operation bodies ------------------------------------------------------
+
+sim::Task<Result<ChunkHandle>> SpongeServer::AllocateBody(size_t from,
+                                                          ChunkOwner owner) {
   RpcCounter("alloc")->Increment();
   obs::SpanGuard span(&obs::Tracer::Default(), engine_, node_id_,
                       owner.task_id, "rpc", "rpc.alloc");
@@ -119,9 +197,8 @@ sim::Task<Result<ChunkHandle>> SpongeServer::RemoteAllocate(
   co_return handle;
 }
 
-sim::Task<Status> SpongeServer::RemoteWrite(size_t from, ChunkHandle handle,
-                                            ChunkOwner owner,
-                                            ByteRuns data) {
+sim::Task<Status> SpongeServer::WriteBody(size_t from, ChunkHandle handle,
+                                          ChunkOwner owner, ByteRuns data) {
   RpcCounter("write")->Increment();
   obs::SpanGuard span(&obs::Tracer::Default(), engine_, node_id_,
                       owner.task_id, "rpc", "rpc.write");
@@ -150,9 +227,9 @@ sim::Task<Status> SpongeServer::RemoteWrite(size_t from, ChunkHandle handle,
   co_return Status::OK();
 }
 
-sim::Task<Result<ByteRuns>> SpongeServer::RemoteRead(size_t from,
-                                                     ChunkHandle handle,
-                                                     ChunkOwner owner) {
+sim::Task<Result<ByteRuns>> SpongeServer::ReadBody(size_t from,
+                                                   ChunkHandle handle,
+                                                   ChunkOwner owner) {
   RpcCounter("read")->Increment();
   obs::SpanGuard span(&obs::Tracer::Default(), engine_, node_id_,
                       owner.task_id, "rpc", "rpc.read");
@@ -178,8 +255,8 @@ sim::Task<Result<ByteRuns>> SpongeServer::RemoteRead(size_t from,
   co_return copy;
 }
 
-sim::Task<Status> SpongeServer::RemoteFree(size_t from, ChunkHandle handle,
-                                           ChunkOwner owner) {
+sim::Task<Status> SpongeServer::FreeBody(size_t from, ChunkHandle handle,
+                                         ChunkOwner owner) {
   RpcCounter("free")->Increment();
   obs::SpanGuard span(&obs::Tracer::Default(), engine_, node_id_,
                       owner.task_id, "rpc", "rpc.free");
@@ -196,8 +273,7 @@ sim::Task<Status> SpongeServer::RemoteFree(size_t from, ChunkHandle handle,
   co_return result;
 }
 
-sim::Task<bool> SpongeServer::RemoteIsTaskAlive(size_t from,
-                                                uint64_t task_id) {
+sim::Task<bool> SpongeServer::IsTaskAliveBody(size_t from, uint64_t task_id) {
   RpcCounter("liveness")->Increment();
   obs::SpanGuard span(&obs::Tracer::Default(), engine_, node_id_, task_id,
                       "rpc", "rpc.is_task_alive");

@@ -61,6 +61,16 @@ class SpongeServer {
   // CallWithDeadline may abandon the operation and destroy its own frame
   // while the op is still parked on this (possibly hung) server, so the
   // op must own every piece of state it touches after resuming.
+  //
+  // Sharded engine: when the caller's lane does not own this server's
+  // node, the operation hops to the global lane (the safe harbor that may
+  // touch any lane's state), executes there, and hops back — each hop
+  // lands at a window barrier, so a cross-lane RPC is quantized to the
+  // lookahead, which is by construction no larger than the network
+  // latency it already pays. Payloads are deep-copied (ByteRuns::Detached)
+  // at the boundary so no buffer is ever shared across lanes. Same-lane
+  // calls (rack-local RPC under the rack projection, everything on the
+  // legacy engine) take the direct zero-copy path.
 
   // Allocates one chunk for `owner`; RESOURCE_EXHAUSTED when full — the
   // caller then tries the next server on its (possibly stale) free list.
@@ -155,6 +165,18 @@ class SpongeServer {
 
  private:
   bool QuotaAllows(const ChunkOwner& owner) const;
+
+  // The real remote-operation implementations; the public RemoteXxx
+  // entry points add the cross-lane hop when needed (sharded engine) and
+  // call these directly otherwise.
+  sim::Task<Result<ChunkHandle>> AllocateBody(size_t from, ChunkOwner owner);
+  sim::Task<Status> WriteBody(size_t from, ChunkHandle handle,
+                              ChunkOwner owner, ByteRuns data);
+  sim::Task<Result<ByteRuns>> ReadBody(size_t from, ChunkHandle handle,
+                                       ChunkOwner owner);
+  sim::Task<Status> FreeBody(size_t from, ChunkHandle handle,
+                             ChunkOwner owner);
+  sim::Task<bool> IsTaskAliveBody(size_t from, uint64_t task_id);
 
   // Awaited by every remote operation after its request reaches the
   // server (deliberately after the network hop, so an abandoned request

@@ -1,0 +1,328 @@
+// Shard-runtime tests for the conservative parallel engine (DESIGN.md
+// §13): cross-shard messages land exactly on the lookahead horizon, ring
+// hand-offs inside one shard stay zero-latency, DrainDetached keeps its
+// spawn-order guarantee across lanes, the lane-partitioned registries
+// round-trip ids, and — the tentpole invariant — the serial (seq) and
+// threaded (par) sharded drivers produce identical simulations, including
+// under the chaos sweep's seeded gray-failure schedules. tools/check.sh
+// --tsan runs this binary under ThreadSanitizer to certify the threaded
+// driver's host-level synchronization.
+
+#include "sim/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/units.h"
+#include "mapred/job.h"
+#include "sim/engine.h"
+#include "sponge/failure.h"
+#include "sponge/task_registry.h"
+#include "workload/testbed.h"
+
+namespace spongefiles {
+namespace {
+
+using sim::Engine;
+using sim::Sharding;
+
+constexpr Duration kLookahead = Micros(100);
+
+// Two worker lanes (nodes 0 and 1), serial driver unless stated.
+sim::ShardPlan TwoLanePlan() { return sim::NodeShardPlan(2, kLookahead); }
+
+// ---- window mechanics ------------------------------------------------------
+
+sim::Task<> HopAfter(Engine* engine, Duration wait, uint32_t lane,
+                     std::vector<SimTime>* arrivals) {
+  co_await engine->Delay(wait);
+  co_await engine->HopToLane(lane);
+  arrivals->push_back(engine->now());
+}
+
+TEST(ParallelEngineTest, CrossShardHopArrivesAtWindowBoundary) {
+  Engine engine;
+  Sharding sharding(&engine, TwoLanePlan());
+  std::vector<SimTime> arrivals;
+  // Emitted mid-window (t = 30 inside [0, 100)): the hop is buffered in
+  // the outbox and clamped to the window edge — it cannot arrive before
+  // the horizon, because lane 0 may already have run past 30.
+  engine.SpawnOnShard(1, 0, HopAfter(&engine, Micros(30), 0, &arrivals));
+  engine.Run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0], kLookahead);
+}
+
+TEST(ParallelEngineTest, HopAtExactHorizonPaysOneMoreWindow) {
+  Engine engine;
+  Sharding sharding(&engine, TwoLanePlan());
+  std::vector<SimTime> arrivals;
+  // Emitted exactly at the horizon (the first event of window [100, 200)):
+  // delivery clamps to *that* window's edge, so the message costs a full
+  // further lookahead. This is the quantization every cross-shard
+  // interaction pays; the lookahead is a lower bound on real latency, so
+  // the result is conservative, never early.
+  engine.SpawnOnShard(1, 0, HopAfter(&engine, kLookahead, 0, &arrivals));
+  engine.Run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0], 2 * kLookahead);
+}
+
+TEST(ParallelEngineTest, WorkerToWorkerHopAlsoClampsToHorizon) {
+  Engine engine;
+  Sharding sharding(&engine, TwoLanePlan());
+  std::vector<SimTime> arrivals;
+  engine.SpawnOnShard(1, 0, HopAfter(&engine, Micros(70), 2, &arrivals));
+  engine.Run();
+  ASSERT_EQ(arrivals.size(), 1u);
+  EXPECT_EQ(arrivals[0], kLookahead);
+}
+
+sim::Task<> YieldStorm(Engine* engine, int yields, int* count,
+                       SimTime* finished_at) {
+  for (int i = 0; i < yields; ++i) {
+    co_await engine->Delay(0);
+    ++*count;
+  }
+  *finished_at = engine->now();
+}
+
+TEST(ParallelEngineTest, SameShardZeroDelayHandoffsStayAtOneInstant) {
+  Engine engine;
+  Sharding sharding(&engine, TwoLanePlan());
+  int count = 0;
+  SimTime a = -1, b = -1;
+  // Two coroutines ping-ponging through lane 1's ring: all 2 * 1000
+  // hand-offs complete inside the first window without simulated time
+  // moving at all — sharding must not tax the zero-delay fast path.
+  engine.SpawnOnShard(1, 0, YieldStorm(&engine, 1000, &count, &a));
+  engine.SpawnOnShard(1, 0, YieldStorm(&engine, 1000, &count, &b));
+  engine.Run();
+  EXPECT_EQ(count, 2000);
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 0);
+  EXPECT_EQ(engine.lane_events(2), 0u);  // lane 2 never had work
+}
+
+// ---- DrainDetached ordering ------------------------------------------------
+
+struct DtorNote {
+  std::vector<int>* log;
+  int id;
+  ~DtorNote() { log->push_back(id); }
+};
+
+sim::Task<> ParkForever(Engine* engine, std::vector<int>* log, int id) {
+  DtorNote note{log, id};
+  co_await engine->Delay(Minutes(600.0));
+}
+
+TEST(ParallelEngineTest, DrainDetachedDestroysLaneZeroFirstThenLaneOrder) {
+  std::vector<int> log;
+  {
+    Engine engine;
+    Sharding sharding(&engine, TwoLanePlan());
+    // Interleaved spawn order across lanes; ids name lane * 10 + seq.
+    engine.SpawnOnShard(2, 0, ParkForever(&engine, &log, 20));
+    engine.SpawnOnShard(0, 0, ParkForever(&engine, &log, 0));
+    engine.SpawnOnShard(1, 0, ParkForever(&engine, &log, 10));
+    engine.SpawnOnShard(1, 0, ParkForever(&engine, &log, 11));
+    engine.SpawnOnShard(2, 0, ParkForever(&engine, &log, 21));
+    // One bounded run so every frame starts and parks on its long delay.
+    engine.RunUntil(Micros(1));
+    EXPECT_EQ(engine.detached_live(), 5u);
+    EXPECT_EQ(engine.DrainDetached(), 5u);
+  }
+  // Global lane first, then each worker lane; spawn order within a lane.
+  EXPECT_EQ(log, std::vector<int>({0, 10, 11, 20, 21}));
+}
+
+// ---- lane-partitioned registries -------------------------------------------
+
+sim::Task<> MintTask(sponge::TaskRegistry* registry, size_t node,
+                     uint64_t* id) {
+  *id = registry->Register(node);
+  co_return;
+}
+
+sim::Task<> MintReplica(sponge::ReplicaDirectory* directory, uint64_t owner,
+                        size_t node, uint64_t* id) {
+  *id = directory->Register(owner, /*size=*/100, /*checksum=*/42);
+  sponge::ReplicaLocation location;
+  location.node = node;
+  directory->AddLocation(*id, location);
+  co_return;
+}
+
+TEST(ParallelEngineTest, RegistryIdsEncodeMintingLaneAndRoundTrip) {
+  Engine engine;
+  Sharding sharding(&engine, TwoLanePlan());
+  sponge::TaskRegistry registry;
+  registry.AttachEngine(&engine);
+
+  uint64_t id0 = 0, id1 = 0, id2 = 0;
+  engine.SpawnOnShard(0, 0, MintTask(&registry, 0, &id0));
+  engine.SpawnOnShard(1, 0, MintTask(&registry, 0, &id1));
+  engine.SpawnOnShard(2, 0, MintTask(&registry, 1, &id2));
+  engine.Run();
+
+  // Lane 0 mints legacy plain-sequence ids; worker lanes tag the top bits.
+  EXPECT_LT(id0, uint64_t(1) << 40);
+  EXPECT_EQ(id1 >> 40, 1u);
+  EXPECT_EQ(id2 >> 40, 2u);
+
+  // Lookups route by id to the minting partition (driver context here —
+  // the global lane may read every partition).
+  EXPECT_TRUE(registry.IsAlive(id0));
+  EXPECT_TRUE(registry.IsAlive(id1));
+  EXPECT_TRUE(registry.IsAliveOn(id2, 1));
+  EXPECT_FALSE(registry.IsAliveOn(id2, 0));
+  EXPECT_EQ(registry.live_count(), 3u);
+  ASSERT_TRUE(registry.NodeOf(id1).ok());
+  EXPECT_EQ(*registry.NodeOf(id1), 0u);
+
+  // An id no partition could have minted is simply unknown.
+  EXPECT_FALSE(registry.IsAlive((uint64_t(7) << 40) | 1));
+
+  registry.Deregister(id1);
+  EXPECT_FALSE(registry.IsAlive(id1));
+  EXPECT_EQ(registry.live_count(), 2u);
+}
+
+TEST(ParallelEngineTest, ReplicaDirectoryScansEveryPartitionInLaneOrder) {
+  Engine engine;
+  Sharding sharding(&engine, TwoLanePlan());
+  sponge::TaskRegistry registry;
+  registry.AttachEngine(&engine);
+  sponge::ReplicaDirectory& directory = registry.replicas();
+
+  uint64_t rid0 = 0, rid1 = 0, rid2 = 0;
+  engine.SpawnOnShard(0, 0, MintReplica(&directory, 1, /*node=*/1, &rid0));
+  engine.SpawnOnShard(1, 0, MintReplica(&directory, 2, /*node=*/1, &rid1));
+  engine.SpawnOnShard(2, 0, MintReplica(&directory, 3, /*node=*/0, &rid2));
+  engine.Run();
+
+  EXPECT_EQ(directory.size(), 3u);
+  ASSERT_NE(directory.Find(rid1), nullptr);
+  EXPECT_EQ(directory.Find(rid1)->owner_task, 2u);
+
+  // The dead-server scan walks partitions in lane order: lane 0's entry
+  // precedes lane 1's even though ids no longer sort globally.
+  std::vector<uint64_t> on_node1 = directory.ChunksOn(1);
+  ASSERT_EQ(on_node1.size(), 2u);
+  EXPECT_EQ(on_node1[0], rid0);
+  EXPECT_EQ(on_node1[1], rid1);
+
+  directory.Forget(rid1);
+  EXPECT_EQ(directory.Find(rid1), nullptr);
+  EXPECT_EQ(directory.size(), 2u);
+}
+
+// ---- seq vs par byte identity ----------------------------------------------
+
+// Everything deterministic a run produces; the snapshots from the serial
+// and the threaded sharded drivers must match field for field.
+struct RunSnapshot {
+  Duration runtime = 0;
+  std::vector<mapred::Record> output;
+  uint64_t events = 0;
+  std::vector<uint64_t> lane_events;
+  SimTime now = 0;
+  uint64_t spilled = 0;
+  uint64_t leaked = 0;
+};
+
+void ExpectIdentical(const RunSnapshot& seq, const RunSnapshot& par) {
+  EXPECT_EQ(seq.runtime, par.runtime);
+  EXPECT_EQ(seq.output, par.output);
+  EXPECT_EQ(seq.events, par.events);
+  EXPECT_EQ(seq.lane_events, par.lane_events);
+  EXPECT_EQ(seq.now, par.now);
+  EXPECT_EQ(seq.spilled, par.spilled);
+  EXPECT_EQ(seq.leaked, par.leaked);
+}
+
+// The skewed median job on a small node-projected testbed; threads == 0 is
+// the serial reference driver, threads > 0 the pool.
+RunSnapshot RunMiniWorkload(unsigned threads, uint64_t chaos_seed) {
+  workload::TestbedConfig bed_config;
+  bed_config.num_nodes = 4;
+  bed_config.sponge_memory = MiB(64);
+  bed_config.shard_projection = workload::ShardProjection::kNode;
+  bed_config.shard_threads = threads;
+  workload::Testbed bed(bed_config);
+  workload::NumbersDatasetConfig data;
+  data.count = 20001;
+  workload::NumbersDataset numbers(&bed.dfs(), "nums", data);
+
+  sponge::FailureInjector injector(&bed.env(), chaos_seed);
+  if (chaos_seed != 0) {
+    sponge::ChaosOptions chaos;
+    chaos.start = Seconds(2);
+    chaos.horizon = Seconds(60);
+    chaos.num_faults = 6;
+    injector.ScheduleChaos(chaos);
+  }
+
+  auto job = workload::MakeMedianJob(&numbers, mapred::SpillMode::kSponge);
+  job.speculation.enabled = true;
+  job.speculation.check_period = Seconds(1);
+  job.speculation.min_attempt_age = Seconds(3);
+  auto result = bed.RunJob(std::move(job));
+
+  RunSnapshot snap;
+  if (result.ok()) {
+    snap.runtime = result->runtime;
+    snap.output = result->output;
+    for (const auto& task : result->map_tasks) {
+      snap.spilled += task.spill.bytes_spilled;
+    }
+    for (const auto& task : result->reduce_tasks) {
+      snap.spilled += task.spill.bytes_spilled;
+    }
+  }
+  if (chaos_seed != 0) {
+    bed.engine().RunUntil(std::max(bed.engine().now(), Seconds(60)) +
+                          Seconds(10));
+    bool swept = false;
+    auto sweep = [](workload::Testbed* tb, RunSnapshot* record,
+                    bool* done) -> sim::Task<> {
+      for (size_t n = 0; n < tb->cluster().size(); ++n) {
+        (void)co_await tb->env().server(n).GcSweep();
+        record->leaked +=
+            tb->env().server(n).pool().AllocatedChunks().size();
+      }
+      *done = true;
+    };
+    bed.engine().Spawn(sweep(&bed, &snap, &swept));
+    bed.engine().RunUntil(bed.engine().now() + Seconds(10));
+    EXPECT_TRUE(swept);
+  }
+  snap.events = bed.engine().events_processed();
+  snap.now = bed.engine().now();
+  for (uint32_t l = 0; l < bed.engine().lane_count(); ++l) {
+    snap.lane_events.push_back(bed.engine().lane_events(l));
+  }
+  return snap;
+}
+
+TEST(ParallelEngineTest, SeqAndParProduceIdenticalWorkloadRuns) {
+  RunSnapshot seq = RunMiniWorkload(/*threads=*/0, /*chaos_seed=*/0);
+  RunSnapshot par = RunMiniWorkload(/*threads=*/2, /*chaos_seed=*/0);
+  ASSERT_EQ(seq.output.size(), 1u);
+  ExpectIdentical(seq, par);
+}
+
+TEST(ParallelEngineTest, SeqAndParIdenticalUnderChaosSweep) {
+  for (uint64_t seed : {1ull, 2ull}) {
+    RunSnapshot seq = RunMiniWorkload(/*threads=*/0, seed);
+    RunSnapshot par = RunMiniWorkload(/*threads=*/2, seed);
+    ExpectIdentical(seq, par);
+    EXPECT_EQ(seq.leaked, 0u) << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace spongefiles

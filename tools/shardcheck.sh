@@ -1,16 +1,20 @@
 #!/usr/bin/env bash
 # Shard-safety conflict census (the dynamic half of the shard analysis;
 # the static half is spongelint's ownership pass). Builds the shardcheck
-# driver, runs every workload shape under the engine's instrumented
-# access-set mode, and merges the per-shape censuses into one JSON
-# artifact — the go/no-go evidence for the parallel engine: zero
-# unexplained conflicts means no event pair the lookahead rule would run
-# concurrently shares non-sanctioned state.
+# driver and runs every workload shape under the engine's instrumented
+# access-set mode TWICE: once on the legacy single-queue engine (the
+# sequential census that predicts what the parallel engine may share) and
+# once on the sharded engine's serial reference driver (--engine=seq),
+# where the recorder stamps each access with its lane and window and flags
+# any same-window cross-lane conflict. A conflict in the sharded pass that
+# the sequential census did not predict fails the gate: it would be a real
+# data race under the threaded driver. The per-shape censuses are merged
+# into one JSON artifact — the go/no-go evidence for the parallel engine.
 #
 # Usage: tools/shardcheck.sh [build-dir] [artifact]
 #   build-dir  default: build        (reused if already configured)
 #   artifact   default: <build-dir>/SHARDCHECK.json
-# Exit: 0 when every shape is conflict-free, 1 otherwise.
+# Exit: 0 when every shape is conflict-free under both engines, 1 otherwise.
 set -euo pipefail
 
 repo="$(cd "$(dirname "$0")/.." && pwd)"
@@ -26,22 +30,27 @@ trap 'rm -rf "$tmpdir"' EXIT
 
 status=0
 for shape in chaos datacenter recovery; do
-  if ! "$build/tools/shardcheck/shardcheck" --shape="$shape" \
-      --out="$tmpdir/$shape.json"; then
-    status=1
-  fi
+  for engine in legacy seq; do
+    if ! "$build/tools/shardcheck/shardcheck" --shape="$shape" \
+        --engine="$engine" --out="$tmpdir/$shape-$engine.json"; then
+      status=1
+    fi
+  done
 done
 
-# Merge the three shape reports into one artifact (pure text splice; the
+# Merge the shape reports into one artifact (pure text splice; the
 # per-shape JSON is already deterministic).
 {
   echo '{'
   echo '  "shapes": ['
   first=1
   for shape in chaos datacenter recovery; do
-    if [ "$first" = 1 ]; then first=0; else echo ','; fi
-    sed -e 's/^/    /' -e '$d' "$tmpdir/$shape.json" | sed -e '1s/^    {/    {/'
-    printf '    }'
+    for engine in legacy seq; do
+      if [ "$first" = 1 ]; then first=0; else echo ','; fi
+      sed -e 's/^/    /' -e '$d' "$tmpdir/$shape-$engine.json" \
+        | sed -e '1s/^    {/    {/'
+      printf '    }'
+    done
   done
   echo
   echo '  ]'
@@ -49,7 +58,7 @@ done
 } > "$artifact"
 
 if [ "$status" = 0 ]; then
-  echo "shardcheck: all shapes conflict-free; census at $artifact"
+  echo "shardcheck: all shapes conflict-free on both engines; census at $artifact"
 else
   echo "shardcheck: UNEXPLAINED CONFLICTS — see $artifact" >&2
 fi

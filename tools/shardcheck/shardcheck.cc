@@ -18,12 +18,22 @@
 //               so repair and failover run under the recorder.
 //
 // Usage: shardcheck --shape=chaos|datacenter|recovery [--out=FILE]
-//                   [--seeds=N] [--jobs=N]
+//                   [--seeds=N] [--jobs=N] [--engine=legacy|seq]
+//
+// --engine=seq reruns the shape on the *sharded* engine (rack projection,
+// serial reference driver) with the recorder in lane mode: every access is
+// stamped with its lane and window, and any same-window cross-lane
+// conflict the sequential census did not predict fails the run. The
+// threaded driver is deliberately not an option here — the recorder is
+// single-threaded (the engine CHECKs the combination) and the par driver
+// executes the identical schedule anyway; its host-level synchronization
+// is certified by tools/check.sh --tsan and the seq-vs-par byte gates.
 //
 // Output: a deterministic JSON census (events, accesses, split points,
 // sanctioned global objects with their reasons, and the conflict list).
 // Exit status: 0 when no unexplained conflicts, 1 when any, 2 on usage
-// errors. tools/shardcheck.sh runs all shapes and merges the artifacts.
+// errors. tools/shardcheck.sh runs all shapes under both engines and
+// merges the artifacts.
 
 #include <algorithm>
 #include <cstdio>
@@ -37,6 +47,7 @@
 #include "common/random.h"
 #include "mapred/job.h"
 #include "sim/access.h"
+#include "sim/parallel.h"
 #include "sponge/failure.h"
 #include "sponge/sponge_file.h"
 #include "workload/testbed.h"
@@ -51,7 +62,25 @@ struct Options {
   std::string out;
   int seeds = 3;     // chaos: number of injected fault schedules
   size_t jobs = 96;  // datacenter / recovery: replayed trace jobs
+  std::string engine = "legacy";  // legacy | seq (see header comment)
 };
+
+// Set from --engine before any shape runs.
+bool g_sharded = false;
+
+// Rack-projection plan for a raw-topology shape (the testbed shapes go
+// through TestbedConfig instead). Lookahead = the minimum cross-rack
+// message latency.
+sim::ShardPlan PlanFor(const cluster::TopologyConfig& topo,
+                       const cluster::ClusterConfig& cc) {
+  std::vector<size_t> rack_of;
+  rack_of.reserve(topo.num_racks * topo.nodes_per_rack);
+  for (size_t i = 0; i < topo.num_racks * topo.nodes_per_rack; ++i) {
+    rack_of.push_back(i / topo.nodes_per_rack);
+  }
+  return sim::RackShardPlan(rack_of, topo.num_racks,
+                            cc.network.latency + cc.network.cross_rack_latency);
+}
 
 // One instrumented run's result: the census JSON plus the go/no-go count.
 struct RunReport {
@@ -80,6 +109,9 @@ RunReport RunChaosShape(uint64_t seed, bool inject) {
   bed_config.sponge_memory = MiB(64);
   bed_config.sponge.rpc.hedge_reads = true;
   bed_config.sponge.replication.enabled = true;
+  if (g_sharded) {
+    bed_config.shard_projection = workload::ShardProjection::kRack;
+  }
   workload::Testbed bed(bed_config);
 
   sim::AccessRecorder recorder;
@@ -163,7 +195,12 @@ RunReport RunDatacenterShape(size_t num_jobs) {
   const size_t num_nodes = topo.num_racks * topo.nodes_per_rack;
 
   sim::Engine engine;
-  cluster::Cluster cluster(&engine, cluster::MakeClusterConfig(topo));
+  cluster::ClusterConfig cc = cluster::MakeClusterConfig(topo);
+  std::unique_ptr<sim::Sharding> sharding;
+  if (g_sharded) {
+    sharding = std::make_unique<sim::Sharding>(&engine, PlanFor(topo, cc));
+  }
+  cluster::Cluster cluster(&engine, cc);
   cluster::Dfs dfs(&cluster);
   sponge::SpongeConfig sponge_config;
   sponge_config.allow_cross_rack = true;
@@ -275,7 +312,12 @@ RunReport RunRecoveryShape(size_t num_jobs) {
   const size_t num_nodes = topo.num_racks * topo.nodes_per_rack;
 
   sim::Engine engine;
-  cluster::Cluster cluster(&engine, cluster::MakeClusterConfig(topo));
+  cluster::ClusterConfig cc = cluster::MakeClusterConfig(topo);
+  std::unique_ptr<sim::Sharding> sharding;
+  if (g_sharded) {
+    sharding = std::make_unique<sim::Sharding>(&engine, PlanFor(topo, cc));
+  }
+  cluster::Cluster cluster(&engine, cc);
   cluster::Dfs dfs(&cluster);
   sponge::SpongeConfig sponge_config;
   sponge_config.allow_cross_rack = true;
@@ -350,7 +392,8 @@ std::string Indent(const std::string& json, const std::string& pad) {
 int Usage() {
   std::fprintf(stderr,
                "usage: shardcheck --shape=chaos|datacenter|recovery "
-               "[--out=FILE] [--seeds=N] [--jobs=N]\n");
+               "[--out=FILE] [--seeds=N] [--jobs=N] "
+               "[--engine=legacy|seq]\n");
   return 2;
 }
 
@@ -375,10 +418,22 @@ int main(int argc, char** argv) {
     } else if ((v = value("--jobs="))) {
       options.jobs = static_cast<size_t>(std::atoll(v));
       if (options.jobs < 1) options.jobs = 1;
+    } else if ((v = value("--engine="))) {
+      options.engine = v;
     } else {
       return Usage();
     }
   }
+  if (options.engine == "par") {
+    std::fprintf(stderr,
+                 "shardcheck: --engine=par is not recordable (the access "
+                 "recorder is single-threaded); use --engine=seq — the "
+                 "threaded driver runs the identical schedule, and its host "
+                 "synchronization is covered by tools/check.sh --tsan\n");
+    return 2;
+  }
+  if (options.engine != "legacy" && options.engine != "seq") return Usage();
+  g_sharded = options.engine == "seq";
 
   std::vector<RunReport> reports;
   if (options.shape == "chaos") {
@@ -400,6 +455,7 @@ int main(int argc, char** argv) {
 
   std::string out = "{\n";
   out += "  \"shape\": \"" + options.shape + "\",\n";
+  out += "  \"engine\": \"" + options.engine + "\",\n";
   out += "  \"unexplained_conflicts\": " + std::to_string(total_unexplained) +
          ",\n";
   out += "  \"runs\": [";
@@ -424,8 +480,9 @@ int main(int argc, char** argv) {
     std::fclose(f);
   }
   for (const RunReport& report : reports) {
-    std::fprintf(stderr, "shardcheck %-24s events=%llu unexplained=%zu\n",
-                 report.name.c_str(),
+    std::fprintf(stderr,
+                 "shardcheck %-24s engine=%s events=%llu unexplained=%zu\n",
+                 report.name.c_str(), options.engine.c_str(),
                  static_cast<unsigned long long>(report.events),
                  report.unexplained);
   }
