@@ -3,8 +3,8 @@
 // cluster (ISSUE 6 / ROADMAP "datacenter-scale simulation"). Racks sit
 // behind a 4:1 oversubscribed core, the memory tracker is sharded per
 // rack with gossip-fed cross-rack visibility, and the allocation cascade
-// runs all four rungs (local -> rack-local remote -> cross-rack remote ->
-// disk/DFS).
+// runs every rung (local -> rack-local remote -> cross-rack remote ->
+// local SSD -> disk/DFS).
 //
 // Mid-run, one rack's tracker shard is taken down (a seeded chaos event).
 // The acceptance cross-check: only that rack's tasks record tracker-down
@@ -18,6 +18,9 @@
 //   --out=PATH       wall-clock + full report (default BENCH_datacenter.json)
 //   --sim-out=PATH   simulated quantities only; byte-identical per seed
 //   --racks=N --nodes-per-rack=N --jobs=N --seed=N   scenario shape
+//   --ssd-gb=F       per-node SSD capacity in GiB (0 removes the SSD rung;
+//                    default 0.015625 = 16 MiB, 2x the per-node sponge)
+//   --ssd-bw=N       SSD read+write stream rate in MB/s (0 = defaults)
 //   --engine=legacy|seq|par   event-loop driver: the legacy single queue,
 //                    the rack-sharded serial schedule, or the rack-sharded
 //                    threaded schedule (byte-identical to seq; see
@@ -83,6 +86,14 @@ struct Options {
   size_t jobs = 1200;
   uint64_t seed = 14;
   size_t max_tasks_per_job = 50;
+  // Per-node local SSD for the cascade's middle rung. The default (2x the
+  // 8 MiB per-node sponge) leaves the SSD visibly absorbing overflow while
+  // concurrent demand still pushes the tail to disk; --ssd-gb=0 removes
+  // the rung entirely (the pre-SSD cascade, byte-identical placements).
+  uint64_t ssd_bytes = 16ull * 1024 * 1024;  // 2 * kSpongePerNode
+  // --ssd-bw=MB/s overrides both the read and write stream rates (0 keeps
+  // the SsdConfig defaults: 2 GiB/s read, 1 GiB/s write).
+  double ssd_bw_mbps = 0;
   std::string engine_mode = "legacy";  // legacy | seq | par
   unsigned threads = 0;                // 0 = host cores (par only)
   std::string out = "BENCH_datacenter.json";
@@ -118,11 +129,13 @@ struct RackAgg {
   uint64_t chunks_local = 0;
   uint64_t chunks_remote_rack_local = 0;
   uint64_t chunks_remote_cross_rack = 0;
+  uint64_t chunks_ssd = 0;
   uint64_t chunks_disk = 0;
   uint64_t chunks_dfs = 0;
   uint64_t bytes_local = 0;
   uint64_t bytes_remote_rack_local = 0;
   uint64_t bytes_remote_cross_rack = 0;
+  uint64_t bytes_ssd = 0;
   uint64_t bytes_disk = 0;
   uint64_t bytes_dfs = 0;
 };
@@ -178,12 +191,14 @@ sim::Task<> RunReplayTask(ReplayState* state, size_t job, size_t index,
     agg.chunks_remote_rack_local +=
         s.chunks_remote_memory - s.chunks_remote_cross_rack;
     agg.chunks_remote_cross_rack += s.chunks_remote_cross_rack;
+    agg.chunks_ssd += s.chunks_local_ssd;
     agg.chunks_disk += s.chunks_local_disk;
     agg.chunks_dfs += s.chunks_dfs;
     agg.bytes_local += s.bytes_local_memory;
     agg.bytes_remote_rack_local +=
         s.bytes_remote_memory - s.bytes_remote_cross_rack;
     agg.bytes_remote_cross_rack += s.bytes_remote_cross_rack;
+    agg.bytes_ssd += s.bytes_local_ssd;
     agg.bytes_disk += s.bytes_local_disk;
     agg.bytes_dfs += s.bytes_dfs;
   } else {
@@ -245,6 +260,11 @@ RunResult RunReplay(const Options& options) {
   topo.nodes_per_rack = options.nodes_per_rack;
   topo.oversubscription = 4.0;
   topo.node.sponge_memory = kSpongePerNode;
+  topo.node.ssd.capacity = options.ssd_bytes;
+  if (options.ssd_bw_mbps > 0) {
+    topo.node.ssd.read_bandwidth = options.ssd_bw_mbps * 1e6;
+    topo.node.ssd.write_bandwidth = options.ssd_bw_mbps * 1e6;
+  }
   result.num_nodes = topo.num_racks * topo.nodes_per_rack;
 
   sim::Engine engine;
@@ -396,6 +416,7 @@ RunResult RunReplay(const Options& options) {
     digest.U64(a.bytes_local);
     digest.U64(a.bytes_remote_rack_local);
     digest.U64(a.bytes_remote_cross_rack);
+    digest.U64(a.bytes_ssd);
     digest.U64(a.bytes_disk);
     digest.U64(a.bytes_dfs);
   }
@@ -437,6 +458,8 @@ std::string SimJson(const Options& options, const RunResult& r) {
   obs::AppendJsonUint(&out, options.jobs);
   out += ",\n  \"seed\": ";
   obs::AppendJsonUint(&out, options.seed);
+  out += ",\n  \"ssd_bytes_per_node\": ";
+  obs::AppendJsonUint(&out, options.ssd_bytes);
   out += ",\n  \"tasks_total\": ";
   obs::AppendJsonUint(&out, r.tasks_total);
   out += ",\n  \"tasks_done\": ";
@@ -468,6 +491,8 @@ std::string SimJson(const Options& options, const RunResult& r) {
     obs::AppendJsonUint(&out, a.chunks_remote_rack_local);
     out += ", \"chunks_remote_cross_rack\": ";
     obs::AppendJsonUint(&out, a.chunks_remote_cross_rack);
+    out += ", \"chunks_ssd\": ";
+    obs::AppendJsonUint(&out, a.chunks_ssd);
     out += ", \"chunks_disk\": ";
     obs::AppendJsonUint(&out, a.chunks_disk);
     out += ", \"chunks_dfs\": ";
@@ -478,6 +503,8 @@ std::string SimJson(const Options& options, const RunResult& r) {
     obs::AppendJsonUint(&out, a.bytes_remote_rack_local);
     out += ", \"bytes_remote_cross_rack\": ";
     obs::AppendJsonUint(&out, a.bytes_remote_cross_rack);
+    out += ", \"bytes_ssd\": ";
+    obs::AppendJsonUint(&out, a.bytes_ssd);
     out += ", \"bytes_disk\": ";
     obs::AppendJsonUint(&out, a.bytes_disk);
     out += ", \"bytes_dfs\": ";
@@ -579,6 +606,12 @@ int main(int argc, char** argv) {
       options.jobs = static_cast<size_t>(std::atoll(arg.c_str() + 7));
     } else if (arg.rfind("--seed=", 0) == 0) {
       options.seed = static_cast<uint64_t>(std::atoll(arg.c_str() + 7));
+    } else if (arg.rfind("--ssd-gb=", 0) == 0) {
+      options.ssd_bytes = static_cast<uint64_t>(
+          std::strtod(arg.c_str() + 9, nullptr) *
+          1024.0 * 1024.0 * 1024.0);
+    } else if (arg.rfind("--ssd-bw=", 0) == 0) {
+      options.ssd_bw_mbps = std::strtod(arg.c_str() + 9, nullptr);
     } else if (arg.rfind("--engine=", 0) == 0) {
       options.engine_mode = arg.substr(9);
     } else if (arg.rfind("--threads=", 0) == 0) {
@@ -605,7 +638,7 @@ int main(int argc, char** argv) {
   RunResult r = RunReplay(options);
 
   AsciiTable table({"rack", "tasks", "local", "rack-remote", "cross-rack",
-                    "disk", "dfs", "uplink util", "queries"});
+                    "ssd", "disk", "dfs", "uplink util", "queries"});
   for (size_t i = 0; i < r.agg.size(); ++i) {
     const RackAgg& a = r.agg[i];
     double util = r.makespan > 0 ? static_cast<double>(r.uplink_busy[i]) /
@@ -617,7 +650,8 @@ int main(int argc, char** argv) {
                   FormatBytes(a.bytes_local),
                   FormatBytes(a.bytes_remote_rack_local),
                   FormatBytes(a.bytes_remote_cross_rack),
-                  FormatBytes(a.bytes_disk), FormatBytes(a.bytes_dfs),
+                  FormatBytes(a.bytes_ssd), FormatBytes(a.bytes_disk),
+                  FormatBytes(a.bytes_dfs),
                   StrFormat("%.1f%%", util * 100.0),
                   StrFormat("%llu",
                             (unsigned long long)r.shard_queries[i])});

@@ -75,6 +75,27 @@ uint64_t PeakRssBytes() {
 std::string g_engine_mode = "legacy";
 unsigned g_engine_threads = 0;  // --engine=par pool size; 0 = host cores
 
+// --pool=flat runs every scenario on the pre-tiered allocator (one global
+// free list + one global lock); the default is the tiered pool. tools/
+// perf.sh runs fig5_contention both ways and gates on tiered winning.
+bool g_pool_flat = false;
+
+// --scenarios=a,b restricts the suite (perf.sh's pool gate runs just
+// fig5_contention twice instead of the whole suite). Empty = everything.
+std::string g_scenarios;
+
+bool ScenarioEnabled(const char* name) {
+  if (g_scenarios.empty()) return true;
+  size_t pos = 0;
+  while (pos < g_scenarios.size()) {
+    size_t comma = g_scenarios.find(',', pos);
+    if (comma == std::string::npos) comma = g_scenarios.size();
+    if (g_scenarios.compare(pos, comma - pos, name) == 0) return true;
+    pos = comma + 1;
+  }
+  return false;
+}
+
 workload::ShardProjection Projection() {
   return g_engine_mode == "legacy" ? workload::ShardProjection::kNone
                                    : workload::ShardProjection::kNode;
@@ -90,6 +111,11 @@ struct ScenarioResult {
   double wall_ms = 0;
   uint64_t engine_events = 0;  // deterministic
   SimTime sim_time = 0;        // deterministic
+  // Deterministic: summed job runtimes. Unlike sim_time (the testbed's
+  // final clock, often pinned by a fixed-length background workload) this
+  // moves with the data plane's efficiency — the pool gate compares it
+  // between --pool=flat and --pool=tiered.
+  Duration job_runtime = 0;
   uint64_t sim_bytes = 0;      // deterministic: logical bytes the data
                                // plane moved (spill accounting)
   uint64_t digest = 0;         // deterministic: FNV over scenario outputs
@@ -193,6 +219,7 @@ MacroOptions PinnedOptions() {
   options.grep_bytes = GiB(1);
   options.shard_projection = Projection();
   options.shard_threads = ShardThreads();
+  options.pool.flat = g_pool_flat;
   return options;
 }
 
@@ -200,6 +227,7 @@ void FoldRun(const MacroRun& run, ScenarioResult* r, Digest* d) {
   FoldLaneEvents(run.lane_events, r);
   r->engine_events += run.engine_events;
   r->sim_time += run.sim_now;
+  r->job_runtime += run.runtime;
   r->sim_bytes += run.total_spill.bytes_spilled + run.straggler.input_bytes;
   r->ok = r->ok && run.correct;
   d->U64(run.runtime);
@@ -267,6 +295,7 @@ ChaosOutcome RunChaosJob(uint64_t seed, bool inject) {
   bed_config.sponge.rpc.hedge_reads = true;
   bed_config.shard_projection = Projection();
   bed_config.shard_threads = ShardThreads();
+  bed_config.pool.flat = g_pool_flat;
   workload::Testbed bed(bed_config);
   workload::NumbersDatasetConfig data;
   data.count = 50001;
@@ -380,6 +409,8 @@ std::string SimJson(const std::vector<ScenarioResult>& results) {
     obs::AppendJsonUint(&out, r.engine_events);
     out += ", \"sim_time_us\": ";
     obs::AppendJsonUint(&out, static_cast<uint64_t>(r.sim_time));
+    out += ", \"job_runtime_us\": ";
+    obs::AppendJsonUint(&out, static_cast<uint64_t>(r.job_runtime));
     out += ", \"sim_bytes\": ";
     obs::AppendJsonUint(&out, r.sim_bytes);
     out += ", \"digest\": ";
@@ -417,6 +448,8 @@ std::string WallJson(const std::vector<ScenarioResult>& results,
   out += flavor;
   out += "\",\n  \"engine\": \"";
   out += g_engine_mode;
+  out += "\",\n  \"pool\": \"";
+  out += g_pool_flat ? "flat" : "tiered";
   out += "\",\n  \"threads\": ";
   obs::AppendJsonUint(&out, ShardThreads());
   out += ",\n  \"host_cores\": ";
@@ -494,6 +527,16 @@ int main(int argc, char** argv) {
       if (chaos_seeds < 1) chaos_seeds = 1;
     } else if (arg.rfind("--engine=", 0) == 0) {
       g_engine_mode = arg.substr(9);
+    } else if (arg.rfind("--pool=", 0) == 0) {
+      std::string mode = arg.substr(7);
+      if (mode != "flat" && mode != "tiered") {
+        std::fprintf(stderr, "unknown --pool=%s (flat|tiered)\n",
+                     mode.c_str());
+        return 2;
+      }
+      g_pool_flat = mode == "flat";
+    } else if (arg.rfind("--scenarios=", 0) == 0) {
+      g_scenarios = arg.substr(12);
     } else if (arg.rfind("--threads=", 0) == 0) {
       g_engine_threads =
           static_cast<unsigned>(std::atoi(arg.c_str() + 10));
@@ -506,14 +549,23 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::printf("self-perf suite (fast-path data plane, engine=%s)\n\n",
-              g_engine_mode.c_str());
+  std::printf("self-perf suite (fast-path data plane, engine=%s, pool=%s)\n\n",
+              g_engine_mode.c_str(), g_pool_flat ? "flat" : "tiered");
 
   std::vector<ScenarioResult> results;
-  results.push_back(RunEventStorm());
-  results.push_back(RunTable2Spill());
-  results.push_back(RunFig5Contention());
-  results.push_back(RunChaosSweep(chaos_seeds));
+  if (ScenarioEnabled("event_storm")) results.push_back(RunEventStorm());
+  if (ScenarioEnabled("table2_spill")) results.push_back(RunTable2Spill());
+  if (ScenarioEnabled("fig5_contention")) {
+    results.push_back(RunFig5Contention());
+  }
+  if (ScenarioEnabled("chaos_sweep")) {
+    results.push_back(RunChaosSweep(chaos_seeds));
+  }
+  if (results.empty()) {
+    std::fprintf(stderr, "no scenarios matched --scenarios=%s\n",
+                 g_scenarios.c_str());
+    return 2;
+  }
 
   AsciiTable table({"Scenario", "wall", "events", "Mev/s", "sim bytes",
                     "ok"});

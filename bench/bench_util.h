@@ -139,6 +139,10 @@ struct MacroOptions {
   // workload/testbed.h). kNone keeps the legacy single-queue engine.
   workload::ShardProjection shard_projection = workload::ShardProjection::kNone;
   unsigned shard_threads = 0;
+  // Sponge pool shape (size classes / flat baseline) and the optional
+  // per-node SSD rung (capacity 0 = no SSD).
+  sponge::ChunkPoolConfig pool;
+  cluster::SsdConfig ssd;
 };
 
 // Runs one macro job in one configuration on a fresh testbed.
@@ -151,6 +155,8 @@ inline MacroRun RunMacro(MacroJob job, mapred::SpillMode mode,
   bed_config.sponge = options.sponge;
   bed_config.shard_projection = options.shard_projection;
   bed_config.shard_threads = options.shard_threads;
+  bed_config.pool = options.pool;
+  bed_config.ssd = options.ssd;
   workload::Testbed bed(bed_config);
 
   std::unique_ptr<workload::WebDataset> web;

@@ -5,6 +5,7 @@
 //   run_experiment [--job median|anchortext|quantiles]
 //                  [--spill disk|sponge]
 //                  [--memory-gb N] [--sponge-gb N]
+//                  [--ssd-gb F] [--ssd-bw MBps]
 //                  [--background-grep] [--scale N] [--seed N]
 //                  [--engine legacy|seq|par] [--projection node|rack]
 //                  [--threads N]
@@ -35,6 +36,10 @@ struct Options {
   mapred::SpillMode spill = mapred::SpillMode::kSponge;
   uint64_t memory_gb = 16;
   uint64_t sponge_gb = 1;
+  // Per-node SSD for the cascade's middle rung; 0 (the default) runs the
+  // memory -> disk cascade with no SSD. Fractional GiB welcome.
+  double ssd_gb = 0;
+  double ssd_bw_mbps = 0;  // 0 keeps the SsdConfig stream-rate defaults
   bool background_grep = false;
   uint64_t scale = 10;  // datasets = paper size / scale
   uint64_t seed = 2014;
@@ -73,6 +78,14 @@ bool Parse(int argc, char** argv, Options* options) {
       const char* v = next();
       if (v == nullptr) return false;
       options->sponge_gb = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--ssd-gb") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->ssd_gb = std::strtod(v, nullptr);
+    } else if (arg == "--ssd-bw") {
+      const char* v = next();
+      if (v == nullptr) return false;
+      options->ssd_bw_mbps = std::strtod(v, nullptr);
     } else if (arg == "--background-grep") {
       options->background_grep = true;
     } else if (arg == "--scale") {
@@ -127,7 +140,8 @@ int main(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: %s [--job median|anchortext|quantiles] [--spill "
-        "disk|sponge] [--memory-gb N] [--sponge-gb N] [--background-grep] "
+        "disk|sponge] [--memory-gb N] [--sponge-gb N] [--ssd-gb F] "
+        "[--ssd-bw MBps] [--background-grep] "
         "[--scale N] [--seed N] [--engine legacy|seq|par] "
         "[--projection node|rack] [--threads N] [--trace-out FILE] "
         "[--metrics-out FILE]\n",
@@ -141,6 +155,14 @@ int main(int argc, char** argv) {
   workload::TestbedConfig bed_config;
   bed_config.node_memory = GiB(options.memory_gb);
   bed_config.sponge_memory = GiB(options.sponge_gb);
+  if (options.ssd_gb > 0) {
+    bed_config.ssd.capacity = static_cast<uint64_t>(
+        options.ssd_gb * 1024.0 * 1024.0 * 1024.0);
+    if (options.ssd_bw_mbps > 0) {
+      bed_config.ssd.read_bandwidth = options.ssd_bw_mbps * 1e6;
+      bed_config.ssd.write_bandwidth = options.ssd_bw_mbps * 1e6;
+    }
+  }
   if (options.engine != "legacy") {
     bed_config.shard_projection = options.projection == "rack"
                                       ? workload::ShardProjection::kRack
@@ -199,7 +221,8 @@ int main(int argc, char** argv) {
                 FormatBytes(straggler->input_bytes).c_str(),
                 static_cast<unsigned long long>(straggler->input_records));
     std::printf("straggler spilled   : %s in %llu sponge chunks "
-                "(%llu local / %llu remote / %llu disk / %llu dfs)\n",
+                "(%llu local / %llu remote / %llu ssd / %llu disk / "
+                "%llu dfs)\n",
                 FormatBytes(straggler->spill.bytes_spilled).c_str(),
                 static_cast<unsigned long long>(
                     straggler->spill.sponge_chunks),
@@ -207,6 +230,8 @@ int main(int argc, char** argv) {
                     straggler->spill.sponge_chunks_local),
                 static_cast<unsigned long long>(
                     straggler->spill.sponge_chunks_remote),
+                static_cast<unsigned long long>(
+                    straggler->spill.sponge_chunks_ssd),
                 static_cast<unsigned long long>(
                     straggler->spill.sponge_chunks_disk),
                 static_cast<unsigned long long>(

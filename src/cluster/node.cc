@@ -6,6 +6,7 @@ Node::Node(sim::Engine* engine, size_t id, size_t rack,
            const NodeConfig& config)
     : id_(id), rack_(rack), config_(config) {
   disk_ = std::make_unique<Disk>(engine, config.disk, id);
+  ssd_ = std::make_unique<Ssd>(engine, config.ssd, id);
   BufferCacheConfig cache_config = config.cache;
   cache_config.capacity = cache_capacity();
   cache_ = std::make_unique<BufferCache>(engine, disk_.get(), cache_config);

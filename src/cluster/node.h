@@ -7,6 +7,7 @@
 #include "cluster/buffer_cache.h"
 #include "cluster/disk.h"
 #include "cluster/local_fs.h"
+#include "cluster/ssd.h"
 #include "common/units.h"
 #include "sim/engine.h"
 
@@ -28,6 +29,9 @@ struct NodeConfig {
   uint64_t os_reserved = 512ull * 1024 * 1024;
   uint64_t disk_capacity = 300ull * 1024 * 1024 * 1024;
   DiskConfig disk;
+  // Local SSD for the spill cascade's middle rung; capacity 0 (the
+  // default) means the node has no SSD and the cascade skips the rung.
+  SsdConfig ssd;
   BufferCacheConfig cache;  // capacity is derived, other knobs honored
 };
 
@@ -48,6 +52,8 @@ class Node {
   const NodeConfig& config() const { return config_; }
 
   Disk& disk() { return *disk_; }
+  bool has_ssd() const { return ssd_->present(); }
+  Ssd& ssd() { return *ssd_; }
   BufferCache& cache() { return *cache_; }
   LocalFs& fs() { return *fs_; }
 
@@ -62,6 +68,7 @@ class Node {
   size_t rack_;
   NodeConfig config_;
   std::unique_ptr<Disk> disk_;
+  std::unique_ptr<Ssd> ssd_;
   std::unique_ptr<BufferCache> cache_;
   std::unique_ptr<LocalFs> fs_;
 };

@@ -24,10 +24,12 @@ void SpillStats::Add(const SpillStats& other) {
   sponge_chunks += other.sponge_chunks;
   sponge_chunks_local += other.sponge_chunks_local;
   sponge_chunks_remote += other.sponge_chunks_remote;
+  sponge_chunks_ssd += other.sponge_chunks_ssd;
   sponge_chunks_disk += other.sponge_chunks_disk;
   sponge_chunks_dfs += other.sponge_chunks_dfs;
   sponge_bytes_local += other.sponge_bytes_local;
   sponge_bytes_remote += other.sponge_bytes_remote;
+  sponge_bytes_ssd += other.sponge_bytes_ssd;
   sponge_bytes_disk += other.sponge_bytes_disk;
   sponge_bytes_dfs += other.sponge_bytes_dfs;
   fragmentation_bytes += other.fragmentation_bytes;
@@ -152,10 +154,12 @@ class SpongeSpillFile : public SpillFile {
       stats_->sponge_chunks += s.total_chunks();
       stats_->sponge_chunks_local += s.chunks_local_memory;
       stats_->sponge_chunks_remote += s.chunks_remote_memory;
+      stats_->sponge_chunks_ssd += s.chunks_local_ssd;
       stats_->sponge_chunks_disk += s.chunks_local_disk;
       stats_->sponge_chunks_dfs += s.chunks_dfs;
       stats_->sponge_bytes_local += s.bytes_local_memory;
       stats_->sponge_bytes_remote += s.bytes_remote_memory;
+      stats_->sponge_bytes_ssd += s.bytes_local_ssd;
       stats_->sponge_bytes_disk += s.bytes_local_disk;
       stats_->sponge_bytes_dfs += s.bytes_dfs;
       stats_->fragmentation_bytes += s.fragmentation_bytes;

@@ -72,12 +72,14 @@ struct SpillStats {
   uint64_t sponge_chunks = 0;
   uint64_t sponge_chunks_local = 0;
   uint64_t sponge_chunks_remote = 0;
+  uint64_t sponge_chunks_ssd = 0;
   uint64_t sponge_chunks_disk = 0;
   uint64_t sponge_chunks_dfs = 0;
   // Logical bytes the sponge cascade placed on each medium (sums to
   // bytes_spilled for a pure-sponge task).
   uint64_t sponge_bytes_local = 0;
   uint64_t sponge_bytes_remote = 0;
+  uint64_t sponge_bytes_ssd = 0;
   uint64_t sponge_bytes_disk = 0;
   uint64_t sponge_bytes_dfs = 0;
   uint64_t fragmentation_bytes = 0;

@@ -30,6 +30,8 @@ const char* FaultKindName(FaultKind kind) {
     case FaultKind::kTrackerShardOutage: return "tracker-shard-outage";
     case FaultKind::kTrackerShardStale: return "tracker-shard-stale";
     case FaultKind::kGossipPartition: return "gossip-partition";
+    case FaultKind::kSsdSlowdown: return "ssd-slowdown";
+    case FaultKind::kSsdWear: return "ssd-wear";
   }
   return "?";
 }
@@ -70,6 +72,23 @@ sim::Task<> SlowDiskFor(SpongeEnv* env, size_t node, double factor,
   env->cluster()->node(node).disk().SetSlowdown(factor);
   co_await env->engine()->Delay(duration);
   env->cluster()->node(node).disk().SetSlowdown(1.0);
+}
+
+sim::Task<> SlowSsdFor(SpongeEnv* env, size_t node, double factor,
+                       Duration duration) {
+  cluster::Node& machine = env->cluster()->node(node);
+  if (!machine.has_ssd()) co_return;  // SSD-less node: nothing to throttle
+  machine.ssd().SetSlowdown(factor);
+  co_await env->engine()->Delay(duration);
+  machine.ssd().SetSlowdown(1.0);
+}
+
+sim::Task<> WearSsdFor(SpongeEnv* env, size_t node, Duration duration) {
+  cluster::Node& machine = env->cluster()->node(node);
+  if (!machine.has_ssd()) co_return;
+  machine.ssd().SetWorn(true);
+  co_await env->engine()->Delay(duration);
+  machine.ssd().SetWorn(false);
 }
 
 sim::Task<> DegradeLinkFor(SpongeEnv* env, size_t node,
@@ -167,6 +186,18 @@ void FailureInjector::ScheduleDiskSlowdown(size_t node, SimTime at,
   env_->engine()->SpawnAt(at, SlowDiskFor(env_, node, factor, duration));
 }
 
+void FailureInjector::ScheduleSsdSlowdown(size_t node, SimTime at,
+                                          double factor, Duration duration) {
+  Record(FaultKind::kSsdSlowdown, node, at, duration, factor);
+  env_->engine()->SpawnAt(at, SlowSsdFor(env_, node, factor, duration));
+}
+
+void FailureInjector::ScheduleSsdWear(size_t node, SimTime at,
+                                      Duration duration) {
+  Record(FaultKind::kSsdWear, node, at, duration);
+  env_->engine()->SpawnAt(at, WearSsdFor(env_, node, duration));
+}
+
 void FailureInjector::ScheduleLinkDegradation(size_t node, SimTime at,
                                               double bandwidth_factor,
                                               Duration extra_latency,
@@ -233,6 +264,10 @@ size_t FailureInjector::ScheduleChaos(const ChaosOptions& options) {
   if (options.gossip_partitions) {
     kinds.push_back(FaultKind::kGossipPartition);
   }
+  if (options.ssd_faults) {
+    kinds.push_back(FaultKind::kSsdSlowdown);
+    kinds.push_back(FaultKind::kSsdWear);
+  }
   if (kinds.empty() || options.horizon <= options.start) return 0;
 
   size_t num_nodes = env_->cluster()->size();
@@ -292,6 +327,12 @@ size_t FailureInjector::ScheduleChaos(const ChaosOptions& options) {
         break;
       case FaultKind::kGossipPartition:
         ScheduleGossipPartition(env_->cluster()->rack_of(node), at, span);
+        break;
+      case FaultKind::kSsdSlowdown:
+        ScheduleSsdSlowdown(node, at, 2.0 + 8.0 * rng_.NextDouble(), span);
+        break;
+      case FaultKind::kSsdWear:
+        ScheduleSsdWear(node, at, span);
         break;
     }
     ++scheduled;

@@ -36,6 +36,9 @@ enum class FaultKind {
   kTrackerShardOutage,  // one rack's shard: queries fail, polling stops
   kTrackerShardStale,   // one rack's shard pauses polling
   kGossipPartition,     // one shard stops exchanging digests
+  // Local-SSD gray failures (no-ops on nodes without an SSD).
+  kSsdSlowdown,  // SSD accesses take `severity` times longer
+  kSsdWear,      // endurance exhausted: writes fail, reads still work
 };
 
 // Every fault kind, in declaration order. Kept next to the enum so adding
@@ -52,6 +55,8 @@ inline constexpr FaultKind kAllFaultKinds[] = {
     FaultKind::kTrackerShardOutage,
     FaultKind::kTrackerShardStale,
     FaultKind::kGossipPartition,
+    FaultKind::kSsdSlowdown,
+    FaultKind::kSsdWear,
 };
 
 const char* FaultKindName(FaultKind kind);
@@ -103,6 +108,9 @@ struct ChaosOptions {
   // clusters, where the one shard IS the tracker.
   bool tracker_shard_faults = true;
   bool gossip_partitions = true;
+  // SSD slowdowns and wear-out (no-ops on SSD-less nodes, where the
+  // cascade has no SSD rung to degrade).
+  bool ssd_faults = true;
 };
 
 // Injects machine failures into a SpongeEnv: either scheduled
@@ -134,6 +142,15 @@ class FailureInjector {
   // Multiplies `node`'s disk access times by `factor` during the window.
   void ScheduleDiskSlowdown(size_t node, SimTime at, double factor,
                             Duration duration);
+
+  // Multiplies `node`'s SSD access times by `factor` during the window
+  // (thermal throttling, a congested controller). No-op without an SSD.
+  void ScheduleSsdSlowdown(size_t node, SimTime at, double factor,
+                           Duration duration);
+
+  // Wears out `node`'s SSD for the window: writes fail UNAVAILABLE (the
+  // cascade falls through to disk), reads of stored chunks still succeed.
+  void ScheduleSsdWear(size_t node, SimTime at, Duration duration);
 
   // Degrades `node`'s NIC to `bandwidth_factor` of nominal and adds
   // `extra_latency` per transfer during the window.

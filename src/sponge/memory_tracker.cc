@@ -81,11 +81,15 @@ sim::Task<> TrackerShard::PollOnce() {
              sim::AccessRecorder::NodeDomain(server->node_id()));
     // lint: shard-ok(poll response payload, read at the member between hops)
     uint64_t free = server->free_bytes();
+    // lint: shard-ok(poll response payload, read at the member between hops)
+    uint64_t free_bulk = server->free_bulk_bytes();
     if (server->node_id() != home_node_) {
       co_await network_->Transfer(server->node_id(), home_node_,
                                   config_->rpc_message_bytes);
     }
-    if (free > 0) fresh.push_back({server->node_id(), free, rack_});
+    if (free > 0) {
+      fresh.push_back({server->node_id(), free, free_bulk, rack_});
+    }
   }
   SIM_WRITE(engine_, this, "TrackerShard", "state",
             sim::AccessRecorder::RackDomain(rack_));

@@ -136,14 +136,16 @@ sim::Task<> RepairService::RepairEntry(uint64_t chunk_id) {
       const bool diverse =
           env_->cluster()->rack_of(candidate.node) != source_rack;
       if (want_diverse && !diverse) continue;
-      const uint64_t capacity =
-          env_->server(candidate.node).pool().total_chunks() *
-          config.chunk_size;
+      ChunkPool& pool = env_->server(candidate.node).pool();
+      const uint64_t capacity = pool.total_chunks() * config.chunk_size;
       const uint64_t min_free = static_cast<uint64_t>(
           config.replication.min_free_fraction *
           static_cast<double>(capacity));
-      if (candidate.free_bytes < min_free ||
-          candidate.free_bytes < config.chunk_size) {
+      // Size-class-aware: gate on the slot the repaired copy will occupy.
+      const uint64_t need = pool.class_bytes_for(data.size());
+      if (candidate.free_bytes < min_free || candidate.free_bytes < need ||
+          (need >= config.chunk_size &&
+           candidate.free_bulk_bytes < need)) {
         continue;
       }
       target = candidate.node;
@@ -171,7 +173,8 @@ sim::Task<> RepairService::RepairEntry(uint64_t chunk_id) {
   // background work and another pass costs nothing but time. An abandoned
   // or half-finished slot is owned by the task and GC'd with it.
   sim::Task<Result<ChunkHandle>> alloc_op =
-      env_->server(target).RemoteAllocate(source.node, new_owner);
+      env_->server(target).RemoteAllocate(source.node, new_owner,
+                                          data.size());
   Result<ChunkHandle> slot = co_await CallWithDeadline<Result<ChunkHandle>>(
       env_->engine(), config.rpc.deadline, std::move(alloc_op));
   if (!slot.ok()) {

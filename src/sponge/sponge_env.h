@@ -69,8 +69,17 @@ struct SpongeConfig {
   // Overlap non-local chunk writes with the writer's computation.
   bool async_write = true;
   // Disable the disk/DFS fallbacks (memory-only operation; allocation
-  // failures surface as RESOURCE_EXHAUSTED).
+  // failures surface as RESOURCE_EXHAUSTED). Also disables the SSD rung —
+  // an SSD is not memory.
   bool memory_only = false;
+  // --- SSD rung ---
+  // Use the node's local SSD (NodeConfig::ssd with capacity > 0) as the
+  // cascade rung between remote memory and local disk. Inert — every
+  // placement is bit-identical to before — on nodes without an SSD.
+  bool ssd_enabled = true;
+  // Spill to the SSD only while its used fraction stays at or below this
+  // (headroom for other consumers of the device).
+  double ssd_max_used_fraction = 1.0;
   // Disable remote memory entirely (local pool then disk).
   bool allow_remote_memory = true;
   // Encrypt chunk contents before they leave the task (section 3.1.4's

@@ -29,6 +29,8 @@ const MediumMetrics& MediumMetricsFor(ChunkLocation location) {
       {registry.counter("sponge.spill.bytes", {{"medium", "remote-memory"}}),
        registry.counter("sponge.spill.chunks",
                         {{"medium", "remote-memory"}})},
+      {registry.counter("sponge.spill.bytes", {{"medium", "local-ssd"}}),
+       registry.counter("sponge.spill.chunks", {{"medium", "local-ssd"}})},
       {registry.counter("sponge.spill.bytes", {{"medium", "local-disk"}}),
        registry.counter("sponge.spill.chunks", {{"medium", "local-disk"}})},
       {registry.counter("sponge.spill.bytes", {{"medium", "dfs"}}),
@@ -51,9 +53,15 @@ obs::Counter* DecisionCounter(std::string_view reason) {
       "sponge.alloc.decisions", {{"reason", "server-sick"}});
   static obs::Counter* const rpc_timeout = registry.counter(
       "sponge.alloc.decisions", {{"reason", "rpc-timeout"}});
+  static obs::Counter* const ssd_full = registry.counter(
+      "sponge.alloc.decisions", {{"reason", "ssd-full"}});
+  static obs::Counter* const ssd_worn = registry.counter(
+      "sponge.alloc.decisions", {{"reason", "ssd-worn"}});
   static obs::Counter* const affinity_hit = registry.counter(
       "sponge.alloc.decisions", {{"reason", "affinity-hit"}});
   if (reason == "pool-full") return pool_full;
+  if (reason == "ssd-full") return ssd_full;
+  if (reason == "ssd-worn") return ssd_worn;
   if (reason == "tracker-stale") return tracker_stale;
   if (reason == "tracker-down") return tracker_down;
   if (reason == "rack-restricted") return rack_restricted;
@@ -146,6 +154,8 @@ const char* ChunkLocationName(ChunkLocation location) {
       return "local-memory";
     case ChunkLocation::kRemoteMemory:
       return "remote-memory";
+    case ChunkLocation::kLocalSsd:
+      return "local-ssd";
     case ChunkLocation::kLocalDisk:
       return "local-disk";
     case ChunkLocation::kDfs:
@@ -257,8 +267,15 @@ sim::Task<Status> SpongeFile::StoreIntoRecord(size_t index, ByteRuns chunk) {
   ByteRuns replica_copy;
   if (config.replication.enabled) replica_copy = chunk;
 
-  // 1. Local sponge memory.
-  Result<ChunkHandle> handle = local.LocalAllocate(owner);
+  // 1. Local sponge memory. The declared size lets the tiered pool place a
+  // partial chunk into a small size class instead of burning a bulk slot.
+  Result<ChunkHandle> handle = local.LocalAllocate(owner, chunk.size());
+  {
+    // Pay the simulated pool-lock convoy the allocation just went through
+    // (per-level lock, or the flat pool's global lock).
+    Duration lock_wait = local.pool().TakeLockWait();
+    if (lock_wait > 0) co_await env_->engine()->Delay(lock_wait);
+  }
   if (handle.ok()) {
     bool stored_locally = true;
     if (config.direct_local_access) {
@@ -291,7 +308,10 @@ sim::Task<Status> SpongeFile::StoreIntoRecord(size_t index, ByteRuns chunk) {
       record.handle = *handle;
       ++stats_.chunks_local_memory;
       stats_.bytes_local_memory += record.size;
-      stats_.fragmentation_bytes += config.chunk_size - record.size;
+      // Fragmentation is measured against the slot actually occupied: a
+      // small-class slot wastes class_bytes - size, not chunk_size - size.
+      stats_.fragmentation_bytes +=
+          local.pool().slot_bytes(*handle) - record.size;
       MediumMetricsFor(ChunkLocation::kLocalMemory).bytes->Increment(
           record.size);
       MediumMetricsFor(ChunkLocation::kLocalMemory).chunks->Increment();
@@ -318,7 +338,7 @@ sim::Task<Status> SpongeFile::StoreIntoRecord(size_t index, ByteRuns chunk) {
     for (int pass = 0; pass < passes; ++pass) {
       const bool cross_rack = pass == 1;
       while (true) {
-        auto allocated = co_await AllocateRemote(cross_rack);
+        auto allocated = co_await AllocateRemote(cross_rack, chunk.size());
         if (!allocated.ok()) break;
         auto [target, remote_handle] = *allocated;
         Status stored = co_await HardenedCall<Status>(
@@ -351,7 +371,9 @@ sim::Task<Status> SpongeFile::StoreIntoRecord(size_t index, ByteRuns chunk) {
           ++stats_.chunks_remote_cross_rack;
           stats_.bytes_remote_cross_rack += record.size;
         }
-        stats_.fragmentation_bytes += config.chunk_size - record.size;
+        stats_.fragmentation_bytes +=
+            env_->server(target).pool().slot_bytes(remote_handle) -
+            record.size;
         MediumMetricsFor(ChunkLocation::kRemoteMemory).bytes->Increment(
             record.size);
         MediumMetricsFor(ChunkLocation::kRemoteMemory).chunks->Increment();
@@ -373,7 +395,39 @@ sim::Task<Status> SpongeFile::StoreIntoRecord(size_t index, ByteRuns chunk) {
     co_return ResourceExhausted("no sponge memory available");
   }
 
-  // 3. Local disk, appending to the previous on-disk chunk when there is
+  // 3. Local SSD: the middle rung between remote memory and the spindle.
+  // Capacity is reserved up-front (released on Delete); a worn device
+  // whose program op fails just falls through to disk.
+  if (config.ssd_enabled) {
+    cluster::Node& self = env_->cluster()->node(task_->node);
+    if (self.has_ssd()) {
+      cluster::Ssd& ssd = self.ssd();
+      const uint64_t allowed = static_cast<uint64_t>(
+          config.ssd_max_used_fraction * static_cast<double>(ssd.capacity()));
+      if (ssd.used_bytes() + chunk.size() > allowed ||
+          !ssd.TryReserve(chunk.size())) {
+        SpillDecision(env_, task_, "ssd-full");
+      } else {
+        Status written = co_await ssd.Write(chunk.size());
+        if (written.ok()) {
+          record.location = ChunkLocation::kLocalSsd;
+          record.node = task_->node;
+          record.data = std::move(chunk);
+          ++stats_.chunks_local_ssd;
+          stats_.bytes_local_ssd += record.size;
+          MediumMetricsFor(ChunkLocation::kLocalSsd).bytes->Increment(
+              record.size);
+          MediumMetricsFor(ChunkLocation::kLocalSsd).chunks->Increment();
+          span.Arg("medium", std::string("local-ssd"));
+          co_return Status::OK();
+        }
+        ssd.Release(chunk.size());
+        SpillDecision(env_, task_, "ssd-worn");
+      }
+    }
+  }
+
+  // 4. Local disk, appending to the previous on-disk chunk when there is
   // one so on-disk data stays contiguous and file-system metadata
   // operations stay rare.
   cluster::LocalFs& fs = env_->cluster()->node(task_->node).fs();
@@ -416,7 +470,7 @@ sim::Task<Status> SpongeFile::StoreIntoRecord(size_t index, ByteRuns chunk) {
     }
   }
 
-  // 4. The distributed filesystem, as a last resort.
+  // 5. The distributed filesystem, as a last resort.
   record.dfs_name = name_ + ".dfs" + std::to_string(index);
   Status stored =
       co_await env_->dfs()->AppendBlock(record.dfs_name, task_->node,
@@ -433,7 +487,7 @@ sim::Task<Status> SpongeFile::StoreIntoRecord(size_t index, ByteRuns chunk) {
 }
 
 sim::Task<Result<std::pair<size_t, ChunkHandle>>>
-SpongeFile::AllocateRemote(bool cross_rack) {
+SpongeFile::AllocateRemote(bool cross_rack, uint64_t bytes) {
   const SpongeConfig& config = env_->config();
   if (!free_list_loaded_) {
     Result<std::vector<FreeSpaceEntry>> list =
@@ -495,8 +549,18 @@ SpongeFile::AllocateRemote(bool cross_rack) {
         bounced_nodes_.end()) {
       continue;
     }
+    // Size-class-aware gate: the slot this chunk will occupy on the
+    // candidate, so a full-size chunk skips servers whose bulk level is
+    // exhausted even when their small classes still advertise free bytes.
+    const uint64_t need =
+        env_->server(node).pool().class_bytes_for(bytes);
     FreeSpaceEntry* estimate = estimate_of(node);
-    if (estimate != nullptr && estimate->free_bytes == 0) continue;
+    if (estimate != nullptr &&
+        (estimate->free_bytes == 0 ||
+         (need >= env_->config().chunk_size &&
+          estimate->free_bulk_bytes < need))) {
+      continue;
+    }
     // Circuit breaker: a server with an open breaker is skipped (but not
     // permanently bounced — it may recover and later chunks can use it).
     // An AllowRequest "true" on an open breaker is the half-open probe;
@@ -507,12 +571,19 @@ SpongeFile::AllocateRemote(bool cross_rack) {
     }
     Result<ChunkHandle> handle = co_await HardenedCall<Result<ChunkHandle>>(
         env_->engine(), &env_->health(), config.rpc, &env_->rpc_rng(), node,
-        [this, node, &owner] {
-          return env_->server(node).RemoteAllocate(task_->node, owner);
+        [this, node, &owner, bytes] {
+          return env_->server(node).RemoteAllocate(task_->node, owner, bytes);
         });
     if (handle.ok()) {
-      if (estimate != nullptr && estimate->free_bytes >= config.chunk_size) {
-        estimate->free_bytes -= config.chunk_size;
+      const uint64_t taken = env_->server(node).pool().slot_bytes(*handle);
+      if (estimate != nullptr) {
+        estimate->free_bytes =
+            estimate->free_bytes >= taken ? estimate->free_bytes - taken : 0;
+        if (taken >= config.chunk_size) {
+          estimate->free_bulk_bytes = estimate->free_bulk_bytes >= taken
+                                          ? estimate->free_bulk_bytes - taken
+                                          : 0;
+        }
       }
       if (config.affinity &&
           std::find(task_->sponge_affinity.begin(),
@@ -538,7 +609,10 @@ SpongeFile::AllocateRemote(bool cross_rack) {
     } else {
       SpillDecision(env_, task_, "tracker-stale");
     }
-    if (estimate != nullptr) estimate->free_bytes = 0;
+    if (estimate != nullptr) {
+      estimate->free_bytes = 0;
+      estimate->free_bulk_bytes = 0;
+    }
     bounced_nodes_.push_back(node);
   }
   co_return NotFound("no remote sponge server with free memory");
@@ -636,12 +710,16 @@ sim::Task<> SpongeFile::ReplicateChunk(size_t index, ByteRuns chunk) {
             env_->cluster()->rack_of(entry.node) != primary_rack;
         if ((pass == 0) != diverse) continue;
       }
-      const uint64_t capacity =
-          env_->server(entry.node).pool().total_chunks() * config.chunk_size;
+      ChunkPool& pool = env_->server(entry.node).pool();
+      const uint64_t capacity = pool.total_chunks() * config.chunk_size;
       const uint64_t min_free = static_cast<uint64_t>(
           config.replication.min_free_fraction * capacity);
-      if (entry.free_bytes < min_free ||
-          entry.free_bytes < config.chunk_size) {
+      // Size-class-aware placement: gate on the slot this replica will
+      // actually occupy, so a small chunk's copy still fits on servers
+      // whose bulk level is under pressure.
+      const uint64_t need = pool.class_bytes_for(record.size);
+      if (entry.free_bytes < min_free || entry.free_bytes < need ||
+          (need >= config.chunk_size && entry.free_bulk_bytes < need)) {
         continue;
       }
       candidates.push_back(entry.node);
@@ -660,9 +738,9 @@ sim::Task<> SpongeFile::ReplicateChunk(size_t index, ByteRuns chunk) {
     if (!env_->health().AllowRequest(node)) continue;
     Result<ChunkHandle> handle = co_await HardenedCall<Result<ChunkHandle>>(
         env_->engine(), &env_->health(), config.rpc, &env_->rpc_rng(), node,
-        [this, node, &replica_owner] {
-          return env_->server(node).RemoteAllocate(task_->node,
-                                                   replica_owner);
+        [this, node, &replica_owner, &record] {
+          return env_->server(node).RemoteAllocate(task_->node, replica_owner,
+                                                   record.size);
         });
     if (!handle.ok()) continue;
     // `slot`, not `handle`: factory captures must be trivially
@@ -676,9 +754,14 @@ sim::Task<> SpongeFile::ReplicateChunk(size_t index, ByteRuns chunk) {
         });
     // A half-written slot is GC fodder; move to the next candidate.
     if (!stored.ok()) continue;
+    const uint64_t taken = env_->server(node).pool().slot_bytes(slot);
     for (FreeSpaceEntry& entry : free_list_) {
-      if (entry.node == node && entry.free_bytes >= config.chunk_size) {
-        entry.free_bytes -= config.chunk_size;
+      if (entry.node == node && entry.free_bytes >= taken) {
+        entry.free_bytes -= taken;
+        if (taken >= config.chunk_size &&
+            entry.free_bulk_bytes >= taken) {
+          entry.free_bulk_bytes -= taken;
+        }
         break;
       }
     }
@@ -822,6 +905,14 @@ sim::Task<Result<ByteRuns>> SpongeFile::FetchChunkRaw(size_t index) {
       }
       co_return fetched;
     }
+    case ChunkLocation::kLocalSsd: {
+      // Reads still work on a worn device (wear kills program ops, not
+      // page reads); a slow SSD just stretches the transfer.
+      cluster::Ssd& ssd = env_->cluster()->node(task_->node).ssd();
+      Status read = co_await ssd.Read(record.size);
+      if (!read.ok()) co_return read;
+      co_return record.data;
+    }
     case ChunkLocation::kLocalDisk: {
       cluster::LocalFs& fs = env_->cluster()->node(task_->node).fs();
       Status read = co_await fs.Read(record.fs_file, record.offset,
@@ -910,6 +1001,10 @@ sim::Task<> SpongeFile::Delete() {
               env_->engine(), env_->config().rpc.deadline,
               std::move(free_op));
         }
+        break;
+      case ChunkLocation::kLocalSsd:
+        env_->cluster()->node(task_->node).ssd().Release(record.size);
+        record.data.Clear();
         break;
       case ChunkLocation::kLocalDisk: {
         // Coalesced chunks share one file; delete it once.

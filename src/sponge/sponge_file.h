@@ -18,6 +18,7 @@ namespace spongefiles::sponge {
 enum class ChunkLocation {
   kLocalMemory,
   kRemoteMemory,
+  kLocalSsd,
   kLocalDisk,
   kDfs,
 };
@@ -30,6 +31,7 @@ const char* ChunkLocationName(ChunkLocation location);
 // placed by the cascade: local sponge memory -> remote sponge memory on
 // the same rack (servers already hosting this task's chunks first) ->
 // remote sponge memory across racks (only when allow_cross_rack is set) ->
+// the node's local SSD (when present and SpongeConfig::ssd_enabled) ->
 // local disk (coalescing consecutive disk chunks into one growing file) ->
 // the distributed filesystem as the last resort.
 //
@@ -43,12 +45,14 @@ class SpongeFile {
     uint64_t bytes_written = 0;
     uint64_t chunks_local_memory = 0;
     uint64_t chunks_remote_memory = 0;
+    uint64_t chunks_local_ssd = 0;
     uint64_t chunks_local_disk = 0;   // coalesced count: appends, not files
     uint64_t chunks_dfs = 0;
     // Logical bytes stored on each medium; the sum equals bytes_written
     // once the file is closed.
     uint64_t bytes_local_memory = 0;
     uint64_t bytes_remote_memory = 0;
+    uint64_t bytes_local_ssd = 0;
     uint64_t bytes_local_disk = 0;
     uint64_t bytes_dfs = 0;
     // Cross-rack subset of the remote-memory totals above (the cascade's
@@ -67,8 +71,8 @@ class SpongeFile {
     // stored in them (internal fragmentation, paper section 4.2.3).
     uint64_t fragmentation_bytes = 0;
     uint64_t total_chunks() const {
-      return chunks_local_memory + chunks_remote_memory + chunks_local_disk +
-             chunks_dfs;
+      return chunks_local_memory + chunks_remote_memory + chunks_local_ssd +
+             chunks_local_disk + chunks_dfs;
     }
   };
 
@@ -148,9 +152,11 @@ class SpongeFile {
   // every candidate is full or ineligible. Bounced attempts (stale list)
   // are counted and the bounced server is skipped for later chunks.
   // `cross_rack` selects the locality rung: false walks same-rack
-  // candidates only, true off-rack only.
+  // candidates only, true off-rack only. `bytes` is the chunk's actual
+  // size, declared so the target's tiered pool can place it in a matching
+  // size class.
   sim::Task<Result<std::pair<size_t, ChunkHandle>>> AllocateRemote(
-      bool cross_rack);
+      bool cross_rack, uint64_t bytes);
 
   sim::Task<Status> WaitForPendingStore();
 

@@ -51,7 +51,7 @@ SpongeServer::SpongeServer(sim::Engine* engine, cluster::Network* network,
       registry_(registry),
       node_id_(node_id),
       config_(config),
-      pool_(std::make_unique<ChunkPool>(pool_config)) {}
+      pool_(std::make_unique<ChunkPool>(pool_config, engine)) {}
 
 sim::Task<> SpongeServer::FaultPoint() {
   if (rpc_extra_delay_ > 0) co_await engine_->Delay(rpc_extra_delay_);
@@ -77,13 +77,10 @@ void SpongeServer::SetHung(bool hung) {
 
 bool SpongeServer::QuotaAllows(const ChunkOwner& owner) const {
   if (config_.quota_chunks_per_task == 0) return true;
-  uint64_t held = 0;
   // Count by task id, not full owner identity: a task's replicas share its
   // quota — replication must not double a misbehaving task's footprint.
-  for (const auto& [handle, chunk_owner] : pool_->AllocatedChunks()) {
-    if (chunk_owner.task_id == owner.task_id) ++held;
-  }
-  return held < config_.quota_chunks_per_task;
+  // The pool keeps the per-task tally, so this no longer scans the pool.
+  return pool_->HeldByTask(owner.task_id) < config_.quota_chunks_per_task;
 }
 
 // ---- cross-lane hop wrappers ----------------------------------------------
@@ -95,15 +92,16 @@ bool SpongeServer::QuotaAllows(const ChunkOwner& owner) const {
 // must not share buffers with state the source lane keeps mutating.
 
 sim::Task<Result<ChunkHandle>> SpongeServer::RemoteAllocate(size_t from,
-                                                            ChunkOwner owner) {
+                                                            ChunkOwner owner,
+                                                            uint64_t bytes) {
   if (engine_->OnForeignLane(node_id_)) {
     const uint32_t home = engine_->current_lane();
     co_await engine_->HopToLane(0);
-    Result<ChunkHandle> result = co_await AllocateBody(from, owner);
+    Result<ChunkHandle> result = co_await AllocateBody(from, owner, bytes);
     co_await engine_->HopToLane(home);
     co_return result;
   }
-  co_return co_await AllocateBody(from, owner);
+  co_return co_await AllocateBody(from, owner, bytes);
 }
 
 sim::Task<Status> SpongeServer::RemoteWrite(size_t from, ChunkHandle handle,
@@ -165,7 +163,8 @@ sim::Task<bool> SpongeServer::RemoteIsTaskAlive(size_t from,
 // ---- operation bodies ------------------------------------------------------
 
 sim::Task<Result<ChunkHandle>> SpongeServer::AllocateBody(size_t from,
-                                                          ChunkOwner owner) {
+                                                          ChunkOwner owner,
+                                                          uint64_t bytes) {
   RpcCounter("alloc")->Increment();
   obs::SpanGuard span(&obs::Tracer::Default(), engine_, node_id_,
                       owner.task_id, "rpc", "rpc.alloc");
@@ -185,12 +184,16 @@ sim::Task<Result<ChunkHandle>> SpongeServer::AllocateBody(size_t from,
       ++failed_allocations_;
       handle = ResourceExhausted("task over quota");
     } else {
-      handle = pool_->Allocate(owner);
+      handle = pool_->Allocate(owner, bytes);
       if (handle.ok()) {
         ++remote_allocations_;
       } else {
         ++failed_allocations_;
       }
+      // The RPC pays the pool-lock convoy it just experienced: the server
+      // thread held (and possibly waited for) the level's lock.
+      Duration lock_wait = pool_->TakeLockWait();
+      if (lock_wait > 0) co_await engine_->Delay(lock_wait);
     }
   }
   co_await network_->Transfer(node_id_, from, config_.rpc_message_bytes);

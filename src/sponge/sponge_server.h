@@ -51,8 +51,10 @@ class SpongeServer {
   ChunkPool& pool() { return *pool_; }
   bool alive() const { return alive_; }
 
-  // Free sponge memory right now (what the tracker's poll reads).
+  // Free sponge memory right now (what the tracker's poll reads), and the
+  // bulk-class subset of it (what a full-size chunk can actually use).
   uint64_t free_bytes() const { return pool_->free_bytes(); }
+  uint64_t free_bulk_bytes() const { return pool_->free_bulk_bytes(); }
 
   // --- remote operations (called by tasks on other nodes; `from` is the
   // --- caller's node, used to charge network time) ---
@@ -74,8 +76,10 @@ class SpongeServer {
 
   // Allocates one chunk for `owner`; RESOURCE_EXHAUSTED when full — the
   // caller then tries the next server on its (possibly stale) free list.
-  sim::Task<Result<ChunkHandle>> RemoteAllocate(size_t from,
-                                                ChunkOwner owner);
+  // `bytes` is the declared spill size, so the tiered pool can place small
+  // chunks into a matching size class (0 = a full bulk chunk).
+  sim::Task<Result<ChunkHandle>> RemoteAllocate(size_t from, ChunkOwner owner,
+                                                uint64_t bytes = 0);
 
   // Ships `data` from node `from` into chunk `handle`.
   sim::Task<Status> RemoteWrite(size_t from, ChunkHandle handle,
@@ -95,12 +99,15 @@ class SpongeServer {
   // --- local operations (same-node tasks through shared memory; no
   // --- server involvement, hence no IPC cost — the SpongeFile charges the
   // --- raw memory copy itself) ---
-  Result<ChunkHandle> LocalAllocate(const ChunkOwner& owner) {
+  // The caller should collect pool().TakeLockWait() afterwards and pay it
+  // as a Delay — the simulated pool-lock convoy (see ChunkPoolConfig).
+  Result<ChunkHandle> LocalAllocate(const ChunkOwner& owner,
+                                    uint64_t bytes = 0) {
     SIM_WRITE(engine_, this, "SpongeServer", "pool",
               sim::AccessRecorder::NodeDomain(node_id_));
     if (!alive_) return Unavailable("sponge server down");
     if (!QuotaAllows(owner)) return ResourceExhausted("task over quota");
-    return pool_->Allocate(owner);
+    return pool_->Allocate(owner, bytes);
   }
   Status LocalFree(ChunkHandle handle, const ChunkOwner& owner) {
     SIM_WRITE(engine_, this, "SpongeServer", "pool",
@@ -169,7 +176,8 @@ class SpongeServer {
   // The real remote-operation implementations; the public RemoteXxx
   // entry points add the cross-lane hop when needed (sharded engine) and
   // call these directly otherwise.
-  sim::Task<Result<ChunkHandle>> AllocateBody(size_t from, ChunkOwner owner);
+  sim::Task<Result<ChunkHandle>> AllocateBody(size_t from, ChunkOwner owner,
+                                              uint64_t bytes);
   sim::Task<Status> WriteBody(size_t from, ChunkHandle handle,
                               ChunkOwner owner, ByteRuns data);
   sim::Task<Result<ByteRuns>> ReadBody(size_t from, ChunkHandle handle,

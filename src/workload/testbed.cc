@@ -19,6 +19,7 @@ Testbed::Testbed(const TestbedConfig& config) {
   cc.node.heap_per_slot = config.heap_per_slot;
   cc.node.sponge_memory = config.sponge_memory;
   cc.node.pinned_memory = config.pinned_memory;
+  cc.node.ssd = config.ssd;
   if (config.shard_projection == ShardProjection::kNode) {
     sharding_ = std::make_unique<sim::Sharding>(
         &engine_, sim::NodeShardPlan(config.num_nodes, cc.network.latency),
@@ -40,7 +41,7 @@ Testbed::Testbed(const TestbedConfig& config) {
   cluster_ = std::make_unique<cluster::Cluster>(&engine_, cc);
   dfs_ = std::make_unique<cluster::Dfs>(cluster_.get());
   env_ = std::make_unique<sponge::SpongeEnv>(cluster_.get(), dfs_.get(),
-                                             config.sponge);
+                                             config.sponge, config.pool);
   tracker_ = std::make_unique<mapred::JobTracker>(env_.get(), dfs_.get());
   // One tracker poll so the free list exists before any job runs, then
   // keep the services alive for the duration.

@@ -38,7 +38,14 @@ struct TestbedConfig {
   uint64_t heap_per_slot = 1024ull * 1024 * 1024;
   uint64_t sponge_memory = 1024ull * 1024 * 1024;
   uint64_t pinned_memory = 0;
+  // Per-node local SSD for the cascade's SSD rung; capacity 0 (default)
+  // means no SSD — every placement identical to the pre-SSD testbed.
+  cluster::SsdConfig ssd;
   sponge::SpongeConfig sponge;
+  // Pool shape: size classes, per-level lock model. `pool.flat = true` is
+  // the pre-tiered allocator (one global free list, one global lock) kept
+  // as the perf baseline for bench_selfperf --pool=flat.
+  sponge::ChunkPoolConfig pool;
   // Engine sharding. The lookahead is derived from the network config:
   // one-way latency for the node projection, latency + cross-rack latency
   // for the rack projection (the minimum cross-shard message delay each

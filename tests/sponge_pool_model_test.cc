@@ -1,0 +1,204 @@
+// Property test for the tiered chunk pool (ISSUE 10): a naive reference
+// model — a hash map of live handles with their owners, declared sizes,
+// and slot classes — is driven through random allocate / free /
+// wrong-owner free / double free / force-free / reset sequences alongside
+// the real ChunkPool, and after every step the pool's books must agree
+// with the model exactly: allocation count, per-level byte conservation
+// (free bytes + live slot bytes == capacity), internal-fragmentation
+// bytes, per-task held counts, and the AllocatedChunks() index. Runs over
+// several seeds, in both tiered and flat mode, and must end with zero
+// leaked bytes once the model drains.
+//
+// The model's containers are keyed by ChunkHandle and ChunkOwner through
+// their std::hash specializations, so this test is also the consumer-side
+// check for those hashes (collisions would surface as spurious
+// "duplicate handle" failures).
+
+#include "sponge/chunk_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "common/random.h"
+#include "common/units.h"
+
+namespace spongefiles::sponge {
+namespace {
+
+struct ModelEntry {
+  ChunkOwner owner;
+  uint64_t req_bytes = 0;
+  uint64_t class_bytes = 0;  // actual slot class (>= class_bytes_for)
+};
+
+uint64_t FragOf(const ModelEntry& entry) {
+  return entry.req_bytes != 0 && entry.class_bytes > entry.req_bytes
+             ? entry.class_bytes - entry.req_bytes
+             : 0;
+}
+
+// Request-size generator biased toward the interesting boundaries: tiny
+// headers, exact class sizes, one-past-a-class, bulk, and undeclared (0).
+uint64_t RandomBytes(Rng& rng) {
+  switch (rng.Uniform(8)) {
+    case 0: return 0;
+    case 1: return 1 + rng.Uniform(KiB(8));
+    case 2: return KiB(64);
+    case 3: return KiB(64) + 1 + rng.Uniform(KiB(16));
+    case 4: return KiB(256);
+    case 5: return KiB(256) + 1 + rng.Uniform(KiB(64));
+    case 6: return MiB(1);
+    default: return 1 + rng.Uniform(MiB(1));
+  }
+}
+
+void CheckBooks(const ChunkPool& pool,
+                const std::unordered_map<ChunkHandle, ModelEntry>& live,
+                uint64_t capacity) {
+  ASSERT_EQ(pool.allocated_count(), live.size());
+
+  uint64_t live_bytes = 0;
+  uint64_t frag = 0;
+  std::unordered_map<ChunkOwner, uint64_t> per_owner;
+  std::unordered_map<uint64_t, uint64_t> per_task;
+  // lint: iter-ok(commutative integer sums and counts; order cannot matter)
+  for (const auto& [handle, entry] : live) {
+    live_bytes += entry.class_bytes;
+    frag += FragOf(entry);
+    ++per_owner[entry.owner];
+    ++per_task[entry.owner.task_id];
+  }
+  // Byte conservation: every byte is either free (a bulk chunk or a free
+  // slab slot) or occupied by a live slot's class.
+  ASSERT_EQ(pool.free_bytes() + live_bytes, capacity);
+  ASSERT_EQ(pool.frag_bytes(), frag);
+  for (const auto& [task_id, count] : per_task) {
+    ASSERT_EQ(pool.HeldByTask(task_id), count);
+  }
+
+  // AllocatedChunks must list exactly the model's live set.
+  auto chunks = pool.AllocatedChunks();
+  ASSERT_EQ(chunks.size(), live.size());
+  std::unordered_set<ChunkHandle> listed;
+  for (const auto& [handle, owner] : chunks) {
+    ASSERT_TRUE(listed.insert(handle).second) << "duplicate handle listed";
+    auto entry = live.find(handle);
+    ASSERT_TRUE(entry != live.end());
+    ASSERT_EQ(entry->second.owner, owner);
+  }
+  (void)per_owner;
+}
+
+void RunModel(uint64_t seed, bool flat) {
+  ChunkPoolConfig config;
+  config.pool_size = MiB(4);  // 4 bulk chunks: exhaustion is common
+  config.chunk_size = MiB(1);
+  config.flat = flat;
+  ChunkPool pool(config);
+  const uint64_t capacity = MiB(4);
+
+  Rng rng(seed);
+  std::unordered_map<ChunkHandle, ModelEntry> live;
+  std::vector<ChunkHandle> order;  // live handles, for random picks
+
+  auto pick = [&]() -> ChunkHandle {
+    return order[rng.Uniform(order.size())];
+  };
+  auto drop = [&](ChunkHandle handle) {
+    live.erase(handle);
+    for (auto& h : order) {
+      if (h == handle) {
+        h = order.back();
+        order.pop_back();
+        break;
+      }
+    }
+  };
+
+  for (int step = 0; step < 2000; ++step) {
+    uint64_t op = rng.Uniform(100);
+    if (op < 55) {  // allocate
+      ChunkOwner owner{1 + rng.Uniform(6), rng.Uniform(4) == 0 ? 1u : 0u,
+                       rng.Uniform(8) == 0};
+      uint64_t bytes = RandomBytes(rng);
+      auto handle = pool.Allocate(owner, bytes);
+      if (handle.ok()) {
+        ASSERT_FALSE(live.count(*handle)) << "handle already live";
+        uint64_t slot = pool.slot_bytes(*handle);
+        // The slot must fit the request; it may be a larger class than
+        // the ideal fit when the request fell upward, never a smaller.
+        ASSERT_GE(slot, bytes);
+        ASSERT_GE(slot, pool.class_bytes_for(bytes));
+        auto stamped = pool.OwnerOf(*handle);
+        ASSERT_TRUE(stamped.ok());
+        ASSERT_EQ(*stamped, owner);
+        live.emplace(*handle, ModelEntry{owner, bytes, slot});
+        order.push_back(*handle);
+      } else {
+        ASSERT_EQ(handle.status().code(), StatusCode::kResourceExhausted);
+        // Exhaustion with the whole pool free would be a lost-capacity bug.
+        ASSERT_LT(pool.free_bytes(), capacity);
+      }
+    } else if (op < 80) {  // free by the rightful owner
+      if (order.empty()) continue;
+      ChunkHandle victim = pick();
+      ASSERT_TRUE(pool.Free(victim, live.at(victim).owner).ok());
+      drop(victim);
+    } else if (op < 87) {  // free by an impostor: rejected, still live
+      if (order.empty()) continue;
+      ChunkHandle victim = pick();
+      ChunkOwner impostor = live.at(victim).owner;
+      impostor.task_id += 1000;
+      ASSERT_EQ(pool.Free(victim, impostor).code(),
+                StatusCode::kFailedPrecondition);
+      ASSERT_TRUE(pool.OwnerOf(victim).ok());
+    } else if (op < 93) {  // force-free (the GC path)
+      if (order.empty()) continue;
+      ChunkHandle victim = pick();
+      ASSERT_TRUE(pool.ForceFree(victim).ok());
+      drop(victim);
+    } else if (op < 98) {  // double free: rejected
+      if (order.empty()) continue;
+      ChunkHandle victim = pick();
+      ChunkOwner owner = live.at(victim).owner;
+      ASSERT_TRUE(pool.Free(victim, owner).ok());
+      drop(victim);
+      ASSERT_FALSE(pool.Free(victim, owner).ok());
+    } else {  // node crash
+      pool.Reset();
+      live.clear();
+      order.clear();
+    }
+    CheckBooks(pool, live, capacity);
+  }
+
+  // Drain the model: the pool must hand every byte back.
+  for (ChunkHandle handle : order) {
+    ASSERT_TRUE(pool.Free(handle, live.at(handle).owner).ok());
+  }
+  EXPECT_EQ(pool.allocated_count(), 0u);
+  EXPECT_EQ(pool.free_bytes(), capacity) << "leaked bytes after drain";
+  EXPECT_EQ(pool.free_chunks(), pool.total_chunks())
+      << "slab failed to dissolve";
+  EXPECT_EQ(pool.frag_bytes(), 0u);
+}
+
+TEST(ChunkPoolModelTest, TieredPoolMatchesReferenceModel) {
+  for (uint64_t seed = 1; seed <= 6; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    RunModel(seed, /*flat=*/false);
+  }
+}
+
+TEST(ChunkPoolModelTest, FlatPoolMatchesReferenceModel) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    RunModel(seed, /*flat=*/true);
+  }
+}
+
+}  // namespace
+}  // namespace spongefiles::sponge

@@ -90,6 +90,21 @@ echo "sanitizer check passed"
   --out="$build/BENCH_datacenter_smoke.json"
 echo "datacenter smoke passed"
 
+# SSD-rung smoke under the sanitizers: the same shape with a throttled
+# per-node SSD, checked for chunks actually landing on the rung — the
+# reserve -> write -> read -> release path and the bandwidth override all
+# execute under ASan/UBSan.
+"$build/bench/bench_datacenter" --racks=4 --nodes-per-rack=8 --jobs=80 \
+  --ssd-bw=400 \
+  --out="$build/BENCH_datacenter_ssd_smoke.json" \
+  --sim-out="$build/BENCH_datacenter_ssd_smoke_sim.json"
+if grep -q '"chunks_ssd": [1-9]' "$build/BENCH_datacenter_ssd_smoke_sim.json"; then
+  echo "ssd smoke passed"
+else
+  echo "ssd smoke: no chunks landed on the SSD rung" >&2
+  exit 1
+fi
+
 # Crash-recovery smoke under the sanitizers: fail-stop crashes mid-run on
 # a small shape. The binary exits nonzero unless the replicated run
 # finishes with zero chunk-lost re-runs and byte-identical output, the

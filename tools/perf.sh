@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Self-performance gate (DESIGN.md "Performance engineering" and §13
-# "Parallel engine"). Three gates on one RelWithDebInfo build:
+# "Parallel engine"). Four gates on one RelWithDebInfo build:
 #
 #   1. Run-to-run determinism: bench_selfperf's fixed suite twice on the
 #      legacy engine; sim summary, metrics snapshot, and trace must be
@@ -15,6 +15,11 @@
 #      the wall-clock ratio is recorded. On multi-core hosts the par run
 #      must be at least 2x the seq run; on a single core the ratio is
 #      recorded honestly (alongside host_cores) but not enforced.
+#   4. Pool gate (DESIGN.md §14): fig5_contention once on the tiered
+#      size-classed pool and once on --pool=flat (the pre-tiered global
+#      lock). The tiered pool's summed job runtime — a simulated,
+#      deterministic quantity — must beat the flat baseline; both numbers
+#      land in the report.
 #
 # BENCH_selfperf.json is written by the --engine=par suite run with the
 # seq run as its baseline, so the report's "speedup" field *is* the
@@ -116,6 +121,23 @@ else
 fi
 
 extract() { grep -o "\"$2\": [0-9.]*" "$1" | head -1 | awk '{print $2}'; }
+
+echo
+echo "== gate 4: tiered pool vs flat baseline (fig5_contention)"
+"$build/bench/bench_selfperf" --scenarios=fig5_contention --pool=flat \
+  --out="$work/pool_flat.json" --sim-out="$work/pool_flat_sim.json"
+"$build/bench/bench_selfperf" --scenarios=fig5_contention --pool=tiered \
+  --out="$work/pool_tiered.json" --sim-out="$work/pool_tiered_sim.json"
+pool_flat_us="$(extract "$work/pool_flat_sim.json" job_runtime_us)"
+pool_tiered_us="$(extract "$work/pool_tiered_sim.json" job_runtime_us)"
+echo "  job runtime: flat ${pool_flat_us} us, tiered ${pool_tiered_us} us"
+if awk "BEGIN{exit !($pool_tiered_us < $pool_flat_us)}"; then
+  echo "  pool gate: tiered beats the flat global-lock baseline"
+else
+  echo "  pool gate: tiered pool is NOT faster than --pool=flat" >&2
+  exit 1
+fi
+
 dc_seq_wall="$(extract "$work/dc_seq.json" wall_ms)"
 dc_par_wall="$(extract "$work/dc_par.json" wall_ms)"
 cores="$(extract "$work/dc_par.json" host_cores)"
@@ -132,7 +154,9 @@ sed '$d' "$out" > "$tmp"
   \"datacenter_seq_wall_ms\": $dc_seq_wall,
   \"datacenter_par_wall_ms\": $dc_par_wall,
   \"datacenter_parallel_speedup\": $dc_speedup,
-  \"datacenter_jobs\": $dc_jobs
+  \"datacenter_jobs\": $dc_jobs,
+  \"pool_flat_job_runtime_us\": $pool_flat_us,
+  \"pool_tiered_job_runtime_us\": $pool_tiered_us
 }"
 } > "$out"
 rm -f "$tmp"
